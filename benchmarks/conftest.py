@@ -1,0 +1,69 @@
+"""Shared benchmark fixtures: the full-scale corpus, parsed once.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to shrink every network for quick
+runs.  Each benchmark prints the paper-vs-measured rows for its table or
+figure and also records them under ``benchmarks/results/`` so the numbers
+cited in EXPERIMENTS.md are regenerable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.synth.corpus import paper_corpus
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def record(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The 31-network study corpus (configs generated lazily per network)."""
+    return paper_corpus(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def networks(corpus):
+    """All 31 networks parsed into models."""
+    return [cn.network() for cn in corpus]
+
+
+@pytest.fixture(scope="session")
+def by_name(corpus):
+    return {cn.name: cn for cn in corpus}
+
+
+@pytest.fixture(scope="session")
+def net5(by_name):
+    return by_name["net5"].network(), by_name["net5"].spec
+
+
+@pytest.fixture(scope="session")
+def net15():
+    """net15 at full scale regardless of REPRO_BENCH_SCALE: its claims
+    (79 routers, 6 instances, exact policy sets) are all scale-free and the
+    network is small."""
+    from repro.model import Network
+    from repro.synth.templates.net15 import build_net15
+
+    configs, spec = build_net15(scale=1.0)
+    return Network.from_configs(configs, name="net15"), spec
+
+
+@pytest.fixture(scope="session")
+def fig1_example():
+    from repro.model import Network
+    from repro.synth.templates.example_fig1 import build_example_networks
+
+    configs, meta = build_example_networks()
+    return Network.from_configs(configs, name="fig1"), meta, configs

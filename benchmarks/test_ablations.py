@@ -1,0 +1,145 @@
+"""Ablations of the design choices DESIGN.md §6 calls out.
+
+1. **Instance closure boundary** — what happens to the instance structure
+   if the EBGP/AS boundary is dropped from the flood fill.
+2. **External-facing heuristics** — classification error of the two §5.2
+   heuristics versus naive alternatives, against generator ground truth.
+3. **Address-block join thresholds** — block counts across the
+   (join-bits × utilization) grid; the paper's (2, ½) sits at the knee.
+"""
+
+from repro.core import compute_instances, extract_address_space
+from repro.core.address_space import join_blocks, mentioned_subnets
+from repro.model import Network
+from repro.report import format_table
+from repro.synth.templates.enterprise import build_enterprise
+
+from benchmarks.conftest import record
+
+
+def test_ablation_instance_boundary(benchmark, net5):
+    """Dropping the EBGP boundary collapses net5's BGP structure."""
+    network, _spec = net5
+    baseline = compute_instances(network)
+    merged = benchmark(compute_instances, network, True)
+
+    baseline_bgp = [i for i in baseline if i.protocol == "bgp"]
+    merged_bgp = [i for i in merged if i.protocol == "bgp"]
+    rows = [
+        ("BGP instances (boundary on)", 14, len(baseline_bgp)),
+        ("BGP instances (boundary off)", "-", len(merged_bgp)),
+        (
+            "single-AS BGP instances (off)",
+            "-",
+            sum(1 for i in merged_bgp if i.asn is not None),
+        ),
+        ("total instances (on)", 24, len(baseline)),
+        ("total instances (off)", "-", len(merged)),
+    ]
+    record(
+        "ablation_instance_boundary",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="Ablation — EBGP/AS boundary in the instance closure",
+        ),
+    )
+
+    assert len(baseline_bgp) == 14
+    assert len(merged_bgp) < len(baseline_bgp)
+    # Merged instances span multiple ASs, destroying the Figure 9 reading.
+    assert any(i.asn is None for i in merged_bgp)
+
+
+def test_ablation_external_heuristics(benchmark):
+    """Compare external-facing classifiers against generator ground truth."""
+    # A network with both kinds of external interface: /30 uplinks and a
+    # multipoint DMZ with an external next hop.
+    configs, spec = build_enterprise("abl", 40, 14, seed=21, n_borders=2)
+    dmz = (
+        "interface Ethernet0\n ip address 172.30.0.1 255.255.255.0\n"
+        "!\nip route 198.51.100.0 255.255.255.0 172.30.0.254\n"
+    )
+    configs["abl-dmz"] = "hostname abl-dmz\n!\n" + dmz
+    truth = set(spec.external_interfaces) | {("abl-dmz", "Ethernet0")}
+    network = Network.from_configs(configs, name="abl")
+
+    full = benchmark(lambda: set(network.external_interfaces))
+
+    # Variant A: every unmatched interface is external (no multipoint rule).
+    all_unmatched = set(network.unmatched_interfaces)
+    # Variant B: only the point-to-point rule (no next-hop rule).
+    p2p_only = {
+        pair
+        for pair in network.unmatched_interfaces
+        if network.interface_index[pair].prefix is not None
+        and network.interface_index[pair].prefix.length >= 30
+    }
+
+    def errors(prediction):
+        false_pos = len(prediction - truth)
+        false_neg = len(truth - prediction)
+        return false_pos, false_neg
+
+    rows = []
+    for label, prediction in (
+        ("paper heuristics (both rules)", full),
+        ("all unmatched external", all_unmatched),
+        ("p2p rule only", p2p_only),
+    ):
+        false_pos, false_neg = errors(prediction)
+        rows.append((label, false_pos, false_neg))
+    record(
+        "ablation_external_heuristics",
+        format_table(
+            ["classifier", "false external", "missed external"], rows,
+            title="Ablation — external-facing interface heuristics",
+        ),
+    )
+
+    assert errors(full) == (0, 0)
+    assert errors(all_unmatched)[0] > 0  # host LANs wrongly external
+    assert errors(p2p_only)[1] > 0  # the DMZ is missed
+
+
+def test_ablation_address_join_thresholds(benchmark, net5):
+    """Sweep the §3.4 join parameters on net5's subnets."""
+    network, _spec = net5
+    subnets = mentioned_subnets(network)
+
+    def sweep():
+        grid = {}
+        for bits in (1, 2, 3, 4):
+            for utilization in (0.25, 0.5, 0.75):
+                grid[(bits, utilization)] = len(
+                    join_blocks(subnets, max_join_bits=bits, min_utilization=utilization)
+                )
+        return grid
+
+    grid = benchmark(sweep)
+
+    rows = [
+        (f"bits={bits}, util>={utilization}", "-", count)
+        for (bits, utilization), count in sorted(grid.items())
+    ]
+    rows.insert(
+        0, ("paper setting (bits=2, util>=0.5)", "-", grid[(2, 0.5)])
+    )
+    record(
+        "ablation_address_join",
+        format_table(
+            ["parameters", "paper", "blocks"], rows,
+            title=f"Ablation — address-block join thresholds ({len(subnets)} subnets)",
+        ),
+    )
+
+    # Looser joining never yields more blocks; tighter never fewer.
+    assert grid[(3, 0.25)] <= grid[(2, 0.5)] <= grid[(1, 0.75)]
+    # The recovered structure at paper settings is far smaller than the
+    # raw per-interface subnet population (the whole point of §3.4).
+    raw_subnet_mentions = sum(
+        1
+        for router in network.routers.values()
+        for iface in router.config.interfaces.values()
+        if iface.prefix is not None
+    )
+    assert grid[(2, 0.5)] < raw_subnet_mentions / 4

@@ -1,0 +1,43 @@
+"""Figure 10: the route pathway graph of net5's router 3.
+
+Paper: a router in the middle of EIGRP instance 1 receives external routes
+that have passed through at least three layers of routing protocols and
+redistributions, and the pathway does not fit either textbook pattern.
+"""
+
+from repro.core import compute_instances, route_pathway
+from repro.report import format_table
+
+from benchmarks.conftest import record
+
+
+def test_fig10_net5_middle_router_pathway(benchmark, net5):
+    network, spec = net5
+    middle = spec.notes["middle_router"]
+    instances = compute_instances(network)
+
+    pathway = benchmark(route_pathway, network, middle, instances)
+
+    rows = [
+        ("external-route layers", ">=3", pathway.external_depth()),
+        ("instances on the pathway", "-", len(pathway.instances)),
+        ("pathway depth", "-", pathway.depth),
+    ]
+    record(
+        "fig10_net5_pathway",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title=f"Figure 10 — route pathway of net5 middle router {middle}",
+        ),
+    )
+
+    assert pathway.reaches_external
+    assert pathway.external_depth() >= 3
+    # The pathway traverses both protocols — unclassifiable by the
+    # conventional two-layer EGP/IGP model.
+    protocols = {
+        inst.protocol
+        for inst in instances
+        if inst.instance_id in pathway.instances
+    }
+    assert protocols == {"eigrp", "bgp"}

@@ -1,0 +1,42 @@
+"""Figure 4: configuration-file size distribution of net5.
+
+Paper: net5 has 881 routers, configs averaging 270 lines, 237,870 commands
+in total, with file sizes ranging up to ~2,000 lines (a long right tail).
+"""
+
+from repro.core.census import config_size_distribution
+from repro.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, record
+
+
+def test_fig4_config_size_distribution(benchmark, net5):
+    network, _spec = net5
+    series = benchmark(config_size_distribution, network)
+
+    total_commands = network.total_commands()
+    avg_lines = sum(series) / len(series)
+    percentile = lambda q: series[min(len(series) - 1, int(q * len(series)))]
+    rows = [
+        ("routers", 881, len(series)),
+        ("avg lines/config", 270, round(avg_lines)),
+        ("total commands", 237870, total_commands),
+        ("p50 lines", "-", percentile(0.5)),
+        ("p90 lines", "-", percentile(0.9)),
+        ("max lines", "~2000", series[-1]),
+    ]
+    record(
+        "fig4_config_sizes",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="Figure 4 — net5 configuration file sizes",
+        ),
+    )
+
+    assert series == sorted(series)
+    assert series[-1] > 1.2 * avg_lines, "Figure 4 shows a spread, not a constant"
+    if BENCH_SCALE == 1.0:
+        assert series[-1] > 2 * avg_lines, "Figure 4's long tail"
+        assert len(series) == 881
+        assert 0.6 * 270 <= avg_lines <= 1.5 * 270
+        assert 0.6 * 237870 <= total_commands <= 1.5 * 237870

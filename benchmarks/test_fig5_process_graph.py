@@ -1,0 +1,51 @@
+"""Figure 5: the routing process graph of the Figure 1 example.
+
+Paper: per-router RIB vertices (process RIBs, local RIB, router RIB) with
+adjacency, redistribution, and selection edges; the enterprise half shows
+BGP redistributed into OSPF, the backbone half an IBGP mesh over an OSPF
+infrastructure instance.
+"""
+
+from repro.core import build_process_graph
+from repro.core.process_graph import EXTERNAL_NODE, NodeKind
+from repro.report import format_table
+
+from benchmarks.conftest import record
+
+
+def test_fig5_process_graph(benchmark, fig1_example):
+    network, meta, _configs = fig1_example
+    graph = benchmark(build_process_graph, network)
+
+    kinds = {}
+    for _node, data in graph.nodes(data=True):
+        kinds[data["kind"].value] = kinds.get(data["kind"].value, 0) + 1
+    edge_kinds = {}
+    for _u, _v, data in graph.edges(data=True):
+        edge_kinds[data["kind"]] = edge_kinds.get(data["kind"], 0) + 1
+
+    rows = [
+        ("process RIB vertices", 11, kinds.get("process", 0)),
+        ("router RIB vertices", 6, kinds.get("router-rib", 0)),
+        ("local RIB vertices", 6, kinds.get("local", 0)),
+        ("adjacency edges (directed)", "-", edge_kinds.get("adjacency", 0)),
+        ("redistribution edges", "-", edge_kinds.get("redistribution", 0)),
+        ("selection edges", "-", edge_kinds.get("selection", 0)),
+    ]
+    record(
+        "fig5_process_graph",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="Figure 5 — routing process graph (Fig. 1 example)",
+        ),
+    )
+
+    # The figure's structure: R2 runs (ospf 64, ospf 128, bgp) and R1/R3
+    # one OSPF each; R4-R6 run (ospf, bgp) each: 11 process RIBs total.
+    assert kinds["process"] == 11
+    assert kinds["router-rib"] == kinds["local"] == 6
+    assert graph.nodes[EXTERNAL_NODE]["kind"] == NodeKind.EXTERNAL
+    # Every process and every local RIB feeds its router RIB.
+    assert edge_kinds["selection"] == 11 + 6
+    # BGP->OSPF redistribution exists on R2 (the enterprise hallmark).
+    assert edge_kinds["redistribution"] >= 3

@@ -1,0 +1,55 @@
+"""Figure 6: the routing instance graph of the Figure 1 example.
+
+Paper: the example collapses to five routing instances — two enterprise
+OSPF instances ("ospf 64", "ospf 128"), the enterprise BGP AS 64780, the
+backbone OSPF instance, and the backbone BGP AS 12762 — with heavy edges
+where route exchange crosses protocols or ASs.
+"""
+
+from repro.core import build_instance_graph, compute_instances
+from repro.core.process_graph import EXTERNAL_NODE
+from repro.report import format_table
+
+from benchmarks.conftest import record
+
+
+def test_fig6_instance_graph(benchmark, fig1_example):
+    network, meta, _configs = fig1_example
+
+    def build():
+        instances = compute_instances(network)
+        return instances, build_instance_graph(network, instances)
+
+    instances, graph = benchmark(build)
+
+    rows = [
+        ("routing instances", 5, len(instances)),
+        ("BGP instances", 2, sum(1 for i in instances if i.protocol == "bgp")),
+        ("OSPF instances", 3, sum(1 for i in instances if i.protocol == "ospf")),
+        (
+            "redistribution edges",
+            "-",
+            sum(1 for *_e, d in graph.edges(data=True) if d["kind"] == "redistribution"),
+        ),
+        (
+            "EBGP instance edges",
+            1,
+            sum(1 for *_e, d in graph.edges(data=True) if d["kind"] == "ebgp") // 2,
+        ),
+        (
+            "externally adjacent instances",
+            1,
+            len(set(graph.successors(EXTERNAL_NODE))),
+        ),
+    ]
+    record(
+        "fig6_instance_graph",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="Figure 6 — routing instance graph (Fig. 1 example)",
+        ),
+    )
+
+    got = sorted((i.protocol, tuple(sorted(i.routers))) for i in instances)
+    want = sorted((p, tuple(sorted(r))) for p, r in meta["expected_instances"])
+    assert got == want, "instances must match Figure 6 exactly"

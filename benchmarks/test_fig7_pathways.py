@@ -1,0 +1,57 @@
+"""Figure 7: route pathway graphs for Router 1 (enterprise) and Router 5
+(backbone), each network analyzed as its own administrative domain.
+
+Paper: Router 1 learns everything from its OSPF instance, which learns from
+the BGP instance, which learns from the external world (3 levels).  Router 5
+learns external routes directly from the backbone BGP instance (2 levels);
+the backbone's OSPF instance never carries external routes.
+"""
+
+from repro.core import compute_instances, route_pathway
+from repro.model import Network
+from repro.report import format_table
+
+from benchmarks.conftest import record
+
+
+def test_fig7_route_pathways(benchmark, fig1_example):
+    _combined, meta, configs = fig1_example
+    enterprise = Network.from_configs(
+        {name: configs[name] for name in meta["enterprise_routers"]},
+        name="enterprise",
+    )
+    backbone = Network.from_configs(
+        {name: configs[name] for name in meta["backbone_routers"]},
+        name="backbone",
+    )
+
+    def both_pathways():
+        return (
+            route_pathway(enterprise, "R1"),
+            route_pathway(backbone, "R5"),
+        )
+
+    pathway_r1, pathway_r5 = benchmark(both_pathways)
+
+    rows = [
+        ("R1 external depth (enterprise)", 3, pathway_r1.external_depth()),
+        ("R5 external depth (backbone)", 2, pathway_r5.external_depth()),
+        ("R1 instances on pathway", 2, len(pathway_r1.instances)),
+        ("R5 instances on pathway", 2, len(pathway_r5.instances)),
+    ]
+    record(
+        "fig7_pathways",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="Figure 7 — route pathways (enterprise R1 vs backbone R5)",
+        ),
+    )
+
+    assert pathway_r1.external_depth() == 3
+    assert pathway_r5.external_depth() == 2
+
+    # Backbone hallmark: the OSPF instance receives no external routes.
+    instances = compute_instances(backbone)
+    ospf_id = next(i.instance_id for i in instances if i.protocol == "ospf")
+    r5 = route_pathway(backbone, "R5", instances=instances)
+    assert not list(r5.graph.predecessors(ospf_id))

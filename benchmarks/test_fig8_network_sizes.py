@@ -1,0 +1,53 @@
+"""Figure 8: size distribution of the 31 analyzed networks vs the 2,400
+networks known in the repository.
+
+Paper: the study set spans the full range of sizes in the wild with a
+slight overweighting toward networks of more than 20 routers; the
+repository distribution is heavily skewed toward small networks.
+"""
+
+from repro.core.census import corpus_size_histogram
+from repro.report import format_table
+from repro.synth.corpus import repository_sizes
+
+from benchmarks.conftest import BENCH_SCALE, record
+
+#: Figure 8's x-axis buckets.
+BOUNDARIES = [10, 20, 40, 80, 160, 320, 640, 1280]
+LABELS = ["<10", "10-20", "20-40", "40-80", "80-160", "160-320", "320-640", "640-1280", ">1280"]
+
+
+def test_fig8_network_size_distribution(benchmark, networks):
+    study_sizes = [len(net) for net in networks]
+    repo_sizes = repository_sizes(2400)
+
+    def histograms():
+        return (
+            corpus_size_histogram(study_sizes, BOUNDARIES),
+            corpus_size_histogram(repo_sizes, BOUNDARIES),
+        )
+
+    study_hist, repo_hist = benchmark(histograms)
+
+    rows = [
+        (label, f"{study:.2f}", f"{repo:.2f}")
+        for label, study, repo in zip(LABELS, study_hist, repo_hist)
+    ]
+    record(
+        "fig8_network_sizes",
+        format_table(
+            ["bucket", "study fraction", "repository fraction"], rows,
+            title="Figure 8 — network size distribution (31 study vs 2400 known)",
+        ),
+    )
+
+    assert len(study_sizes) == 31
+    # Repository skews small: its biggest bucket is the smallest sizes.
+    assert repo_hist[0] == max(repo_hist)
+    if BENCH_SCALE == 1.0:
+        # Study set overweights networks with more than 20 routers.
+        study_over_20 = sum(study_hist[2:])
+        repo_over_20 = sum(repo_hist[2:])
+        assert study_over_20 > repo_over_20
+        # Study set spans the whole range, including >1280 routers.
+        assert study_hist[-1] > 0

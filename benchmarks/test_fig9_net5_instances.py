@@ -1,0 +1,70 @@
+"""Figure 9: the routing instance graph of net5's three compartments.
+
+Paper: most of net5's routers connect to one of three EIGRP instances
+(445, 32, and 64 routers); four BGP instances (AS 65001/6 routers,
+AS 65010/39, AS 65040/7, AS 10436/3) glue the compartments together, with
+EIGRP serving as an inter-domain protocol between BGP instances and EBGP
+serving as an intra-domain protocol between instances 2 and 3.
+"""
+
+from repro.core import build_instance_graph, compute_instances
+from repro.report import format_table
+from repro.synth.templates.net5 import AS_EDGE_B, AS_EDGE_C, AS_GLUE_AB, AS_GLUE_AC
+
+from benchmarks.conftest import BENCH_SCALE, record
+
+
+def test_fig9_net5_instance_graph(benchmark, net5):
+    network, spec = net5
+    instances = benchmark(compute_instances, network)
+    graph = build_instance_graph(network, instances)
+
+    eigrp_sizes = sorted(
+        (i.size for i in instances if i.protocol == "eigrp"), reverse=True
+    )
+    bgp_by_asn = {i.asn: i.size for i in instances if i.protocol == "bgp"}
+
+    rows = [
+        ("largest EIGRP instance", 445, eigrp_sizes[0]),
+        ("2nd EIGRP instance", 64, eigrp_sizes[1]),
+        ("3rd EIGRP instance", 32, eigrp_sizes[2]),
+        (f"BGP AS {AS_GLUE_AC} routers", 39, bgp_by_asn.get(AS_GLUE_AC)),
+        (f"BGP AS {AS_GLUE_AB} routers", 6, bgp_by_asn.get(AS_GLUE_AB)),
+        (f"BGP AS {AS_EDGE_C} routers", 7, bgp_by_asn.get(AS_EDGE_C)),
+        (f"BGP AS {AS_EDGE_B} routers", 3, bgp_by_asn.get(AS_EDGE_B)),
+    ]
+    record(
+        "fig9_net5_instances",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="Figure 9 — net5 compartment structure",
+        ),
+    )
+
+    if BENCH_SCALE == 1.0:
+        assert eigrp_sizes[0] >= 440  # 445 compartment + glue membership
+        assert bgp_by_asn[AS_GLUE_AB] == 6
+        assert bgp_by_asn[AS_GLUE_AC] == 39
+        assert bgp_by_asn[AS_EDGE_B] == 3
+        assert bgp_by_asn[AS_EDGE_C] == 7
+
+    # The EBGP-as-intra-domain edge between instances 2 and 3.
+    membership = {i.asn: i.instance_id for i in instances if i.protocol == "bgp"}
+    assert any(
+        data["kind"] == "ebgp"
+        and {u, v} == {membership[AS_GLUE_AC], membership[AS_EDGE_C]}
+        for u, v, data in graph.edges(data=True)
+    )
+
+    # EIGRP as an inter-domain protocol between BGP instances 2 and 4:
+    # redistribution edges BGP<->EIGRP<->BGP through the big compartment.
+    big_eigrp = max(
+        (i for i in instances if i.protocol == "eigrp"), key=lambda i: i.size
+    ).instance_id
+    touching = {
+        (u, v)
+        for u, v, data in graph.edges(data=True)
+        if data["kind"] == "redistribution" and big_eigrp in (u, v)
+    }
+    assert any(u == membership[AS_GLUE_AB] for u, _v in touching)
+    assert any(v == membership[AS_GLUE_AC] for _u, v in touching)

@@ -1,0 +1,75 @@
+"""Pipeline throughput at paper scale.
+
+Not a paper table — an engineering benchmark recording that the analysis
+scales to the corpus sizes the paper processed (8,035 configuration files;
+the authors' tooling ran over a full provider archive of 23,417 routers).
+Measures configuration parsing rate and the cost of the two heaviest
+analysis stages (link inference and instance computation) on the largest
+corpus network.
+"""
+
+from repro.core import compute_instances
+from repro.ios import parse_config
+from repro.model import Network
+from repro.report import format_table
+
+from benchmarks.conftest import record
+
+
+def test_parse_throughput(benchmark, by_name):
+    """Configs parsed per second, measured on net5's files."""
+    configs = list(by_name["net5"].configs.values())
+    total_lines = sum(text.count("\n") for text in configs)
+
+    def parse_all():
+        return [parse_config(text) for text in configs]
+
+    parsed = benchmark(parse_all)
+    rate = len(configs) / benchmark.stats.stats.mean
+    lines_rate = total_lines / benchmark.stats.stats.mean
+    record(
+        "pipeline_throughput_parse",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("files", len(configs)),
+                ("lines", total_lines),
+                ("files/second", f"{rate:,.0f}"),
+                ("lines/second", f"{lines_rate:,.0f}"),
+            ],
+            title="Pipeline throughput — configuration parsing (net5)",
+        ),
+    )
+    assert len(parsed) == len(configs)
+    # The paper's 8,035-file corpus should parse in minutes, not hours.
+    assert rate > 20
+
+
+def test_analysis_throughput(benchmark, by_name):
+    """Link inference + instance computation on the largest network."""
+    largest = max(
+        (cn for cn in (by_name["net35"], by_name["net5"])),
+        key=lambda cn: len(cn.configs),
+    )
+    configs = largest.configs
+
+    def analyze():
+        network = Network.from_configs(configs, name="throughput")
+        network.links
+        return compute_instances(network)
+
+    instances = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    record(
+        "pipeline_throughput_analysis",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("network", largest.name),
+                ("routers", len(configs)),
+                ("instances", len(instances)),
+                ("seconds/full-analysis", f"{benchmark.stats.stats.mean:.2f}"),
+            ],
+            title="Pipeline throughput — parse + links + instances",
+        ),
+    )
+    assert instances

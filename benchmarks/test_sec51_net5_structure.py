@@ -1,0 +1,79 @@
+"""§5.1: using the routing instance model to understand net5's structure.
+
+Paper: net5 has 881 routers, 14 internal BGP ASs, 24 routing instances
+(largest 445 routers, smallest a single router), EBGP sessions to 16
+external ASs; 6 redundant redistribution routers connect instances 1 and 4,
+and if all 6 fail the instances are separated.
+"""
+
+from repro.core import compute_instances
+from repro.core.instances import build_instance_graph
+from repro.model import Network
+from repro.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, record
+
+
+def test_sec51_net5_structure(benchmark, net5, by_name):
+    network, spec = net5
+    instances = benchmark(compute_instances, network)
+
+    internal_asns = {i.asn for i in instances if i.protocol == "bgp"}
+    external_asns = {
+        s.remote_as for s in network.bgp_sessions if s.crosses_network_boundary
+    }
+    sizes = sorted((i.size for i in instances), reverse=True)
+    glue = spec.notes["glue_ab_routers"]
+
+    rows = [
+        ("routers", 881, len(network)),
+        ("routing instances", 24, len(instances)),
+        ("largest instance (routers)", 445, sizes[0]),
+        ("smallest instance (routers)", 1, sizes[-1]),
+        ("internal BGP ASs", 14, len(internal_asns)),
+        ("external ASs", 16, len(external_asns)),
+        ("redundant glue routers (inst 1<->4)", 6, len(glue)),
+    ]
+    record(
+        "sec51_net5_structure",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="§5.1 — net5 structure recovered from configs",
+        ),
+    )
+
+    assert len(instances) == 24
+    assert len(internal_asns) == 14
+    assert len(external_asns) == 16
+    if BENCH_SCALE == 1.0:
+        assert len(network) == 881
+        assert sizes[0] >= 445
+        assert sizes[-1] == 1
+        assert len(glue) == 6
+
+    # The failure question: removing the glue routers separates the big
+    # compartment from the small one in the instance graph.
+    kept = {
+        name: text
+        for name, text in by_name["net5"].configs.items()
+        if name not in set(glue)
+    }
+    degraded = Network.from_configs(kept, name="net5-glue-failed")
+    degraded_instances = compute_instances(degraded)
+    graph = build_instance_graph(degraded, degraded_instances)
+    import networkx as nx
+
+    eigrp = sorted(
+        (i for i in degraded_instances if i.protocol == "eigrp"),
+        key=lambda i: -i.size,
+    )
+    big, small = eigrp[0].instance_id, None
+    # Compartment B is the one whose routers are named net5-b*.
+    for inst in eigrp:
+        if any(router.startswith("net5-b") for router in inst.routers):
+            small = inst.instance_id
+    undirected = graph.to_undirected()
+    from repro.core.process_graph import EXTERNAL_NODE
+
+    undirected.remove_node(EXTERNAL_NODE)  # "not reachable via the external world"
+    assert not nx.has_path(undirected, big, small)

@@ -1,0 +1,106 @@
+"""§7: differences among routing designs.
+
+Paper: of 31 networks, 4 follow the textbook backbone architecture
+(400–600 routers, mean 540), 7 the textbook enterprise architecture
+(19–101 routers), and 20 defy classification (4–1,750 routers, median 36);
+four unclassifiable networks are larger than the largest backbone; size is
+not a good predictor of type; POS interfaces concentrate in three of the
+four backbones (§7.3).
+"""
+
+import statistics
+
+from repro.core import classify_design
+from repro.core.classify import DesignClass
+from repro.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, record
+
+
+def test_sec7_design_classification(benchmark, networks):
+    evidences = benchmark(lambda: [classify_design(net) for net in networks])
+
+    by_class = {}
+    for evidence in evidences:
+        by_class.setdefault(evidence.design, []).append(evidence)
+    backbone_sizes = sorted(e.router_count for e in by_class[DesignClass.BACKBONE])
+    enterprise_sizes = sorted(e.router_count for e in by_class[DesignClass.ENTERPRISE])
+    unclass_sizes = sorted(e.router_count for e in by_class[DesignClass.UNCLASSIFIABLE])
+
+    rows = [
+        ("backbone networks", 4, len(backbone_sizes)),
+        ("backbone size range", "400-600", f"{backbone_sizes[0]}-{backbone_sizes[-1]}"),
+        ("backbone mean size", 540, round(statistics.mean(backbone_sizes))),
+        ("enterprise networks", 7, len(enterprise_sizes)),
+        (
+            "enterprise size range",
+            "19-101",
+            f"{enterprise_sizes[0]}-{enterprise_sizes[-1]}",
+        ),
+        ("unclassifiable networks", 20, len(unclass_sizes)),
+        (
+            "unclassifiable size range",
+            "4-1750",
+            f"{unclass_sizes[0]}-{unclass_sizes[-1]}",
+        ),
+        ("unclassifiable median size", 36, round(statistics.median(unclass_sizes))),
+        (
+            "unclassifiable larger than largest backbone",
+            4,
+            sum(1 for s in unclass_sizes if s > backbone_sizes[-1]),
+        ),
+    ]
+    record(
+        "sec7_design_classification",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="§7 — design classification over the corpus",
+        ),
+    )
+
+    assert len(backbone_sizes) == 4
+    assert len(enterprise_sizes) == 7
+    assert len(unclass_sizes) == 20
+    if BENCH_SCALE == 1.0:
+        assert 400 <= backbone_sizes[0] and backbone_sizes[-1] <= 600
+        assert enterprise_sizes[0] == 19 and enterprise_sizes[-1] == 101
+        assert unclass_sizes[-1] == 1750
+        assert statistics.median(unclass_sizes) == 36
+        assert sum(1 for s in unclass_sizes if s > backbone_sizes[-1]) == 4
+    # Size is not a good predictor of type: unclassifiable networks both
+    # smaller than every enterprise and larger than every backbone exist.
+    assert unclass_sizes[0] <= enterprise_sizes[0]
+    assert unclass_sizes[-1] > backbone_sizes[-1]
+
+
+def test_sec73_interface_composition_predicts_backbones(benchmark, corpus):
+    """§7.3: POS interfaces concentrate in three of four backbones; the
+    fourth is HSSI/ATM-based."""
+
+    def pos_shares():
+        shares = {}
+        for cn in corpus:
+            census = cn.network().interface_type_census()
+            total = sum(census.values())
+            shares[cn.name] = census.get("POS", 0) / total if total else 0.0
+        return shares
+
+    shares = benchmark(pos_shares)
+    backbones = [cn for cn in corpus if cn.spec.design == DesignClass.BACKBONE]
+    pos_heavy = [cn.name for cn in backbones if shares[cn.name] > 0.10]
+
+    rows = [
+        (cn.name, "backbone", f"POS share {shares[cn.name]:.1%}") for cn in backbones
+    ]
+    record(
+        "sec73_interface_composition",
+        format_table(
+            ["network", "class", "measured"], rows,
+            title="§7.3 — POS concentration in backbones (paper: 3 of 4)",
+        ),
+    )
+
+    assert len(pos_heavy) == 3
+    hssi_one = next(cn for cn in backbones if cn.name not in pos_heavy)
+    census = hssi_one.network().interface_type_census()
+    assert census.get("Hssi", 0) + census.get("ATM", 0) > census.get("POS", 0)

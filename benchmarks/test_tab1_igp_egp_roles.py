@@ -1,0 +1,79 @@
+"""Table 1: number of protocol instances performing intra- or inter-domain
+routing, over the 31-network corpus.
+
+Paper:            OSPF      EIGRP    RIP    | EBGP sessions
+    intra-domain  9,624     12,741   1,342  | 1,490 (intra)
+    inter-domain  1,161     156      161    | 13,830 (inter)
+
+11% of IGP instances serve as EGPs; 10% of EBGP sessions are intra-network.
+Absolute counts depend on the proprietary corpus; the claims to reproduce
+are the *shape*: conventional usage dominates (~90/10), EIGRP has the most
+intra-domain instances, OSPF the most inter-domain ones, and EBGP sessions
+are overwhelmingly inter-domain.
+"""
+
+from repro.core.roles import census_over_networks
+from repro.report import format_table
+
+from benchmarks.conftest import record
+
+PAPER = {
+    "igp_intra": {"ospf": 9624, "eigrp": 12741, "rip": 1342},
+    "igp_inter": {"ospf": 1161, "eigrp": 156, "rip": 161},
+    "ebgp_intra": 1490,
+    "ebgp_inter": 13830,
+}
+
+
+def test_tab1_protocol_roles(benchmark, networks):
+    census = benchmark(census_over_networks, networks)
+
+    rows = []
+    for protocol in ("ospf", "eigrp", "rip"):
+        rows.append(
+            (
+                f"{protocol} intra",
+                PAPER["igp_intra"][protocol],
+                census.igp_intra[protocol],
+            )
+        )
+        rows.append(
+            (
+                f"{protocol} inter",
+                PAPER["igp_inter"][protocol],
+                census.igp_inter[protocol],
+            )
+        )
+    rows.append(("EBGP sessions intra", PAPER["ebgp_intra"], census.ebgp_intra))
+    rows.append(("EBGP sessions inter", PAPER["ebgp_inter"], census.ebgp_inter))
+    rows.append(
+        (
+            "unconventional IGP fraction",
+            "11%",
+            f"{census.unconventional_igp_fraction():.1%}",
+        )
+    )
+    rows.append(
+        (
+            "unconventional EBGP fraction",
+            "10%",
+            f"{census.unconventional_ebgp_fraction():.1%}",
+        )
+    )
+    record(
+        "tab1_igp_egp_roles",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="Table 1 — protocol instances by routing role",
+        ),
+    )
+
+    # Shape assertions.
+    assert 0.05 <= census.unconventional_igp_fraction() <= 0.25
+    assert 0.03 <= census.unconventional_ebgp_fraction() <= 0.20
+    assert census.igp_intra["eigrp"] > census.igp_intra["ospf"] > census.igp_intra["rip"]
+    assert census.igp_inter["ospf"] > census.igp_inter["eigrp"]
+    assert census.ebgp_inter > 5 * census.ebgp_intra
+    # Every protocol's conventional use dominates its unconventional use.
+    for protocol in ("ospf", "eigrp", "rip"):
+        assert census.igp_intra[protocol] > census.igp_inter[protocol]

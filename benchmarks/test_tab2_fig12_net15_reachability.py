@@ -1,0 +1,85 @@
+"""Table 2 + Figure 12: net15's reachability-restricting routing design.
+
+Paper (§6.2): 79 routers, 6 routing instances, EBGP to two public ASs.
+Policies A1..A5 name address blocks (Table 2: A1={AB0,AB1}, A2={AB2},
+A3={AB0,AB3}, A4={AB4}, A5={AB0}); the routes allowed in total two /16s
+and three /24s; no default route is permitted; internal blocks AB2/AB4 are
+announced out; and the two sites cannot reach each other because
+A2∩A5 = A2∩A3 = A4∩A1 = ∅.
+"""
+
+from repro.core import ReachabilityAnalysis, RouteSet, compute_instances
+from repro.net import Prefix
+from repro.report import format_table
+
+from benchmarks.conftest import record
+
+
+def test_tab2_fig12_net15(benchmark, net15):
+    network, spec = net15
+
+    def analyze():
+        analysis = ReachabilityAnalysis(network)
+        analysis.routes  # force the fixpoint
+        analysis.external_routes
+        return analysis
+
+    analysis = benchmark(analyze)
+
+    policies = {
+        key: RouteSet([Prefix(p) for p in value])
+        for key, value in spec.notes["policies"].items()
+    }
+    ab2 = Prefix(spec.notes["ab2"][0])
+    ab4 = Prefix(spec.notes["ab4"][0])
+
+    left_routers = set(spec.notes["left_ospf_routers"])
+    ospf = [i for i in analysis.instances if i.protocol == "ospf"]
+    left = next(i for i in ospf if i.routers & left_routers)
+    right = next(i for i in ospf if i is not left)
+    admitted = analysis.external_routes_into(left.instance_id).union(
+        analysis.external_routes_into(right.instance_id)
+    )
+    announced = analysis.routes_announced_externally()
+
+    rows = [
+        ("routers", 79, len(network)),
+        ("routing instances", 6, len(compute_instances(network))),
+        ("external public ASs", 2, spec.external_as_count),
+        (
+            "external routes admitted",
+            "two /16s + three /24s",
+            ", ".join(str(a) for a in admitted),
+        ),
+        ("default route admitted", "no", "yes" if admitted.has_default() else "no"),
+        ("AB2 announced out", "yes", "yes" if announced.overlaps(ab2) else "no"),
+        ("AB4 announced out", "yes", "yes" if announced.overlaps(ab4) else "no"),
+        (
+            "AB2 <-> AB4 reachable",
+            "no",
+            "yes" if analysis.can_communicate(ab2, ab4) else "no",
+        ),
+        ("A2 ∩ A5", "∅", str(policies["A2"].intersection(policies["A5"]))),
+        ("A2 ∩ A3", "∅", str(policies["A2"].intersection(policies["A3"]))),
+        ("A4 ∩ A1", "∅", str(policies["A4"].intersection(policies["A1"]))),
+    ]
+    record(
+        "tab2_fig12_net15",
+        format_table(
+            ["quantity", "paper", "measured"], rows,
+            title="Table 2 / Figure 12 — net15 controlled reachability",
+        ),
+    )
+
+    assert len(network) == 79
+    assert len(compute_instances(network)) == 6
+    assert admitted.total_addresses() == 2 * (1 << 16) + 3 * (1 << 8)
+    assert not admitted.has_default()
+    assert announced.overlaps(ab2) and announced.overlaps(ab4)
+    assert not analysis.can_communicate(ab2, ab4)
+    for pair in (("A2", "A5"), ("A2", "A3"), ("A4", "A1")):
+        assert policies[pair[0]].intersection(policies[pair[1]]).is_empty()
+
+    # §6.2's scalability prediction: the ingress filters bound the OSPF
+    # route load; the admitted external set is finite and small.
+    assert len(admitted) <= 8

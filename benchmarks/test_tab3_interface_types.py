@@ -1,0 +1,66 @@
+"""Table 3: interface-type census across the 31 networks' devices.
+
+Paper: 96,487 interfaces over 8,035 devices; Serial dominates (53,337),
+then FastEthernet (20,420), ATM (6,242), POS (3,937), Ethernet (3,685),
+Hssi (2,375), GigabitEthernet (2,171), TokenRing (1,344), Dialer (1,296),
+BRI (1,077), then a long tail down to Null (2).  POS concentrates in three
+of the four backbones; the fourth uses HSSI/ATM (§7.3).
+"""
+
+from repro.core.census import interface_census
+from repro.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, record
+
+PAPER_COUNTS = {
+    "Serial": 53337,
+    "FastEthernet": 20420,
+    "ATM": 6242,
+    "POS": 3937,
+    "Ethernet": 3685,
+    "Hssi": 2375,
+    "GigabitEthernet": 2171,
+    "TokenRing": 1344,
+    "Dialer": 1296,
+    "BRI": 1077,
+    "Tunnel": 202,
+    "Port": 151,
+    "Async": 90,
+    "Virtual": 83,
+    "Channel": 51,
+    "CBR": 14,
+    "Fddi": 6,
+    "Multilink": 4,
+    "Null": 2,
+}
+
+
+def test_tab3_interface_census(benchmark, networks):
+    census = benchmark(interface_census, networks)
+
+    rows = [
+        (kind, PAPER_COUNTS.get(kind, "-"), census.get(kind, 0))
+        for kind in sorted(census, key=census.get, reverse=True)
+    ]
+    rows.append(("total", 96487, sum(census.values())))
+    record(
+        "tab3_interface_types",
+        format_table(
+            ["interface type", "paper", "measured"], rows,
+            title="Table 3 — interface types among the 31 networks",
+        ),
+    )
+
+    # Shape: Serial first, FastEthernet second, and the heavy types all
+    # outnumber the exotic tail.
+    ranked = sorted(census, key=census.get, reverse=True)
+    assert ranked[0] == "Serial"
+    assert ranked[1] == "FastEthernet"
+    heavy = {"Serial", "FastEthernet", "ATM", "POS", "Ethernet"}
+    tail = {"Tunnel", "Port", "Async", "Virtual", "Channel", "CBR", "Fddi"}
+    assert min(census.get(k, 0) for k in heavy) > max(census.get(k, 0) for k in tail)
+    if BENCH_SCALE == 1.0:
+        total = sum(census.values())
+        assert abs(total - 96487) / 96487 < 0.25
+        # Serial is roughly half of everything, as in the paper.
+        assert 0.35 <= census["Serial"] / total <= 0.6

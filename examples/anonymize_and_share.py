@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Anonymize a configuration archive and prove the analysis still works.
+
+Replays §4.1 of the paper: comments stripped, names hashed, addresses
+rewritten prefix-preservingly, public ASNs mapped — then the full design
+extraction runs on the anonymized files and produces an isomorphic result.
+This is the workflow that made the paper's data sharing possible.
+
+Run:  python examples/anonymize_and_share.py
+"""
+
+from collections import Counter
+
+from repro import Anonymizer, Network, classify_design, compute_instances
+from repro.synth.templates.enterprise import build_enterprise
+
+
+def main() -> None:
+    configs, _spec = build_enterprise(
+        "acme-corp", 7, 16, seed=77, igp="ospf", n_borders=2
+    )
+
+    # --- before -------------------------------------------------------------
+    sample_name = sorted(configs)[0]
+    print("=== original config (first 12 lines) ===")
+    print("\n".join(configs[sample_name].splitlines()[:12]))
+
+    # --- anonymize ------------------------------------------------------------
+    anonymizer = Anonymizer(key=b"example-key")
+    anonymized = {
+        f"config{index}": anonymizer.anonymize_config(text)
+        for index, (_name, text) in enumerate(sorted(configs.items()), start=1)
+    }
+    print("\n=== anonymized config (first 12 lines) ===")
+    print("\n".join(anonymized["config1"].splitlines()[:12]))
+
+    # --- analyze both ------------------------------------------------------------
+    original = Network.from_configs(configs, name="original")
+    shared = Network.from_configs(anonymized, name="shared")
+
+    def summary(net):
+        instances = compute_instances(net)
+        return {
+            "routers": len(net),
+            "links": len(net.links),
+            "external interfaces": len(net.external_interfaces),
+            "instances": dict(Counter(i.protocol for i in instances)),
+            "design": classify_design(net, instances).design.value,
+        }
+
+    print("\n=== analysis comparison ===")
+    before, after = summary(original), summary(shared)
+    for key in before:
+        marker = "==" if before[key] == after[key] else "!="
+        print(f"  {key:22} {before[key]!s:>28}  {marker}  {after[key]!s}")
+
+    assert before == after, "anonymization must preserve the routing design"
+    print("\nall structural results identical: safe to share the archive.")
+
+
+if __name__ == "__main__":
+    main()

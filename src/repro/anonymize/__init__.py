@@ -1,0 +1,22 @@
+"""Structure-preserving anonymization of router configurations (§4.1).
+
+The paper's access to 8,035 production configuration files hinged on an
+anonymizer that removes everything identifying while preserving the
+structure the analysis needs:
+
+* comments are stripped,
+* non-numeric tokens not found in the published IOS command reference are
+  hashed (route-map names, hostnames, descriptions, ...),
+* IP addresses are anonymized prefix-preservingly (tcpdpriv-style), so
+  subnet relationships — and therefore link inference — survive,
+* public AS numbers are mapped to pseudo-ASNs; private ASNs pass through.
+
+Anonymization is deterministic given a key, so all files of one network are
+consistent with each other — the property that makes the anonymized corpus
+analyzable at all.
+"""
+
+from repro.anonymize.anonymizer import Anonymizer
+from repro.anonymize.ipanon import PrefixPreservingAnonymizer
+
+__all__ = ["Anonymizer", "PrefixPreservingAnonymizer"]

@@ -1,0 +1,55 @@
+"""Prefix-preserving IP address anonymization.
+
+Implements the property of tcpdpriv's ``-a50`` mode (and Crypto-PAn): two
+addresses sharing a k-bit prefix map to two addresses sharing a k-bit
+prefix, and no more.  This is exactly what configuration anonymization
+needs — interfaces on the same subnet stay on the same subnet, so link
+inference still works on the anonymized files.
+
+The implementation is the standard keyed bit-by-bit construction: the
+anonymized bit at position *i* is the original bit XOR a pseudorandom
+function of the preceding original bits.  HMAC-SHA1 with a caller-supplied
+key provides the PRF, making the mapping deterministic per key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, Union
+
+from repro.net import IPv4Address, format_ipv4, parse_ipv4
+
+
+class PrefixPreservingAnonymizer:
+    """Deterministic, keyed, prefix-preserving IPv4 anonymizer."""
+
+    def __init__(self, key: bytes = b"repro-anonymizer"):
+        self._key = key
+        self._cache: Dict[int, int] = {}
+
+    def _prf_bit(self, prefix_bits: str) -> int:
+        digest = hmac.new(self._key, prefix_bits.encode("ascii"), hashlib.sha1).digest()
+        return digest[0] & 1
+
+    def anonymize_int(self, address: int) -> int:
+        """Anonymize a 32-bit address value."""
+        cached = self._cache.get(address)
+        if cached is not None:
+            return cached
+        original_bits = format(address, "032b")
+        result_bits = []
+        for i in range(32):
+            flip = self._prf_bit(original_bits[:i])
+            result_bits.append(str(int(original_bits[i]) ^ flip))
+        value = int("".join(result_bits), 2)
+        self._cache[address] = value
+        return value
+
+    def anonymize(self, address: Union[str, IPv4Address]) -> str:
+        """Anonymize a dotted-quad address, returning a dotted quad."""
+        if isinstance(address, IPv4Address):
+            value = address.value
+        else:
+            value = parse_ipv4(address)
+        return format_ipv4(self.anonymize_int(value))

@@ -1,0 +1,319 @@
+"""Command-line interface: analyze configuration archives like the paper.
+
+Subcommands::
+
+    repro analyze <configdir>            routing design summary
+    repro instances <configdir>          routing instance listing
+    repro pathway <configdir> <router>   route pathway of one router
+    repro anonymize <configdir> <out>    §4.1 anonymization
+    repro survivability <configdir>      §8.1 what-if battery
+    repro diff <dir-t0> <dir-t1>         §8.2 longitudinal diff
+    repro generate <template> <out>      emit a synthetic network
+
+The config directory layout is the paper's: one file per router.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.anonymize import Anonymizer
+from repro.core import (
+    analyze_survivability,
+    classify_design,
+    compute_instances,
+    diff_designs,
+    extract_address_space,
+    route_pathway,
+)
+from repro.core.filters import analyze_filter_placement
+from repro.core.roles import classify_roles
+from repro.model import Network
+from repro.report import format_table
+
+
+def _load(path: str) -> Network:
+    if not os.path.isdir(path):
+        raise SystemExit(f"error: {path} is not a directory of config files")
+    return Network.from_directory(path)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    network = _load(args.configdir)
+    instances = compute_instances(network)
+    evidence = classify_design(network, instances)
+    roles = classify_roles(network, instances)
+    filters = analyze_filter_placement(network)
+
+    print(f"network: {network.name}")
+    print(f"routers: {len(network)}   links: {len(network.links)}")
+    print(f"external-facing interfaces: {len(network.external_interfaces)}")
+    print(f"routing instances: {len(instances)}")
+    print(f"design class: {evidence.design.value}")
+    for note in evidence.notes:
+        print(f"  {note}")
+    print(
+        f"IGP instances used inter-domain: "
+        f"{sum(roles.igp_inter.values())} of "
+        f"{sum(roles.igp_inter.values()) + sum(roles.igp_intra.values())}"
+    )
+    print(f"EBGP sessions: {roles.ebgp_intra} intra / {roles.ebgp_inter} inter")
+    if filters.has_filters:
+        print(
+            f"packet filters: {filters.total_rules} rules, "
+            f"{filters.internal_fraction:.0%} on internal links"
+        )
+    print("address blocks:")
+    for block in extract_address_space(network):
+        print(f"  {block}")
+    return 0
+
+
+def cmd_instances(args: argparse.Namespace) -> int:
+    network = _load(args.configdir)
+    instances = compute_instances(network)
+    rows = [
+        (inst.instance_id, inst.protocol, inst.asn or "", inst.size)
+        for inst in sorted(instances, key=lambda i: -i.size)
+    ]
+    print(format_table(["id", "protocol", "asn", "routers"], rows))
+    return 0
+
+
+def cmd_pathway(args: argparse.Namespace) -> int:
+    network = _load(args.configdir)
+    try:
+        pathway = route_pathway(network, args.router)
+    except KeyError:
+        raise SystemExit(f"error: unknown router {args.router!r}")
+    print(f"route pathway of {args.router}:")
+    for node, depth in sorted(pathway.layers.items(), key=lambda kv: kv[1]):
+        label = pathway.graph.nodes.get(node, {}).get("label", str(node))
+        print(f"  depth {depth}: {label}")
+    external = pathway.external_depth()
+    if external is None:
+        print("  (no external routes reach this router)")
+    else:
+        print(f"external routes arrive after {external} hops")
+    return 0
+
+
+def cmd_anonymize(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.configdir):
+        raise SystemExit(f"error: {args.configdir} is not a directory")
+    os.makedirs(args.outdir, exist_ok=True)
+    key = args.key.encode("utf-8") if args.key else os.urandom(16)
+    anonymizer = Anonymizer(key=key)
+    entries = sorted(
+        entry
+        for entry in os.listdir(args.configdir)
+        if os.path.isfile(os.path.join(args.configdir, entry))
+    )
+    for index, entry in enumerate(entries, start=1):
+        with open(os.path.join(args.configdir, entry)) as handle:
+            text = handle.read()
+        with open(os.path.join(args.outdir, f"config{index}"), "w") as handle:
+            handle.write(anonymizer.anonymize_config(text))
+    print(f"anonymized {len(entries)} files into {args.outdir}")
+    return 0
+
+
+def cmd_survivability(args: argparse.Namespace) -> int:
+    network = _load(args.configdir)
+    report = analyze_survivability(network)
+    print(f"articulation routers: {len(report.articulation_routers)}")
+    for router in report.articulation_routers[:20]:
+        print(f"  {router}")
+    print(f"bridge links: {len(report.bridge_links)}")
+    print("instance couplings:")
+    for coupling in report.couplings:
+        flag = "  SINGLE POINT OF FAILURE" if coupling.is_single_point_of_failure else ""
+        print(
+            f"  instances {coupling.instance_a}<->{coupling.instance_b}: "
+            f"{coupling.redundancy} router(s), "
+            f"{'/'.join(sorted(coupling.mechanisms))}{flag}"
+        )
+    if report.static_route_conflicts:
+        print("static-route maintenance conflicts:")
+        for prefix, routers in report.static_route_conflicts.items():
+            print(f"  {prefix}: {', '.join(routers)}")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.consistency import audit_configuration
+
+    network = _load(args.configdir)
+    report = audit_configuration(network)
+    if report.is_clean:
+        print("no findings: configuration is consistent")
+        return 0
+    for finding in report.findings:
+        print(finding)
+    print(f"{len(report)} finding(s)")
+    return 1
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    from repro.report.dot import instance_graph_to_dot
+
+    network = _load(args.configdir)
+    dot = instance_graph_to_dot(network)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dot)
+        print(f"wrote DOT graph to {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report.design_report import generate_design_report
+
+    network = _load(args.configdir)
+    report = generate_design_report(network)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    from repro.core.packet_reach import Flow, PacketReachability
+
+    network = _load(args.configdir)
+    reach = PacketReachability(network)
+    flow = Flow.between(args.source, args.dest, protocol=args.protocol, port=args.port)
+    verdict = reach.host_flow(flow)
+    if not verdict.path:
+        print("no attachment or no path between those hosts")
+        return 2
+    print(f"path: {' -> '.join(verdict.path)}")
+    if verdict.allowed:
+        print("flow PERMITTED by all filters along the path")
+        return 0
+    hit = verdict.blocked_at
+    print(
+        f"flow DENIED at {hit.router} {hit.interface} ({hit.direction}) "
+        f"by access-list {hit.acl}"
+    )
+    return 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    before = _load(args.before)
+    after = _load(args.after)
+    diff = diff_designs(before, after)
+    for line in diff.summary_lines():
+        print(line)
+    return 0 if diff.is_empty else 1
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.synth.templates.backbone import build_backbone
+    from repro.synth.templates.enterprise import build_enterprise
+    from repro.synth.templates.example_fig1 import build_example_networks
+    from repro.synth.templates.net5 import build_net5
+    from repro.synth.templates.net15 import build_net15
+
+    builders = {
+        "enterprise": lambda: build_enterprise("gen", 1, args.routers, seed=args.seed),
+        "backbone": lambda: build_backbone("gen", 2, args.routers, seed=args.seed),
+        "net5": lambda: build_net5(scale=args.routers / 881.0, seed=args.seed),
+        "net15": lambda: build_net15(scale=args.routers / 79.0, seed=args.seed),
+        "fig1": lambda: (build_example_networks()[0], None),
+    }
+    if args.template not in builders:
+        raise SystemExit(
+            f"error: unknown template {args.template!r} "
+            f"(choose from {', '.join(sorted(builders))})"
+        )
+    configs, _spec = builders[args.template]()
+    os.makedirs(args.outdir, exist_ok=True)
+    for name, text in sorted(configs.items()):
+        with open(os.path.join(args.outdir, name), "w") as handle:
+            handle.write(text)
+    print(f"wrote {len(configs)} configs to {args.outdir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="routing design reverse engineering"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="routing design summary")
+    p.add_argument("configdir")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("instances", help="routing instance listing")
+    p.add_argument("configdir")
+    p.set_defaults(func=cmd_instances)
+
+    p = sub.add_parser("pathway", help="route pathway of one router")
+    p.add_argument("configdir")
+    p.add_argument("router")
+    p.set_defaults(func=cmd_pathway)
+
+    p = sub.add_parser("anonymize", help="anonymize a config archive")
+    p.add_argument("configdir")
+    p.add_argument("outdir")
+    p.add_argument("--key", default=None, help="deterministic anonymization key")
+    p.set_defaults(func=cmd_anonymize)
+
+    p = sub.add_parser("survivability", help="single-failure what-ifs")
+    p.add_argument("configdir")
+    p.set_defaults(func=cmd_survivability)
+
+    p = sub.add_parser("audit", help="consistency/vulnerability audit")
+    p.add_argument("configdir")
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("graph", help="instance graph as Graphviz DOT")
+    p.add_argument("configdir")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_graph)
+
+    p = sub.add_parser("report", help="full markdown design report")
+    p.add_argument("configdir")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("flow", help="trace a packet flow through filters")
+    p.add_argument("configdir")
+    p.add_argument("source", help="source host address")
+    p.add_argument("dest", help="destination host address")
+    p.add_argument("--protocol", default="ip")
+    p.add_argument("--port", type=int, default=None)
+    p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser("diff", help="compare two snapshots")
+    p.add_argument("before")
+    p.add_argument("after")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("generate", help="emit a synthetic network")
+    p.add_argument("template", help="enterprise|backbone|net5|net15|fig1")
+    p.add_argument("outdir")
+    p.add_argument("--routers", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

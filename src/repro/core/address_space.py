@@ -1,0 +1,143 @@
+"""Address space structure recovery (§3.4).
+
+Networks rarely list their address plan anywhere; configurations mention
+only small, fragmented subnets.  §3.4 recovers the plan by repeatedly
+joining any two subnets whose network numbers differ in no more than the
+least two bits — i.e. expanding blocks so long as at least half the
+addresses in the enlarged block are "used" — until no more joins are
+possible.  The result is a hierarchical tree of address blocks.
+
+Both thresholds (2 bits per join, ½ utilization) are parameters here so the
+ablation benchmark can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.model.network import Network
+from repro.net import Prefix, summarize_prefixes
+
+
+@dataclass
+class AddressBlock:
+    """A recovered address block: a prefix plus the original subnets under it."""
+
+    prefix: Prefix
+    subnets: List[Prefix] = field(default_factory=list)
+
+    @property
+    def used_addresses(self) -> int:
+        return sum(subnet.num_addresses() for subnet in self.subnets)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the block's address space covered by original subnets."""
+        return self.used_addresses / self.prefix.num_addresses()
+
+    def __str__(self) -> str:
+        return f"{self.prefix} ({len(self.subnets)} subnets, {self.utilization:.0%} used)"
+
+
+def mentioned_subnets(network: Network) -> List[Prefix]:
+    """All subnets mentioned in a network's configuration files.
+
+    Sources: interface addresses (primary and secondary), routing-process
+    ``network`` statements, and static route destinations.  Duplicates are
+    removed and nested subnets collapsed so the utilization arithmetic of
+    the join never double-counts an address.
+    """
+    subnets: Set[Prefix] = set()
+    for router in network.routers.values():
+        for iface in router.config.interfaces.values():
+            if iface.prefix is not None:
+                subnets.add(iface.prefix)
+            for address, netmask in iface.secondary_addresses:
+                subnets.add(Prefix.from_netmask(address.value, netmask.value))
+        for process in router.config.routing_processes():
+            for statement in getattr(process, "networks", []):
+                subnets.add(statement.prefix())
+        for route in router.config.static_routes:
+            if route.prefix.length > 0:  # skip default routes
+                subnets.add(route.prefix)
+    return summarize_prefixes(subnets)
+
+
+def join_blocks(
+    subnets: Iterable[Prefix],
+    max_join_bits: int = 2,
+    min_utilization: float = 0.5,
+) -> List[AddressBlock]:
+    """The iterative join of §3.4.
+
+    Starting from disjoint subnets, repeatedly join any two blocks whose
+    common supernet is at most *max_join_bits* shorter than the longer of
+    the two, provided at least *min_utilization* of the supernet's addresses
+    are used.  Runs to fixpoint and returns the surviving top-level blocks
+    sorted by prefix.
+    """
+    blocks: Dict[Prefix, AddressBlock] = {}
+    for subnet in summarize_prefixes(subnets):
+        blocks[subnet] = AddressBlock(prefix=subnet, subnets=[subnet])
+
+    changed = True
+    while changed:
+        changed = False
+        ordered = sorted(blocks)
+        for i in range(len(ordered) - 1):
+            a, b = ordered[i], ordered[i + 1]
+            merged = _try_join(blocks[a], blocks[b], max_join_bits, min_utilization)
+            if merged is None:
+                continue
+            del blocks[a]
+            del blocks[b]
+            # The merged block may itself be joinable with a block it now
+            # overlaps; absorb any contained blocks defensively.
+            absorbed = [p for p in blocks if merged.prefix.contains(p)]
+            for p in absorbed:
+                merged.subnets.extend(blocks.pop(p).subnets)
+            blocks[merged.prefix] = merged
+            changed = True
+            break
+    return [blocks[prefix] for prefix in sorted(blocks)]
+
+
+def _try_join(
+    a: AddressBlock, b: AddressBlock, max_join_bits: int, min_utilization: float
+) -> Optional[AddressBlock]:
+    supernet = _common_supernet(a.prefix, b.prefix)
+    if supernet is None:
+        return None
+    longest = max(a.prefix.length, b.prefix.length)
+    if supernet.length < longest - max_join_bits:
+        return None
+    used = a.used_addresses + b.used_addresses
+    if used < supernet.num_addresses() * min_utilization:
+        return None
+    return AddressBlock(prefix=supernet, subnets=a.subnets + b.subnets)
+
+
+def _common_supernet(a: Prefix, b: Prefix) -> Optional[Prefix]:
+    """The longest prefix containing both *a* and *b* (None only at /0)."""
+    length = min(a.length, b.length)
+    while length > 0:
+        candidate = Prefix(a.network_int, length)
+        if candidate.contains(b):
+            return candidate
+        length -= 1
+    candidate = Prefix(0, 0)
+    return candidate if candidate.contains(a) and candidate.contains(b) else None
+
+
+def extract_address_space(
+    network: Network,
+    max_join_bits: int = 2,
+    min_utilization: float = 0.5,
+) -> List[AddressBlock]:
+    """Recover the address space structure of *network* (§3.4)."""
+    return join_blocks(
+        mentioned_subnets(network),
+        max_join_bits=max_join_bits,
+        min_utilization=min_utilization,
+    )

@@ -1,0 +1,53 @@
+"""Corpus-level censuses: interface composition and config sizes.
+
+Backs Table 3 (interface types over all devices) and Figure 4 (the
+configuration-file size distribution of one network).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.model.network import Network
+
+
+def interface_census(networks: List[Network]) -> Dict[str, int]:
+    """Count interfaces by hardware type across a corpus (Table 3)."""
+    census: Dict[str, int] = {}
+    for network in networks:
+        for kind, count in network.interface_type_census().items():
+            census[kind] = census.get(kind, 0) + count
+    return census
+
+
+def config_size_distribution(network: Network) -> List[int]:
+    """Config line counts sorted ascending — the Figure 4 series.
+
+    Figure 4 plots file size against "Router ID, sorted by configuration
+    file size"; this returns exactly that sorted series.
+    """
+    return sorted(network.config_sizes())
+
+
+def corpus_size_histogram(
+    sizes: List[int], boundaries: List[int]
+) -> List[float]:
+    """Fraction of networks in each size bucket (Figure 8).
+
+    *boundaries* are the inner bucket edges, e.g. ``[10, 20, 40, ...]``;
+    bucket ``i`` holds sizes in ``[boundaries[i-1], boundaries[i])``, with an
+    open-ended first (``< boundaries[0]``) and last (``>= boundaries[-1]``)
+    bucket.  Returns fractions summing to 1 (empty input → all zeros).
+    """
+    counts = [0] * (len(boundaries) + 1)
+    for size in sizes:
+        for index, edge in enumerate(boundaries):
+            if size < edge:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    total = len(sizes)
+    if total == 0:
+        return [0.0] * len(counts)
+    return [count / total for count in counts]

@@ -1,0 +1,80 @@
+"""Missing-router detection via address space structure (§3.4).
+
+When a router's configuration is missing from the data set, its peers'
+interfaces fail to match any link and are erroneously marked external-
+facing.  But many networks assign external-facing interfaces from a
+*different* address block than internal-facing ones; an "external-facing"
+interface whose address sits in the middle of a block dominated by
+internal-facing interfaces is therefore very likely attached to a missing
+router, not to another network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.address_space import AddressBlock, join_blocks
+from repro.model.network import Network
+from repro.net import Prefix
+
+
+@dataclass
+class SuspectInterface:
+    """An "external-facing" interface that is probably internal."""
+
+    router: str
+    interface: str
+    address: str
+    block: Prefix
+    internal_neighbors_in_block: int
+
+
+def find_suspect_external_interfaces(
+    network: Network,
+    min_internal_neighbors: int = 3,
+) -> List[SuspectInterface]:
+    """Flag external-facing interfaces likely caused by missing config files.
+
+    An unmatched interface is suspect when its address falls inside an
+    address block built from at least *min_internal_neighbors* internal
+    (link-matched) interface subnets.
+    """
+    matched_ends = {
+        (end.router, end.interface) for link in network.links for end in link.ends
+    }
+    internal_subnets = [
+        iface.prefix
+        for (router, name), iface in network.interface_index.items()
+        if (router, name) in matched_ends and iface.prefix is not None
+    ]
+    if not internal_subnets:
+        return []
+    blocks = join_blocks(internal_subnets)
+
+    suspects: List[SuspectInterface] = []
+    for router, name in network.unmatched_interfaces:
+        iface = network.interface_index[(router, name)]
+        if not iface.is_numbered:
+            continue
+        block = _containing_block(blocks, iface.address.value)
+        if block is None:
+            continue
+        if len(block.subnets) >= min_internal_neighbors:
+            suspects.append(
+                SuspectInterface(
+                    router=router,
+                    interface=name,
+                    address=str(iface.address),
+                    block=block.prefix,
+                    internal_neighbors_in_block=len(block.subnets),
+                )
+            )
+    return suspects
+
+
+def _containing_block(blocks: List[AddressBlock], address: int) -> AddressBlock:
+    for block in blocks:
+        if block.prefix.contains_address(address):
+            return block
+    return None

@@ -1,0 +1,183 @@
+"""Routing process graphs (§3.1).
+
+The routing process graph models how routing information flows through the
+network.  Its vertices are RIBs:
+
+* one **process RIB** per routing process,
+* one **local RIB** per router, holding connected subnets and static routes
+  (the modeling device introduced in §2.4 / Figure 3),
+* one **router RIB** per router, where route selection deposits the routes
+  actually used for forwarding,
+* a single **external world** vertex, standing for everything outside the
+  data set.
+
+Edges carry a ``kind`` attribute:
+
+* ``adjacency`` — two processes on different routers exchange routes
+  directly (added in both directions, one edge per direction);
+* ``redistribution`` — a directed transfer between RIBs on one router;
+* ``selection`` — process/local RIB → router RIB;
+* ``external`` — route exchange with the external world.
+
+Policies (route maps, distribute lists) are recorded as edge annotations, as
+§3.1 prescribes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Tuple
+
+import networkx as nx
+
+from repro.model.network import Network
+from repro.model.processes import ProcessKey
+
+#: The pseudo-node standing for the world outside the configuration set.
+EXTERNAL_NODE: Tuple[str, str, Optional[int]] = ("<external>", "external", None)
+
+
+class NodeKind(str, Enum):
+    """What a process-graph vertex represents."""
+
+    PROCESS = "process"
+    LOCAL = "local"
+    ROUTER_RIB = "router-rib"
+    EXTERNAL = "external"
+
+
+def process_node(key: ProcessKey) -> ProcessKey:
+    """The graph node for a routing process (identity function, for clarity)."""
+    return key
+
+
+def local_rib_node(router: str) -> ProcessKey:
+    """The graph node for a router's local RIB."""
+    return (router, "local", None)
+
+
+def router_rib_node(router: str) -> ProcessKey:
+    """The graph node for a router's router RIB (forwarding RIB)."""
+    return (router, "rib", None)
+
+
+def build_process_graph(network: Network) -> nx.MultiDiGraph:
+    """Build the routing process graph for *network*.
+
+    Returns a :class:`networkx.MultiDiGraph` whose nodes carry ``kind``
+    (a :class:`NodeKind` value), ``router`` and ``protocol`` attributes, and
+    whose edges carry ``kind`` plus policy annotations (``route_map``,
+    ``acl_in``, ``acl_out`` where applicable).
+    """
+    graph = nx.MultiDiGraph()
+    graph.add_node(EXTERNAL_NODE, kind=NodeKind.EXTERNAL, router=None, protocol="external")
+
+    # Vertices: process RIBs, local RIBs, router RIBs.
+    for key in network.processes:
+        graph.add_node(key, kind=NodeKind.PROCESS, router=key[0], protocol=key[1])
+    for router in network.routers:
+        graph.add_node(local_rib_node(router), kind=NodeKind.LOCAL, router=router, protocol="local")
+        graph.add_node(
+            router_rib_node(router), kind=NodeKind.ROUTER_RIB, router=router, protocol="rib"
+        )
+
+    _add_selection_edges(graph, network)
+    _add_redistribution_edges(graph, network)
+    _add_igp_adjacency_edges(graph, network)
+    _add_bgp_session_edges(graph, network)
+    _add_external_igp_edges(graph, network)
+    return graph
+
+
+def _add_selection_edges(graph: nx.MultiDiGraph, network: Network) -> None:
+    for router in network.routers:
+        rib = router_rib_node(router)
+        graph.add_edge(local_rib_node(router), rib, kind="selection")
+        for proc in network.processes_on(router):
+            graph.add_edge(proc.key, rib, kind="selection")
+
+
+def _resolve_redistribute_source(
+    network: Network, router: str, source_protocol: str, source_id: Optional[int]
+) -> Optional[ProcessKey]:
+    """Find the RIB a ``redistribute`` statement pulls routes from."""
+    if source_protocol in ("connected", "static"):
+        return local_rib_node(router)
+    if source_protocol == "rip":
+        candidate = (router, "rip", None)
+        return candidate if candidate in network.processes else None
+    candidate = (router, source_protocol, source_id)
+    if candidate in network.processes:
+        return candidate
+    # An id-less "redistribute ospf" style statement: match by protocol.
+    if source_id is None:
+        for key in network.processes:
+            if key[0] == router and key[1] == source_protocol:
+                return key
+    return None
+
+
+def _add_redistribution_edges(graph: nx.MultiDiGraph, network: Network) -> None:
+    for key, proc in network.processes.items():
+        router = key[0]
+        for redist in proc.config.redistributes:
+            source = _resolve_redistribute_source(
+                network, router, redist.source_protocol, redist.source_id
+            )
+            if source is None:
+                continue
+            graph.add_edge(
+                source,
+                key,
+                kind="redistribution",
+                route_map=redist.route_map,
+                tag=redist.tag,
+                metric=redist.metric,
+            )
+
+
+def _add_igp_adjacency_edges(graph: nx.MultiDiGraph, network: Network) -> None:
+    for key_a, key_b, link in network.igp_adjacencies:
+        graph.add_edge(key_a, key_b, kind="adjacency", subnet=str(link.subnet))
+        graph.add_edge(key_b, key_a, kind="adjacency", subnet=str(link.subnet))
+
+
+def _add_bgp_session_edges(graph: nx.MultiDiGraph, network: Network) -> None:
+    seen = set()
+    for session in network.bgp_sessions:
+        if session.remote_key is not None:
+            pair = tuple(sorted((session.local, session.remote_key)))
+            if pair in seen:
+                continue
+            seen.add(pair)
+            kind = "ebgp" if session.is_ebgp else "ibgp"
+            graph.add_edge(session.local, session.remote_key, kind="adjacency", bgp=kind)
+            graph.add_edge(session.remote_key, session.local, kind="adjacency", bgp=kind)
+        else:
+            graph.add_edge(
+                EXTERNAL_NODE,
+                session.local,
+                kind="external",
+                bgp="ebgp" if session.is_ebgp else "ibgp",
+                neighbor=str(session.neighbor_address),
+            )
+            graph.add_edge(
+                session.local,
+                EXTERNAL_NODE,
+                kind="external",
+                bgp="ebgp" if session.is_ebgp else "ibgp",
+                neighbor=str(session.neighbor_address),
+            )
+
+
+def _add_external_igp_edges(graph: nx.MultiDiGraph, network: Network) -> None:
+    """IGP processes that actively cover external-facing interfaces talk to
+    the external world — the unconventional usage §5.2 quantifies."""
+    for key, proc in network.processes.items():
+        if proc.is_bgp:
+            continue
+        for name in proc.active_interfaces():
+            if network.is_external_interface(proc.router, name):
+                graph.add_edge(EXTERNAL_NODE, key, kind="external", interface=name)
+                graph.add_edge(key, EXTERNAL_NODE, kind="external", interface=name)
+                break

@@ -1,0 +1,178 @@
+"""Survivability / what-if analysis (§8.1 "Network engineering").
+
+"The operators can also evaluate the robustness of the routing design to
+equipment failures and planned maintenance activities.  For example,
+analysis of the routing design data can uncover scenarios where a single
+link or session failure would disconnect part of the network.  The
+operators can also schedule maintenance activities to avoid disabling
+multiple routers with static routes to the same destination prefix."
+
+This module answers those questions from the static model:
+
+* physical single points of failure — articulation routers and bridge
+  links of the router-level topology,
+* routing-design single points of failure — routers that alone carry the
+  route exchange between two instances (net5's glue-router redundancy
+  question, §5.1, generalized),
+* static-route maintenance conflicts — destination prefixes that several
+  routers reach via static routes, which maintenance must not disable
+  together.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.instances import RoutingInstance, compute_instances, instance_of
+from repro.core.process_graph import _resolve_redistribute_source
+from repro.model.network import Network
+from repro.net import Prefix
+
+
+@dataclass
+class InstanceCoupling:
+    """How two routing instances exchange routes, and through whom."""
+
+    instance_a: int
+    instance_b: int
+    routers: Set[str] = field(default_factory=set)
+    mechanisms: Set[str] = field(default_factory=set)  # redistribution | ebgp
+
+    @property
+    def redundancy(self) -> int:
+        """How many routers must fail to sever this coupling."""
+        return len(self.routers)
+
+    @property
+    def is_single_point_of_failure(self) -> bool:
+        return self.redundancy == 1
+
+
+@dataclass
+class SurvivabilityReport:
+    """The full §8.1 what-if summary for one network."""
+
+    articulation_routers: List[str]
+    bridge_links: List[Prefix]
+    couplings: List[InstanceCoupling]
+    static_route_conflicts: Dict[Prefix, List[str]]
+
+    @property
+    def fragile_couplings(self) -> List[InstanceCoupling]:
+        return [c for c in self.couplings if c.is_single_point_of_failure]
+
+
+def physical_topology(network: Network) -> nx.Graph:
+    """The router-level topology graph (one edge per inferred link)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(network.routers)
+    for link in network.links:
+        routers = link.routers
+        for i, a in enumerate(routers):
+            for b in routers[i + 1:]:
+                graph.add_edge(a, b, subnet=link.subnet)
+    return graph
+
+
+def articulation_routers(network: Network) -> List[str]:
+    """Routers whose single failure disconnects the physical topology."""
+    graph = physical_topology(network)
+    return sorted(nx.articulation_points(graph))
+
+
+def bridge_links(network: Network) -> List[Prefix]:
+    """Links whose single failure disconnects the physical topology."""
+    graph = physical_topology(network)
+    bridges = set(nx.bridges(graph))
+    result = []
+    for link in network.links:
+        routers = link.routers
+        if len(routers) == 2 and (
+            (routers[0], routers[1]) in bridges or (routers[1], routers[0]) in bridges
+        ):
+            result.append(link.subnet)
+    return sorted(result)
+
+
+def instance_couplings(
+    network: Network, instances: Optional[List[RoutingInstance]] = None
+) -> List[InstanceCoupling]:
+    """Which routers carry the route exchange between each instance pair.
+
+    A coupling exists wherever a router redistributes between two
+    instances, or terminates an in-network EBGP session between two BGP
+    instances.  Its redundancy is the number of distinct routers providing
+    it — net5's instances 1 and 4 have redundancy 6 (§5.1).
+    """
+    if instances is None:
+        instances = compute_instances(network)
+    membership = instance_of(instances)
+    couplings: Dict[Tuple[int, int], InstanceCoupling] = {}
+
+    def touch(a: int, b: int, router: str, mechanism: str) -> None:
+        key = (min(a, b), max(a, b))
+        coupling = couplings.get(key)
+        if coupling is None:
+            coupling = couplings[key] = InstanceCoupling(
+                instance_a=key[0], instance_b=key[1]
+            )
+        coupling.routers.add(router)
+        coupling.mechanisms.add(mechanism)
+
+    for key, proc in network.processes.items():
+        for redist in proc.config.redistributes:
+            source = _resolve_redistribute_source(
+                network, key[0], redist.source_protocol, redist.source_id
+            )
+            if source is None or source not in membership:
+                continue
+            a = membership[source].instance_id
+            b = membership[key].instance_id
+            if a != b:
+                touch(a, b, key[0], "redistribution")
+
+    for session in network.bgp_sessions:
+        if session.remote_key is None or not session.is_ebgp:
+            continue
+        a = membership[session.local].instance_id
+        b = membership[session.remote_key].instance_id
+        if a != b:
+            touch(a, b, session.local[0], "ebgp")
+            touch(a, b, session.remote_key[0], "ebgp")
+
+    return sorted(couplings.values(), key=lambda c: (c.instance_a, c.instance_b))
+
+
+def static_route_conflicts(
+    network: Network, min_routers: int = 2
+) -> Dict[Prefix, List[str]]:
+    """Destination prefixes reached via static routes on several routers.
+
+    §8.1: maintenance should avoid disabling multiple routers holding
+    static routes to the same destination prefix simultaneously.
+    """
+    by_prefix: Dict[Prefix, Set[str]] = defaultdict(set)
+    for name, router in network.routers.items():
+        for route in router.config.static_routes:
+            by_prefix[route.prefix].add(name)
+    return {
+        prefix: sorted(routers)
+        for prefix, routers in sorted(by_prefix.items())
+        if len(routers) >= min_routers
+    }
+
+
+def analyze_survivability(
+    network: Network, instances: Optional[List[RoutingInstance]] = None
+) -> SurvivabilityReport:
+    """Run the full §8.1 what-if battery."""
+    return SurvivabilityReport(
+        articulation_routers=articulation_routers(network),
+        bridge_links=bridge_links(network),
+        couplings=instance_couplings(network, instances),
+        static_route_conflicts=static_route_conflicts(network),
+    )

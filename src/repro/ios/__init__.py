@@ -1,0 +1,57 @@
+"""Cisco IOS configuration language: object model, parser, and serializer.
+
+The paper's raw input is a directory of router configuration files in Cisco
+IOS syntax.  This package provides:
+
+* :mod:`repro.ios.config` — a typed object model of the configuration
+  statements that matter for routing design (interfaces, routing processes,
+  access lists, route maps, static routes),
+* :mod:`repro.ios.parser` — text → :class:`~repro.ios.config.RouterConfig`,
+* :mod:`repro.ios.serializer` — :class:`~repro.ios.config.RouterConfig` →
+  text (used by the synthetic corpus generator; round-trip tested).
+
+The parser is tolerant: statements outside the modeled subset are preserved
+verbatim (``RouterConfig.unmodeled_lines``) so that line counts and command
+counts — which the paper reports in Figure 4 — remain faithful.
+"""
+
+from repro.ios.config import (
+    AccessList,
+    AclRule,
+    BgpNeighbor,
+    BgpProcess,
+    DistributeList,
+    EigrpProcess,
+    InterfaceConfig,
+    NetworkStatement,
+    OspfProcess,
+    RedistributeConfig,
+    RipProcess,
+    RouteMap,
+    RouteMapClause,
+    RouterConfig,
+    StaticRoute,
+)
+from repro.ios.parser import ConfigParseError, parse_config
+from repro.ios.serializer import serialize_config
+
+__all__ = [
+    "AccessList",
+    "AclRule",
+    "BgpNeighbor",
+    "BgpProcess",
+    "ConfigParseError",
+    "DistributeList",
+    "EigrpProcess",
+    "InterfaceConfig",
+    "NetworkStatement",
+    "OspfProcess",
+    "RedistributeConfig",
+    "RipProcess",
+    "RouteMap",
+    "RouteMapClause",
+    "RouterConfig",
+    "StaticRoute",
+    "parse_config",
+    "serialize_config",
+]

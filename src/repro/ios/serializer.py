@@ -1,0 +1,295 @@
+"""Serializer: :class:`RouterConfig` → Cisco IOS configuration text.
+
+The synthetic corpus generator builds :class:`RouterConfig` objects and uses
+this module to render them as genuine IOS text, which the analysis pipeline
+then re-parses.  ``parse_config(serialize_config(cfg))`` is round-trip tested
+to produce an equivalent model, which keeps the generator and the parser
+honest with each other.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ios.config import (
+    AccessList,
+    BgpProcess,
+    DistributeList,
+    EigrpProcess,
+    InterfaceConfig,
+    NetworkStatement,
+    OspfProcess,
+    RedistributeConfig,
+    RipProcess,
+    RouteMap,
+    RouterConfig,
+    StaticRoute,
+)
+
+
+def serialize_config(config: RouterConfig) -> str:
+    """Render a configuration model as IOS text."""
+    lines: List[str] = []
+    if config.hostname:
+        lines.append(f"hostname {config.hostname}")
+        lines.append("!")
+    for iface in config.interfaces.values():
+        lines.extend(_interface_lines(iface))
+        lines.append("!")
+    for process in config.ospf_processes:
+        lines.extend(_ospf_lines(process))
+        lines.append("!")
+    for process in config.eigrp_processes:
+        lines.extend(_eigrp_lines(process))
+        lines.append("!")
+    if config.rip_process is not None:
+        lines.extend(_rip_lines(config.rip_process))
+        lines.append("!")
+    if config.bgp_process is not None:
+        lines.extend(_bgp_lines(config.bgp_process))
+        lines.append("!")
+    for acl in config.access_lists.values():
+        lines.extend(_access_list_lines(acl))
+    if config.access_lists:
+        lines.append("!")
+    for plist in config.prefix_lists.values():
+        for entry in plist.sorted_entries():
+            parts = [
+                f"ip prefix-list {plist.name} seq {entry.sequence} "
+                f"{entry.action} {entry.prefix}"
+            ]
+            if entry.ge is not None:
+                parts.append(f"ge {entry.ge}")
+            if entry.le is not None:
+                parts.append(f"le {entry.le}")
+            lines.append(" ".join(parts))
+    if config.prefix_lists:
+        lines.append("!")
+    for clist in config.community_lists.values():
+        for action, community in clist.entries:
+            lines.append(f"ip community-list {clist.name} {action} {community}")
+    if config.community_lists:
+        lines.append("!")
+    for route_map in config.route_maps.values():
+        lines.extend(_route_map_lines(route_map))
+    if config.route_maps:
+        lines.append("!")
+    for route in config.static_routes:
+        lines.append(_static_route_line(route))
+    lines.extend(config.unmodeled_lines)
+    return "\n".join(lines) + "\n"
+
+
+def _interface_lines(iface: InterfaceConfig) -> List[str]:
+    header = f"interface {iface.name}"
+    if iface.point_to_point:
+        header += " point-to-point"
+    lines = [header]
+    if iface.description:
+        lines.append(f" description {iface.description}")
+    if iface.is_numbered:
+        lines.append(f" ip address {iface.address} {iface.netmask}")
+    elif iface.unnumbered_source:
+        lines.append(f" ip unnumbered {iface.unnumbered_source}")
+    for address, netmask in iface.secondary_addresses:
+        lines.append(f" ip address {address} {netmask} secondary")
+    if iface.access_group_in:
+        lines.append(f" ip access-group {iface.access_group_in} in")
+    if iface.access_group_out:
+        lines.append(f" ip access-group {iface.access_group_out} out")
+    if iface.bandwidth_kbit is not None:
+        lines.append(f" bandwidth {iface.bandwidth_kbit}")
+    if iface.encapsulation:
+        lines.append(f" encapsulation {iface.encapsulation}")
+    if iface.frame_relay_dlci is not None:
+        lines.append(f" frame-relay interface-dlci {iface.frame_relay_dlci}")
+    if iface.shutdown:
+        lines.append(" shutdown")
+    lines.extend(f" {extra}" for extra in iface.extra_lines)
+    return lines
+
+
+def _network_line(statement: NetworkStatement) -> str:
+    parts = [f" network {statement.address}"]
+    if statement.wildcard is not None:
+        parts.append(str(statement.wildcard))
+    if statement.area is not None:
+        parts.append(f"area {statement.area}")
+    if statement.mask is not None:
+        parts.append(f"mask {statement.mask}")
+    return " ".join(parts)
+
+
+def _redistribute_line(redist: RedistributeConfig) -> str:
+    parts = [f" redistribute {redist.source_protocol}"]
+    if redist.source_id is not None:
+        parts.append(str(redist.source_id))
+    if redist.metric is not None:
+        parts.append(f"metric {redist.metric}")
+    if redist.metric_type is not None:
+        parts.append(f"metric-type {redist.metric_type}")
+    if redist.subnets:
+        parts.append("subnets")
+    if redist.route_map is not None:
+        parts.append(f"route-map {redist.route_map}")
+    if redist.tag is not None:
+        parts.append(f"tag {redist.tag}")
+    return " ".join(parts)
+
+
+def _distribute_list_line(dist: DistributeList) -> str:
+    parts = [f" distribute-list {dist.acl} {dist.direction}"]
+    if dist.interface:
+        parts.append(dist.interface)
+    if dist.source_protocol:
+        parts.append(dist.source_protocol)
+    return " ".join(parts)
+
+
+def _ospf_lines(process: OspfProcess) -> List[str]:
+    lines = [f"router ospf {process.process_id}"]
+    if process.router_id is not None:
+        lines.append(f" router-id {process.router_id}")
+    lines.extend(_redistribute_line(redist) for redist in process.redistributes)
+    lines.extend(_network_line(statement) for statement in process.networks)
+    lines.extend(_distribute_list_line(dist) for dist in process.distribute_lists)
+    lines.extend(f" passive-interface {name}" for name in process.passive_interfaces)
+    for summary in process.summary_addresses:
+        lines.append(f" summary-address {summary.network} {summary.netmask}")
+    if process.default_information_originate:
+        lines.append(" default-information originate")
+    lines.extend(f" {extra}" for extra in process.extra_lines)
+    return lines
+
+
+def _eigrp_lines(process: EigrpProcess) -> List[str]:
+    lines = [f"router {process.protocol} {process.asn}"]
+    lines.extend(_redistribute_line(redist) for redist in process.redistributes)
+    lines.extend(_network_line(statement) for statement in process.networks)
+    lines.extend(_distribute_list_line(dist) for dist in process.distribute_lists)
+    lines.extend(f" passive-interface {name}" for name in process.passive_interfaces)
+    if process.no_auto_summary:
+        lines.append(" no auto-summary")
+    lines.extend(f" {extra}" for extra in process.extra_lines)
+    return lines
+
+
+def _rip_lines(process: RipProcess) -> List[str]:
+    lines = ["router rip"]
+    if process.version is not None:
+        lines.append(f" version {process.version}")
+    lines.extend(_redistribute_line(redist) for redist in process.redistributes)
+    lines.extend(_network_line(statement) for statement in process.networks)
+    lines.extend(_distribute_list_line(dist) for dist in process.distribute_lists)
+    lines.extend(f" passive-interface {name}" for name in process.passive_interfaces)
+    lines.extend(f" {extra}" for extra in process.extra_lines)
+    return lines
+
+
+def _bgp_lines(process: BgpProcess) -> List[str]:
+    lines = [f"router bgp {process.asn}"]
+    if process.router_id is not None:
+        lines.append(f" bgp router-id {process.router_id}")
+    lines.extend(_redistribute_line(redist) for redist in process.redistributes)
+    lines.extend(_network_line(statement) for statement in process.networks)
+    for nbr in process.neighbors:
+        addr = nbr.address
+        if nbr.remote_as is not None:
+            lines.append(f" neighbor {addr} remote-as {nbr.remote_as}")
+        if nbr.description:
+            lines.append(f" neighbor {addr} description {nbr.description}")
+        if nbr.update_source:
+            lines.append(f" neighbor {addr} update-source {nbr.update_source}")
+        if nbr.next_hop_self:
+            lines.append(f" neighbor {addr} next-hop-self")
+        if nbr.send_community:
+            lines.append(f" neighbor {addr} send-community")
+        if nbr.route_reflector_client:
+            lines.append(f" neighbor {addr} route-reflector-client")
+        if nbr.route_map_in:
+            lines.append(f" neighbor {addr} route-map {nbr.route_map_in} in")
+        if nbr.route_map_out:
+            lines.append(f" neighbor {addr} route-map {nbr.route_map_out} out")
+        if nbr.distribute_list_in:
+            lines.append(f" neighbor {addr} distribute-list {nbr.distribute_list_in} in")
+        if nbr.distribute_list_out:
+            lines.append(f" neighbor {addr} distribute-list {nbr.distribute_list_out} out")
+        if nbr.prefix_list_in:
+            lines.append(f" neighbor {addr} prefix-list {nbr.prefix_list_in} in")
+        if nbr.prefix_list_out:
+            lines.append(f" neighbor {addr} prefix-list {nbr.prefix_list_out} out")
+    lines.extend(f" {extra}" for extra in process.extra_lines)
+    return lines
+
+
+def _acl_endpoint(address, wildcard, is_any: bool) -> str:
+    if is_any:
+        return "any"
+    if wildcard is None:
+        return f"host {address}"
+    return f"{address} {wildcard}"
+
+
+def _access_list_lines(acl: AccessList) -> List[str]:
+    lines = []
+    for rule in acl.rules:
+        parts = [f"access-list {acl.name} {rule.action}"]
+        if rule.is_extended:
+            parts.append(rule.protocol)
+            parts.append(_acl_endpoint(rule.source, rule.source_wildcard, rule.source_any))
+            parts.append(_acl_endpoint(rule.dest, rule.dest_wildcard, rule.dest_any))
+            if rule.port_op is not None:
+                if rule.port_op == "range":
+                    low, high = rule.port.split("-", 1)
+                    parts.append(f"range {low} {high}")
+                else:
+                    parts.append(f"{rule.port_op} {rule.port}")
+        else:
+            if rule.source_any:
+                parts.append("any")
+            elif rule.source_wildcard is not None:
+                parts.append(f"{rule.source} {rule.source_wildcard}")
+            else:
+                parts.append(str(rule.source))
+        lines.append(" ".join(parts))
+    return lines
+
+
+def _route_map_lines(route_map: RouteMap) -> List[str]:
+    lines = []
+    for clause in route_map.sorted_clauses():
+        lines.append(f"route-map {route_map.name} {clause.action} {clause.sequence}")
+        for acl in clause.match_ip_address:
+            lines.append(f" match ip address {acl}")
+        if clause.match_prefix_lists:
+            names = " ".join(clause.match_prefix_lists)
+            lines.append(f" match ip address prefix-list {names}")
+        if clause.match_communities:
+            names = " ".join(clause.match_communities)
+            lines.append(f" match community {names}")
+        if clause.match_tags:
+            tags = " ".join(str(tag) for tag in clause.match_tags)
+            lines.append(f" match tag {tags}")
+        if clause.set_metric is not None:
+            lines.append(f" set metric {clause.set_metric}")
+        if clause.set_tag is not None:
+            lines.append(f" set tag {clause.set_tag}")
+        if clause.set_local_preference is not None:
+            lines.append(f" set local-preference {clause.set_local_preference}")
+        if clause.set_community is not None:
+            lines.append(f" set community {clause.set_community}")
+        lines.extend(f" {extra}" for extra in clause.extra_lines)
+    return lines
+
+
+def _static_route_line(route: StaticRoute) -> str:
+    parts = [f"ip route {route.prefix.network} {route.prefix.netmask}"]
+    if route.next_hop is not None:
+        parts.append(str(route.next_hop))
+    elif route.interface is not None:
+        parts.append(route.interface)
+    if route.distance is not None:
+        parts.append(str(route.distance))
+    if route.tag is not None:
+        parts.append(f"tag {route.tag}")
+    return " ".join(parts)

@@ -1,0 +1,24 @@
+"""JunOS-style configuration front end.
+
+§2 of the paper notes that while its examples are Cisco IOS, "the syntax of
+other router configuration languages differ, [but] the granularity and type
+of information they contain are very similar", and footnote 2 observes that
+JunOS and Gated route exchange (``import``/``export`` through the router
+RIB) "can be modeled in our framework".  This package proves that claim:
+it parses a JunOS-flavored, brace-structured configuration dialect into the
+same :class:`~repro.ios.config.RouterConfig` model the IOS front end
+produces, so every downstream analysis works unchanged on mixed-vendor
+networks.
+
+Supported subset: ``system host-name``, ``interfaces`` (units, inet
+addresses, filters), ``routing-options`` (autonomous-system, static
+routes), ``protocols ospf`` (areas, interfaces, export policies),
+``protocols bgp`` (groups, neighbors, peer-as, import/export),
+``policy-options policy-statement`` (route filters, protocol terms),
+``firewall family inet filter``.
+"""
+
+from repro.junos.parser import parse_junos_config
+from repro.junos.serializer import serialize_junos_config
+
+__all__ = ["parse_junos_config", "serialize_junos_config"]

@@ -1,0 +1,130 @@
+"""Brace-structured block parsing for the JunOS dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class JunosNode:
+    """One configuration node: ``words { children }`` or ``words;``."""
+
+    words: List[str]
+    children: List["JunosNode"] = field(default_factory=list)
+
+    @property
+    def head(self) -> str:
+        return self.words[0] if self.words else ""
+
+    def child(self, *head: str) -> Optional["JunosNode"]:
+        """First child whose leading words equal *head*."""
+        for node in self.children:
+            if tuple(node.words[: len(head)]) == head:
+                return node
+        return None
+
+    def children_named(self, head: str) -> List["JunosNode"]:
+        return [node for node in self.children if node.head == head]
+
+    def leaf_value(self, *head: str) -> Optional[str]:
+        """For ``a b value;`` statements: the word after *head*."""
+        node = self.child(*head)
+        if node is None or len(node.words) <= len(head):
+            return None
+        return node.words[len(head)]
+
+
+class JunosSyntaxError(ValueError):
+    """Raised on malformed brace structure."""
+
+
+def parse_blocks(text: str) -> JunosNode:
+    """Parse JunOS-style text into a root node.
+
+    Grammar: statements are ``words ;`` (leaves) or ``words { ... }``
+    (containers).  Comments (``#`` to end of line and ``/* */``) are
+    stripped.
+    """
+    cleaned = _strip_comments(text)
+    tokens = _tokenize(cleaned)
+    root = JunosNode(words=["<root>"])
+    stack = [root]
+    current: List[str] = []
+    for token in tokens:
+        if token == "{":
+            if not current:
+                raise JunosSyntaxError("unexpected '{'")
+            node = JunosNode(words=current)
+            stack[-1].children.append(node)
+            stack.append(node)
+            current = []
+        elif token == "}":
+            if current:
+                raise JunosSyntaxError("missing ';' before '}'")
+            if len(stack) == 1:
+                raise JunosSyntaxError("unbalanced '}'")
+            stack.pop()
+        elif token == ";":
+            if current:
+                stack[-1].children.append(JunosNode(words=current))
+                current = []
+        else:
+            current.append(token)
+    if len(stack) != 1:
+        raise JunosSyntaxError("unbalanced '{'")
+    if current:
+        raise JunosSyntaxError(f"trailing tokens: {' '.join(current)}")
+    return root
+
+
+def _strip_comments(text: str) -> str:
+    out = []
+    index = 0
+    length = len(text)
+    while index < length:
+        if text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            index = length if end < 0 else end + 2
+        elif text[index] == "#":
+            end = text.find("\n", index)
+            index = length if end < 0 else end
+        else:
+            out.append(text[index])
+            index += 1
+    return "".join(out)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    current = []
+    in_quote = False
+    for char in text:
+        if in_quote:
+            if char == '"':
+                in_quote = False
+                tokens.append("".join(current))
+                current = []
+            else:
+                current.append(char)
+        elif char == '"':
+            if current:
+                tokens.append("".join(current))
+                current = []
+            in_quote = True
+        elif char in "{};":
+            if current:
+                tokens.append("".join(current))
+                current = []
+            tokens.append(char)
+        elif char.isspace():
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(char)
+    if in_quote:
+        raise JunosSyntaxError("unterminated string literal")
+    if current:
+        tokens.append("".join(current))
+    return tokens

@@ -1,0 +1,374 @@
+"""JunOS dialect → :class:`RouterConfig` conversion.
+
+The converter produces the same vendor-neutral model the IOS front end
+does.  Constructs without a direct IOS equivalent are lowered:
+
+* OSPF ``area ... interface <name>`` lists become per-interface ``network``
+  statements (host match on the interface address), preserving the
+  coverage semantics the adjacency rules need;
+* ``policy-statement`` terms with ``from route-filter`` become an ACL plus
+  a route-map clause; ``from protocol <p> ... then accept`` attached as an
+  ``export`` on a protocol becomes a redistribution statement;
+* ``firewall family inet filter`` terms become extended ACL clauses, and
+  unit-level ``filter input/output`` become access-group bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ios.config import (
+    AccessList,
+    AclRule,
+    BgpNeighbor,
+    BgpProcess,
+    InterfaceConfig,
+    NetworkStatement,
+    OspfProcess,
+    RedistributeConfig,
+    RouteMap,
+    RouteMapClause,
+    RouterConfig,
+    StaticRoute,
+)
+from repro.junos.blocks import JunosNode, parse_blocks
+from repro.net import IPv4Address, Prefix
+
+
+class JunosParseError(ValueError):
+    """Raised when a statement inside the supported subset is malformed."""
+
+
+def parse_junos_config(text: str) -> RouterConfig:
+    """Parse one router's JunOS-style configuration."""
+    root = parse_blocks(text)
+    config = RouterConfig()
+    config.line_count = sum(1 for line in text.splitlines() if line.strip())
+    config.command_count = _count_statements(root)
+
+    system = root.child("system")
+    if system is not None:
+        config.hostname = system.leaf_value("host-name")
+
+    interfaces = root.child("interfaces")
+    if interfaces is not None:
+        _convert_interfaces(config, interfaces)
+
+    policy_options = root.child("policy-options")
+    policies: Dict[str, JunosNode] = {}
+    if policy_options is not None:
+        for statement in policy_options.children_named("policy-statement"):
+            if len(statement.words) >= 2:
+                policies[statement.words[1]] = statement
+    for name, statement in policies.items():
+        _convert_policy(config, name, statement)
+
+    firewall = root.child("firewall")
+    if firewall is not None:
+        _convert_firewall(config, firewall)
+
+    routing_options = root.child("routing-options")
+    local_as = None
+    if routing_options is not None:
+        local_as_text = routing_options.leaf_value("autonomous-system")
+        if local_as_text is not None:
+            local_as = int(local_as_text)
+        static = routing_options.child("static")
+        if static is not None:
+            _convert_static(config, static)
+
+    protocols = root.child("protocols")
+    if protocols is not None:
+        ospf = protocols.child("ospf")
+        if ospf is not None:
+            _convert_ospf(config, ospf, policies)
+        bgp = protocols.child("bgp")
+        if bgp is not None:
+            _convert_bgp(config, bgp, local_as, policies)
+    return config
+
+
+def _then_has(then_node: Optional[JunosNode], word: str) -> bool:
+    """JunOS allows both ``then accept;`` (leaf) and ``then { accept; }``."""
+    if then_node is None:
+        return False
+    return word in then_node.words[1:] or then_node.child(word) is not None
+
+
+def _inline_value(node: JunosNode, key: str) -> Optional[str]:
+    """Value for ``... key value ...`` given inline on the node itself."""
+    words = node.words
+    for index, word in enumerate(words[:-1]):
+        if word == key:
+            return words[index + 1]
+    return None
+
+
+def _count_statements(node: JunosNode) -> int:
+    total = 0
+    for child in node.children:
+        total += 1 + _count_statements(child)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# interfaces
+
+
+def _convert_interfaces(config: RouterConfig, interfaces: JunosNode) -> None:
+    for iface_node in interfaces.children:
+        base_name = iface_node.head
+        units = iface_node.children_named("unit")
+        if not units:
+            # An interface with no unit: treat as unit 0 with no address.
+            config.interfaces[base_name] = InterfaceConfig(name=base_name)
+            continue
+        for unit in units:
+            unit_number = unit.words[1] if len(unit.words) > 1 else "0"
+            name = f"{base_name}.{unit_number}"
+            iface = InterfaceConfig(name=name)
+            description = unit.leaf_value("description")
+            if description:
+                iface.description = description
+            if unit.child("disable") is not None or iface_node.child("disable") is not None:
+                iface.shutdown = True
+            family = unit.child("family", "inet")
+            if family is not None:
+                for address_node in family.children_named("address"):
+                    if len(address_node.words) < 2:
+                        continue
+                    prefix = Prefix(address_node.words[1])
+                    host = IPv4Address(address_node.words[1].split("/", 1)[0])
+                    if iface.address is None:
+                        iface.address = host
+                        iface.netmask = prefix.netmask
+                    else:
+                        iface.secondary_addresses.append((host, prefix.netmask))
+                filter_node = family.child("filter")
+                if filter_node is not None:
+                    in_name = filter_node.leaf_value("input")
+                    out_name = filter_node.leaf_value("output")
+                    if in_name:
+                        iface.access_group_in = in_name
+                    if out_name:
+                        iface.access_group_out = out_name
+            config.interfaces[name] = iface
+
+
+# ---------------------------------------------------------------------------
+# policy-options
+
+
+def _policy_acl_name(policy_name: str) -> str:
+    return f"PL-{policy_name}"
+
+
+def _convert_policy(config: RouterConfig, name: str, statement: JunosNode) -> None:
+    """Lower a policy-statement to a route map (+ backing ACL)."""
+    acl = AccessList(name=_policy_acl_name(name))
+    route_map = RouteMap(name=name)
+    sequence = 10
+    for term in statement.children_named("term"):
+        from_node = term.child("from")
+        then_node = term.child("then")
+        action = "deny" if _then_has(then_node, "reject") else "permit"
+        clause = RouteMapClause(action=action, sequence=sequence)
+        sequence += 10
+        if from_node is not None:
+            for route_filter in from_node.children_named("route-filter"):
+                if len(route_filter.words) >= 2:
+                    prefix = Prefix(route_filter.words[1])
+                    acl.rules.append(
+                        AclRule(
+                            action="permit",
+                            source=prefix.network,
+                            source_wildcard=prefix.wildcard,
+                        )
+                    )
+                    if str(acl.name) not in clause.match_ip_address:
+                        clause.match_ip_address.append(acl.name)
+        if then_node is not None:
+            metric = then_node.leaf_value("metric")
+            if metric is not None:
+                clause.set_metric = int(metric)
+            tag = then_node.leaf_value("tag")
+            if tag is not None:
+                clause.set_tag = int(tag)
+        route_map.clauses.append(clause)
+    if acl.rules:
+        config.access_lists[acl.name] = acl
+    config.route_maps[name] = route_map
+
+
+def _policy_source_protocols(statement: JunosNode) -> List[str]:
+    """Protocols named by ``from protocol`` in accepting terms."""
+    protocols = []
+    for term in statement.children_named("term"):
+        from_node = term.child("from")
+        then_node = term.child("then")
+        if from_node is None:
+            continue
+        accepts = _then_has(then_node, "accept")
+        if not accepts:
+            continue
+        protocol = from_node.leaf_value("protocol")
+        if protocol:
+            protocols.append(protocol)
+    return protocols
+
+
+# ---------------------------------------------------------------------------
+# firewall
+
+
+_PORT_NAMES = {"http": 80, "https": 443, "ssh": 22, "telnet": 23, "domain": 53}
+
+
+def _convert_firewall(config: RouterConfig, firewall: JunosNode) -> None:
+    family = firewall.child("family", "inet") or firewall
+    for filter_node in family.children_named("filter"):
+        if len(filter_node.words) < 2:
+            continue
+        acl = AccessList(name=filter_node.words[1])
+        for term in filter_node.children_named("term"):
+            from_node = term.child("from")
+            then_node = term.child("then")
+            action = (
+                "deny"
+                if _then_has(then_node, "discard") or _then_has(then_node, "reject")
+                else "permit"
+            )
+            rule = AclRule(action=action, protocol="ip", source_any=True, dest_any=True)
+            if from_node is not None:
+                protocol = from_node.leaf_value("protocol")
+                if protocol:
+                    rule.protocol = protocol
+                source = from_node.leaf_value("source-address")
+                if source:
+                    prefix = Prefix(source)
+                    rule.source, rule.source_wildcard = prefix.network, prefix.wildcard
+                    rule.source_any = False
+                dest = from_node.leaf_value("destination-address")
+                if dest:
+                    prefix = Prefix(dest)
+                    rule.dest, rule.dest_wildcard = prefix.network, prefix.wildcard
+                    rule.dest_any = False
+                port = from_node.leaf_value("destination-port")
+                if port:
+                    rule.port_op = "eq"
+                    rule.port = str(_PORT_NAMES.get(port, port))
+            acl.rules.append(rule)
+        config.access_lists[acl.name] = acl
+
+
+# ---------------------------------------------------------------------------
+# routing-options / protocols
+
+
+def _convert_static(config: RouterConfig, static: JunosNode) -> None:
+    for route in static.children_named("route"):
+        if len(route.words) < 2:
+            continue
+        prefix = Prefix(route.words[1])
+        next_hop = route.leaf_value("next-hop") or _inline_value(route, "next-hop")
+        entry = StaticRoute(prefix=prefix)
+        if next_hop is not None:
+            entry.next_hop = IPv4Address(next_hop)
+        if route.child("discard") is not None or "discard" in route.words[2:]:
+            entry.interface = "Null0"
+        config.static_routes.append(entry)
+
+
+def _convert_ospf(
+    config: RouterConfig, ospf: JunosNode, policies: Dict[str, JunosNode]
+) -> None:
+    process = OspfProcess(process_id=1)
+    for area in ospf.children_named("area"):
+        area_id = area.words[1] if len(area.words) > 1 else "0"
+        for iface_stmt in area.children_named("interface"):
+            if len(iface_stmt.words) < 2:
+                continue
+            iface_name = iface_stmt.words[1]
+            iface = config.interfaces.get(iface_name)
+            if iface is None or iface.address is None:
+                continue
+            process.networks.append(
+                NetworkStatement(
+                    address=iface.address,
+                    wildcard=IPv4Address(0),  # host match: exactly this iface
+                    area=area_id,
+                )
+            )
+            if iface_stmt.child("passive") is not None:
+                process.passive_interfaces.append(iface_name)
+    for export in ospf.children_named("export"):
+        if len(export.words) < 2:
+            continue
+        policy_name = export.words[1]
+        statement = policies.get(policy_name)
+        sources = _policy_source_protocols(statement) if statement else []
+        for source in sources or ["static"]:
+            process.redistributes.append(
+                RedistributeConfig(
+                    source_protocol=_map_protocol(source),
+                    route_map=policy_name,
+                    subnets=True,
+                )
+            )
+    config.ospf_processes.append(process)
+
+
+def _map_protocol(junos_protocol: str) -> str:
+    return {
+        "direct": "connected",
+        "static": "static",
+        "bgp": "bgp",
+        "ospf": "ospf",
+        "rip": "rip",
+        "aggregate": "static",
+    }.get(junos_protocol, junos_protocol)
+
+
+def _convert_bgp(
+    config: RouterConfig,
+    bgp: JunosNode,
+    local_as: Optional[int],
+    policies: Dict[str, JunosNode],
+) -> None:
+    if local_as is None:
+        local_as_text = bgp.leaf_value("local-as")
+        local_as = int(local_as_text) if local_as_text else 0
+    process = BgpProcess(asn=local_as)
+    for group in bgp.children_named("group"):
+        group_peer_as = group.leaf_value("peer-as")
+        group_type = group.leaf_value("type")
+        import_policy = group.leaf_value("import")
+        export_policy = group.leaf_value("export")
+        for neighbor in group.children_named("neighbor"):
+            if len(neighbor.words) < 2:
+                continue
+            peer_as = neighbor.leaf_value("peer-as") or group_peer_as
+            if peer_as is None and group_type == "internal":
+                peer_as = str(local_as)
+            entry = BgpNeighbor(
+                address=IPv4Address(neighbor.words[1]),
+                remote_as=int(peer_as) if peer_as else None,
+                route_map_in=neighbor.leaf_value("import") or import_policy,
+                route_map_out=neighbor.leaf_value("export") or export_policy,
+            )
+            process.neighbors.append(entry)
+        group_export = group.leaf_value("export") or ""
+        statement = policies.get(group_export)
+        if statement is not None:
+            for source in _policy_source_protocols(statement):
+                mapped = _map_protocol(source)
+                if mapped not in ("bgp",) and not any(
+                    r.source_protocol == mapped and r.route_map == group_export
+                    for r in process.redistributes
+                ):
+                    process.redistributes.append(
+                        RedistributeConfig(
+                            source_protocol=mapped, route_map=group_export
+                        )
+                    )
+    config.bgp_process = process

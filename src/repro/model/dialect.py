@@ -1,0 +1,35 @@
+"""Configuration dialect detection and dispatch.
+
+The paper's corpus was Cisco IOS, but real archives mix vendors.  This
+module sniffs the dialect of a configuration file and dispatches to the
+right front end, so :meth:`Network.from_directory` handles mixed-vendor
+archives transparently.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ios.config import RouterConfig
+from repro.ios.parser import parse_config as parse_ios_config
+
+_JUNOS_HINT_RE = re.compile(
+    r"^\s*(system|interfaces|protocols|routing-options|policy-options|firewall)\s*\{",
+    re.MULTILINE,
+)
+
+
+def detect_dialect(text: str) -> str:
+    """``"junos"`` for brace-structured configs, else ``"ios"``."""
+    if _JUNOS_HINT_RE.search(text):
+        return "junos"
+    return "ios"
+
+
+def parse_any_config(text: str) -> RouterConfig:
+    """Parse a configuration file in whichever dialect it is written."""
+    if detect_dialect(text) == "junos":
+        from repro.junos.parser import parse_junos_config  # noqa: PLC0415
+
+        return parse_junos_config(text)
+    return parse_ios_config(text)

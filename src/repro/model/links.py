@@ -1,0 +1,95 @@
+"""Logical IP link inference: matching interfaces with the same subnet.
+
+§2.1 of the paper: "From the configuration files, we infer the logical IP
+links between routers by matching interfaces with the same subnet."  An
+interface that fails to match any other interface is declared
+external-facing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.ios.config import InterfaceConfig
+from repro.net import Prefix
+
+
+@dataclass(frozen=True)
+class LinkEnd:
+    """One interface termination of a logical link."""
+
+    router: str
+    interface: str
+
+
+@dataclass
+class Link:
+    """A logical IP link: the set of in-network interfaces sharing a subnet.
+
+    A point-to-point link has exactly two ends; a multipoint link (Ethernet,
+    frame-relay hub) can have many.  ``may_have_external`` is set when the
+    subnet has usable addresses not accounted for by in-network interfaces,
+    which means an external router *could* be attached (§5.2's discussion of
+    multipoint links).
+    """
+
+    subnet: Prefix
+    ends: List[LinkEnd] = field(default_factory=list)
+    may_have_external: bool = False
+
+    @property
+    def is_point_to_point(self) -> bool:
+        return len(self.ends) == 2 and self.subnet.length >= 30
+
+    @property
+    def routers(self) -> Tuple[str, ...]:
+        return tuple(sorted({end.router for end in self.ends}))
+
+
+def infer_links(
+    interfaces: Dict[Tuple[str, str], InterfaceConfig],
+) -> Tuple[List[Link], List[Tuple[str, str]]]:
+    """Group numbered, non-shutdown interfaces into links by shared subnet.
+
+    *interfaces* maps ``(router, interface_name)`` to the parsed interface.
+    Returns ``(links, unmatched)`` where *unmatched* lists the
+    ``(router, interface_name)`` pairs whose subnet is not shared with any
+    other in-network interface — the candidates for external-facing
+    classification.
+    """
+    by_subnet: Dict[Prefix, List[Tuple[str, str, InterfaceConfig]]] = defaultdict(list)
+    for (router, name), iface in interfaces.items():
+        if iface.shutdown or not iface.is_numbered:
+            continue
+        if iface.kind in ("Loopback", "Null"):
+            # Virtual interfaces terminate no physical link and are never
+            # external-facing candidates.
+            continue
+        by_subnet[iface.prefix].append((router, name, iface))
+
+    links: List[Link] = []
+    unmatched: List[Tuple[str, str]] = []
+    for subnet, members in sorted(by_subnet.items()):
+        distinct_routers = {router for router, _, _ in members}
+        if len(distinct_routers) < 2:
+            # All members on one router (usually exactly one interface):
+            # no in-network peer was found for this subnet.
+            unmatched.extend((router, name) for router, name, _ in members)
+            continue
+        link = Link(subnet=subnet)
+        used_addresses = set()
+        for router, name, iface in members:
+            link.ends.append(LinkEnd(router=router, interface=name))
+            used_addresses.add(iface.address.value)
+        usable = _usable_address_count(subnet)
+        link.may_have_external = len(used_addresses) < usable
+        links.append(link)
+    return links, unmatched
+
+
+def _usable_address_count(subnet: Prefix) -> int:
+    if subnet.length >= 31:
+        return subnet.num_addresses()
+    return subnet.num_addresses() - 2

@@ -1,0 +1,390 @@
+"""The `Network`: all routers of one administrative domain, assembled.
+
+This is the central facade of the model layer.  It is constructed from a
+mapping of router name → configuration (text or parsed), and lazily derives:
+
+* the interface/address indexes,
+* logical links and external-facing interfaces (§2.1, §5.2 heuristics),
+* routing processes with covered interfaces,
+* IGP adjacencies and BGP sessions (§2.2 adjacency rules).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.ios.config import InterfaceConfig, RouterConfig
+from repro.model.links import Link, infer_links
+from repro.model.processes import (
+    ProcessKey,
+    RoutingProcess,
+    covered_interface_names,
+    process_key,
+)
+from repro.net import IPv4Address, Prefix, summarize_prefixes
+
+
+@dataclass
+class Router:
+    """One router: a name plus its parsed configuration."""
+
+    name: str
+    config: RouterConfig
+
+    @property
+    def interfaces(self) -> Dict[str, InterfaceConfig]:
+        return self.config.interfaces
+
+
+@dataclass
+class BgpSession:
+    """One configured BGP peering, resolved against the network.
+
+    ``remote_key`` is the peer's process key when the neighbor address
+    belongs to a router in the data set; ``None`` means the peer is outside
+    the network (or its configuration is missing from the data set).
+    """
+
+    local: ProcessKey
+    neighbor_address: IPv4Address
+    remote_as: Optional[int]
+    remote_key: Optional[ProcessKey] = None
+    remote_router: Optional[str] = None
+
+    @property
+    def local_as(self) -> int:
+        return self.local[2]
+
+    @property
+    def is_ebgp(self) -> bool:
+        """EBGP = the configured remote AS differs from the local AS."""
+        return self.remote_as is not None and self.remote_as != self.local_as
+
+    @property
+    def is_resolved(self) -> bool:
+        return self.remote_key is not None
+
+    @property
+    def crosses_network_boundary(self) -> bool:
+        """True when the peer is not part of this network's data set."""
+        return self.remote_key is None
+
+
+class Network:
+    """A set of routers forming one network, with derived routing structure.
+
+    All derived structure is computed once on first access and cached; the
+    model is treated as immutable after construction (matching the paper's
+    setting of analyzing a static snapshot).
+    """
+
+    def __init__(self, routers: Iterable[Router], name: str = "network"):
+        self.name = name
+        self.routers: Dict[str, Router] = {}
+        for router in routers:
+            if router.name in self.routers:
+                raise ValueError(f"duplicate router name: {router.name}")
+            self.routers[router.name] = router
+        self._interface_index: Optional[Dict[Tuple[str, str], InterfaceConfig]] = None
+        self._address_map: Optional[Dict[int, Tuple[str, str]]] = None
+        self._links: Optional[List[Link]] = None
+        self._unmatched: Optional[List[Tuple[str, str]]] = None
+        self._external: Optional[Set[Tuple[str, str]]] = None
+        self._processes: Optional[Dict[ProcessKey, RoutingProcess]] = None
+        self._igp_adjacencies: Optional[List[Tuple[ProcessKey, ProcessKey, Link]]] = None
+        self._bgp_sessions: Optional[List[BgpSession]] = None
+        self._internal_space: Optional[List[Prefix]] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_configs(
+        cls,
+        configs: Mapping[str, Union[str, RouterConfig]],
+        name: str = "network",
+    ) -> "Network":
+        """Build a network from a mapping of router name → config text/model.
+
+        Text configs may be Cisco IOS or JunOS dialect (auto-detected).
+        """
+        from repro.model.dialect import parse_any_config  # noqa: PLC0415
+
+        routers = []
+        for router_name, config in configs.items():
+            if isinstance(config, str):
+                config = parse_any_config(config)
+            routers.append(Router(name=router_name, config=config))
+        return cls(routers, name=name)
+
+    @classmethod
+    def from_directory(cls, path: str, name: Optional[str] = None) -> "Network":
+        """Build a network from a directory of config files (``config1`` ...).
+
+        This mirrors the paper's data layout: one directory per network,
+        anonymous file names, no meta-data.  Dialects are auto-detected
+        per file (IOS or JunOS).
+        """
+        from repro.model.dialect import parse_any_config  # noqa: PLC0415
+
+        configs: Dict[str, str] = {}
+        for entry in sorted(os.listdir(path)):
+            full = os.path.join(path, entry)
+            if not os.path.isfile(full):
+                continue
+            with open(full) as handle:
+                text = handle.read()
+            parsed = parse_any_config(text)
+            router_name = parsed.hostname or os.path.splitext(entry)[0]
+            configs[router_name] = text
+        return cls.from_configs(configs, name=name or os.path.basename(path))
+
+    # -- indexes -----------------------------------------------------------
+
+    @property
+    def interface_index(self) -> Dict[Tuple[str, str], InterfaceConfig]:
+        """``(router, interface name)`` → parsed interface."""
+        if self._interface_index is None:
+            index = {}
+            for router in self.routers.values():
+                for iface in router.interfaces.values():
+                    index[(router.name, iface.name)] = iface
+            self._interface_index = index
+        return self._interface_index
+
+    @property
+    def address_map(self) -> Dict[int, Tuple[str, str]]:
+        """Interface address (as int) → ``(router, interface name)``."""
+        if self._address_map is None:
+            addresses: Dict[int, Tuple[str, str]] = {}
+            for (router, name), iface in self.interface_index.items():
+                if iface.is_numbered and not iface.shutdown:
+                    addresses[iface.address.value] = (router, name)
+                for secondary, _mask in iface.secondary_addresses:
+                    addresses[secondary.value] = (router, name)
+            self._address_map = addresses
+        return self._address_map
+
+    def owns_address(self, address: Union[str, int, IPv4Address]) -> bool:
+        if isinstance(address, str):
+            address = IPv4Address(address)
+        if isinstance(address, IPv4Address):
+            address = address.value
+        return address in self.address_map
+
+    # -- links and external classification ----------------------------------
+
+    def _ensure_links(self) -> None:
+        if self._links is None:
+            self._links, self._unmatched = infer_links(self.interface_index)
+
+    @property
+    def links(self) -> List[Link]:
+        self._ensure_links()
+        return self._links
+
+    @property
+    def unmatched_interfaces(self) -> List[Tuple[str, str]]:
+        """Interfaces whose subnet matched no other in-network interface."""
+        self._ensure_links()
+        return self._unmatched
+
+    @property
+    def internal_address_space(self) -> List[Prefix]:
+        """Summarized union of all connected subnets — "inside" addresses."""
+        if self._internal_space is None:
+            prefixes = [
+                iface.prefix
+                for iface in self.interface_index.values()
+                if iface.is_numbered
+            ]
+            self._internal_space = summarize_prefixes(prefixes)
+        return self._internal_space
+
+    def is_internal_destination(self, prefix: Prefix) -> bool:
+        return any(block.contains(prefix) for block in self.internal_address_space)
+
+    @property
+    def external_interfaces(self) -> Set[Tuple[str, str]]:
+        """Interfaces classified as external-facing.
+
+        Implements the two heuristics of §5.2:
+
+        1. a point-to-point subnet (/30 or longer) whose other usable
+           address is absent from the data set is external-facing;
+        2. a multipoint subnet (e.g. a /24 Ethernet) may simply connect
+           hosts, so it is internal *unless* it is used as the next hop
+           toward external destinations (static routes to prefixes outside
+           the internal address space, or BGP neighbors with no in-network
+           owner) — then an external router must be attached and its
+           interfaces are external-facing.
+        """
+        if self._external is not None:
+            return self._external
+        external: Set[Tuple[str, str]] = set()
+        multipoint_unmatched: List[Tuple[str, str]] = []
+        for router, name in self.unmatched_interfaces:
+            iface = self.interface_index[(router, name)]
+            prefix = iface.prefix
+            if prefix is not None and (prefix.length >= 30 or iface.point_to_point):
+                external.add((router, name))
+            else:
+                multipoint_unmatched.append((router, name))
+
+        # Gather next-hop addresses that point at external destinations.
+        external_next_hops: List[int] = []
+        for router in self.routers.values():
+            for route in router.config.static_routes:
+                if route.next_hop is None:
+                    continue
+                if not self.is_internal_destination(route.prefix):
+                    external_next_hops.append(route.next_hop.value)
+            bgp = router.config.bgp_process
+            if bgp is not None:
+                for nbr in bgp.neighbors:
+                    if nbr.address.value not in self.address_map:
+                        external_next_hops.append(nbr.address.value)
+
+        def next_hop_rule_fires(subnet: Prefix) -> bool:
+            return any(
+                subnet.contains_address(hop) and hop not in self.address_map
+                for hop in external_next_hops
+            )
+
+        for link in self.links:
+            if link.may_have_external and next_hop_rule_fires(link.subnet):
+                external.update((end.router, end.interface) for end in link.ends)
+        for router, name in multipoint_unmatched:
+            iface = self.interface_index[(router, name)]
+            if iface.prefix is not None and next_hop_rule_fires(iface.prefix):
+                external.add((router, name))
+        self._external = external
+        return external
+
+    def is_external_interface(self, router: str, interface: str) -> bool:
+        return (router, interface) in self.external_interfaces
+
+    # -- routing processes ---------------------------------------------------
+
+    @property
+    def processes(self) -> Dict[ProcessKey, RoutingProcess]:
+        """All routing processes, resolved against their interfaces."""
+        if self._processes is None:
+            processes: Dict[ProcessKey, RoutingProcess] = {}
+            for router in self.routers.values():
+                interfaces = list(router.interfaces.values())
+                for config in router.config.routing_processes():
+                    key = process_key(router.name, config)
+                    covered = covered_interface_names(config, interfaces)
+                    passive = list(getattr(config, "passive_interfaces", []))
+                    processes[key] = RoutingProcess(
+                        key=key,
+                        config=config,
+                        covered_interfaces=covered,
+                        passive_interfaces=passive,
+                    )
+            self._processes = processes
+        return self._processes
+
+    def processes_on(self, router: str) -> List[RoutingProcess]:
+        return [proc for proc in self.processes.values() if proc.router == router]
+
+    # -- adjacencies ---------------------------------------------------------
+
+    @property
+    def igp_adjacencies(self) -> List[Tuple[ProcessKey, ProcessKey, Link]]:
+        """Adjacent IGP process pairs (§2.2 rule).
+
+        Two IGP processes are adjacent when they run the same protocol, a
+        link connects their routers, and each covers (non-passively) its
+        interface on that link.
+        """
+        if self._igp_adjacencies is not None:
+            return self._igp_adjacencies
+        # Index: (router, interface) -> IGP processes actively covering it.
+        covering: Dict[Tuple[str, str], List[RoutingProcess]] = {}
+        for proc in self.processes.values():
+            if proc.is_bgp:
+                continue
+            for name in proc.active_interfaces():
+                covering.setdefault((proc.router, name), []).append(proc)
+
+        adjacencies: List[Tuple[ProcessKey, ProcessKey, Link]] = []
+        seen: Set[Tuple[ProcessKey, ProcessKey]] = set()
+        for link in self.links:
+            for i, end_a in enumerate(link.ends):
+                for end_b in link.ends[i + 1:]:
+                    if end_a.router == end_b.router:
+                        continue
+                    procs_a = covering.get((end_a.router, end_a.interface), [])
+                    procs_b = covering.get((end_b.router, end_b.interface), [])
+                    for proc_a in procs_a:
+                        for proc_b in procs_b:
+                            if proc_a.protocol != proc_b.protocol:
+                                continue
+                            if proc_a.protocol in ("eigrp", "igrp") and (
+                                proc_a.process_id != proc_b.process_id
+                            ):
+                                # EIGRP adjacency requires matching AS numbers
+                                # (unlike OSPF, whose process ids are local).
+                                continue
+                            pair = tuple(sorted((proc_a.key, proc_b.key)))
+                            if pair in seen:
+                                continue
+                            seen.add(pair)
+                            adjacencies.append((proc_a.key, proc_b.key, link))
+        self._igp_adjacencies = adjacencies
+        return adjacencies
+
+    @property
+    def bgp_sessions(self) -> List[BgpSession]:
+        """All configured BGP peerings, resolved where possible."""
+        if self._bgp_sessions is not None:
+            return self._bgp_sessions
+        sessions: List[BgpSession] = []
+        for router in self.routers.values():
+            bgp = router.config.bgp_process
+            if bgp is None:
+                continue
+            local_key = process_key(router.name, bgp)
+            for nbr in bgp.neighbors:
+                session = BgpSession(
+                    local=local_key,
+                    neighbor_address=nbr.address,
+                    remote_as=nbr.remote_as,
+                )
+                owner = self.address_map.get(nbr.address.value)
+                if owner is not None:
+                    remote_router = owner[0]
+                    remote_bgp = self.routers[remote_router].config.bgp_process
+                    if remote_bgp is not None and (
+                        nbr.remote_as is None or remote_bgp.asn == nbr.remote_as
+                    ):
+                        session.remote_key = process_key(remote_router, remote_bgp)
+                        session.remote_router = remote_router
+                sessions.append(session)
+        self._bgp_sessions = sessions
+        return sessions
+
+    # -- statistics ----------------------------------------------------------
+
+    def interface_type_census(self) -> Dict[str, int]:
+        """Count interfaces by hardware type (Table 3)."""
+        census: Dict[str, int] = {}
+        for iface in self.interface_index.values():
+            census[iface.kind] = census.get(iface.kind, 0) + 1
+        return census
+
+    def config_sizes(self) -> List[int]:
+        """Per-router configuration line counts (Figure 4)."""
+        return [router.config.line_count for router in self.routers.values()]
+
+    def total_commands(self) -> int:
+        return sum(router.config.command_count for router in self.routers.values())
+
+    def __len__(self) -> int:
+        return len(self.routers)
+
+    def __repr__(self) -> str:
+        return f"Network({self.name!r}, routers={len(self.routers)})"

@@ -1,0 +1,36 @@
+"""IPv4 address and prefix arithmetic.
+
+This package is the numeric foundation of the configuration analyzer.  It is
+deliberately self-contained (rather than a thin veneer over :mod:`ipaddress`)
+because router configurations use several mask conventions the standard
+library does not model directly:
+
+* dotted-quad **netmasks** (``255.255.255.252``),
+* Cisco **wildcard masks** (``0.0.0.3``), including non-contiguous wildcards,
+* classful defaults for protocols such as RIP.
+
+The central types are :class:`~repro.net.ipv4.IPv4Address` and
+:class:`~repro.net.prefix.Prefix`.
+"""
+
+from repro.net.ipv4 import (
+    IPv4Address,
+    format_ipv4,
+    mask_to_prefix_len,
+    parse_ipv4,
+    prefix_len_to_mask,
+    wildcard_to_prefix_len,
+)
+from repro.net.prefix import Prefix, classful_prefix, summarize_prefixes
+
+__all__ = [
+    "IPv4Address",
+    "Prefix",
+    "classful_prefix",
+    "format_ipv4",
+    "mask_to_prefix_len",
+    "parse_ipv4",
+    "prefix_len_to_mask",
+    "summarize_prefixes",
+    "wildcard_to_prefix_len",
+]

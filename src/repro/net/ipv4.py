@@ -1,0 +1,155 @@
+"""IPv4 address parsing, formatting, and mask conversions."""
+
+from __future__ import annotations
+
+import functools
+from typing import Union
+
+_MAX_IPV4 = 0xFFFFFFFF
+
+
+class AddressError(ValueError):
+    """Raised when text cannot be interpreted as an IPv4 address or mask."""
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse a dotted-quad string into a 32-bit integer.
+
+    >>> parse_ipv4("10.0.0.1")
+    167772161
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer as a dotted quad.
+
+    >>> format_ipv4(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= _MAX_IPV4:
+        raise AddressError(f"value out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_len_to_mask(length: int) -> int:
+    """Return the netmask integer for a prefix length.
+
+    >>> format_ipv4(prefix_len_to_mask(30))
+    '255.255.255.252'
+    """
+    if not 0 <= length <= 32:
+        raise AddressError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (_MAX_IPV4 << (32 - length)) & _MAX_IPV4
+
+
+def mask_to_prefix_len(mask: int) -> int:
+    """Convert a contiguous netmask integer to a prefix length.
+
+    Raises :class:`AddressError` for non-contiguous masks, which are invalid
+    as netmasks (though valid as wildcard masks).
+    """
+    length = bin(mask).count("1")
+    if prefix_len_to_mask(length) != mask:
+        raise AddressError(f"non-contiguous netmask: {format_ipv4(mask)}")
+    return length
+
+
+def wildcard_to_prefix_len(wildcard: int) -> int:
+    """Convert a contiguous Cisco wildcard mask to a prefix length.
+
+    A wildcard mask is the bitwise complement of a netmask: ``0.0.0.3``
+    corresponds to a /30.  Non-contiguous wildcards are legal in IOS but do
+    not correspond to a prefix; they raise :class:`AddressError`.
+    """
+    return mask_to_prefix_len((~wildcard) & _MAX_IPV4)
+
+
+@functools.total_ordering
+class IPv4Address:
+    """An immutable IPv4 address.
+
+    Accepts either a dotted-quad string or a 32-bit integer.  Instances are
+    hashable, totally ordered by numeric value, and interoperate with plain
+    integers in comparisons.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, int, "IPv4Address"]):
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= _MAX_IPV4:
+                raise AddressError(f"value out of range: {value}")
+            self._value = value
+        elif isinstance(value, str):
+            self._value = parse_ipv4(value)
+        else:
+            raise AddressError(f"cannot build address from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The address as a 32-bit integer."""
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return format_ipv4(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        if isinstance(other, str):
+            try:
+                return self._value == parse_ipv4(other)
+            except AddressError:
+                return NotImplemented
+        return NotImplemented
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value < other._value
+        if isinstance(other, int):
+            return self._value < other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self._value + offset)
+
+    def __sub__(self, other: Union[int, "IPv4Address"]) -> Union[int, "IPv4Address"]:
+        if isinstance(other, IPv4Address):
+            return self._value - other._value
+        return IPv4Address(self._value - other)
+
+    def is_private(self) -> bool:
+        """True for RFC 1918 addresses (10/8, 172.16/12, 192.168/16)."""
+        v = self._value
+        return (
+            (v >> 24) == 10
+            or (v >> 20) == (172 << 4 | 1)  # 172.16.0.0/12
+            or (v >> 16) == (192 << 8 | 168)
+        )

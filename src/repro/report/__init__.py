@@ -1,0 +1,11 @@
+"""Paper-style table and distribution formatting for benches and examples."""
+
+from repro.report.design_report import generate_design_report
+from repro.report.tables import format_cdf, format_histogram, format_table
+
+__all__ = [
+    "format_cdf",
+    "format_histogram",
+    "format_table",
+    "generate_design_report",
+]

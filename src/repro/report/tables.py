@@ -1,0 +1,67 @@
+"""Minimal text rendering of tables, histograms, and CDFs.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; this module keeps that printing uniform and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    labels: Sequence[str], fractions: Sequence[float], title: str = "", width: int = 40
+) -> str:
+    """Render a labeled fraction histogram with text bars."""
+    lines = [title] if title else []
+    label_width = max((len(label) for label in labels), default=0)
+    for label, fraction in zip(labels, fractions):
+        bar = "#" * round(fraction * width)
+        lines.append(f"{label.rjust(label_width)}  {fraction:6.1%}  {bar}")
+    return "\n".join(lines)
+
+
+def format_cdf(values: Sequence[float], title: str = "", points: int = 10) -> str:
+    """Render a CDF as (x, F(x)) sample points."""
+    ordered = sorted(values)
+    lines = [title] if title else []
+    if not ordered:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    count = len(ordered)
+    for index, value in enumerate(ordered, start=1):
+        lines.append(f"  x={value:8.2f}  F={index / count:6.2%}")
+    return "\n".join(lines)
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """The (value, cumulative fraction) series of a CDF."""
+    ordered = sorted(values)
+    count = len(ordered)
+    return [(value, (index + 1) / count) for index, value in enumerate(ordered)]
+
+
+def fraction_at_least(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values ≥ threshold (the Figure 11 headline statistic)."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value >= threshold) / len(values)

@@ -1,0 +1,127 @@
+"""Route policy evaluation for the simulator.
+
+Policies act on individual :class:`~repro.routing.route.Route` objects
+(match → permit/deny, plus ``set`` actions), in contrast to the set-algebra
+view in :mod:`repro.core.reachability` which acts on whole prefix sets.
+Route maps can match on tags here, which is exactly the mechanism net5's
+designer used to avoid an IBGP mesh (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.ios.config import AccessList, RouteMap
+from repro.routing.route import Route
+
+
+def acl_permits_route(acl: AccessList, route: Route) -> bool:
+    """First-match evaluation of an ACL used as a route filter."""
+    for rule in acl.rules:
+        prefix = rule.source_prefix()
+        if prefix is None:
+            continue
+        if prefix.contains(route.prefix) or prefix == route.prefix:
+            return rule.action == "permit"
+        # IOS route filtering with a standard ACL matches the route's
+        # network address against the ACL entry.
+        if rule.matches_address(route.prefix.network):
+            return rule.action == "permit"
+    return False
+
+
+def prefix_list_permits_route(plist, route: Route) -> bool:
+    """First-match evaluation of an ``ip prefix-list`` against a route."""
+    return plist.permits(route.prefix)
+
+
+def apply_route_map(
+    route_map: RouteMap,
+    access_lists: Dict[str, AccessList],
+    route: Route,
+    prefix_lists: Optional[Dict[str, object]] = None,
+    community_lists: Optional[Dict[str, object]] = None,
+) -> Optional[Route]:
+    """Run a route through a route map: the transformed route, or ``None``.
+
+    Clauses are evaluated in sequence order; the first matching clause wins.
+    A clause with no match conditions matches everything.  An unmatched
+    route is denied (IOS semantics for redistribution route maps).
+    """
+    for clause in route_map.sorted_clauses():
+        if not _clause_matches(
+            clause, access_lists, route, prefix_lists or {}, community_lists or {}
+        ):
+            continue
+        if clause.action == "deny":
+            return None
+        updated = route
+        if clause.set_tag is not None:
+            updated = replace(updated, tag=clause.set_tag)
+        if clause.set_metric is not None:
+            updated = replace(updated, metric=clause.set_metric)
+        if clause.set_local_preference is not None:
+            updated = replace(updated, local_pref=clause.set_local_preference)
+        if clause.set_community is not None:
+            updated = replace(
+                updated,
+                communities=_apply_set_community(
+                    updated.communities, clause.set_community
+                ),
+            )
+        return updated
+    return None  # no clause matched: implicit deny
+
+
+def _apply_set_community(
+    existing: tuple, directive: str
+) -> tuple:
+    """IOS semantics: ``set community A B [additive]`` replaces the
+    communities unless ``additive`` is given; ``set community none`` clears."""
+    words = directive.split()
+    additive = "additive" in words
+    values = tuple(w for w in words if w not in ("additive", "none"))
+    if "none" in words:
+        return ()
+    if additive:
+        merged = list(existing)
+        for value in values:
+            if value not in merged:
+                merged.append(value)
+        return tuple(merged)
+    return values
+
+
+def _clause_matches(
+    clause,
+    access_lists: Dict[str, AccessList],
+    route: Route,
+    prefix_lists: Dict[str, object],
+    community_lists: Optional[Dict[str, object]] = None,
+) -> bool:
+    if clause.match_tags and route.tag not in clause.match_tags:
+        return False
+    if clause.match_communities:
+        community_lists = community_lists or {}
+        matched = False
+        for name in clause.match_communities:
+            clist = community_lists.get(name)
+            if clist is not None and clist.permits(route.communities):
+                matched = True
+                break
+        if not matched:
+            return False
+    if clause.match_prefix_lists:
+        for name in clause.match_prefix_lists:
+            plist = prefix_lists.get(name)
+            if plist is not None and prefix_list_permits_route(plist, route):
+                return True
+        return False
+    if clause.match_ip_address:
+        for acl_name in clause.match_ip_address:
+            acl = access_lists.get(str(acl_name))
+            if acl is not None and acl_permits_route(acl, route):
+                return True
+        return False
+    return True

@@ -1,0 +1,37 @@
+"""Synthetic configuration corpus generator.
+
+The paper's raw data — 8,035 production Cisco IOS configuration files — is
+proprietary and unobtainable, so this package synthesizes the corpus (see
+DESIGN.md §2 for the substitution argument).  It emits genuine IOS text via
+:mod:`repro.ios.serializer`, built from parameterized design templates:
+
+* :mod:`repro.synth.templates.enterprise` — textbook enterprise designs,
+* :mod:`repro.synth.templates.backbone` — textbook transit backbones,
+* :mod:`repro.synth.templates.tier2` — tier-2 ISPs with staging IGP
+  instances,
+* :mod:`repro.synth.templates.net5` — the compartmentalized EIGRP/BGP
+  design of §5.1/§6.1,
+* :mod:`repro.synth.templates.net15` — the reachability-restricted design
+  of §6.2,
+* :mod:`repro.synth.templates.hybrid` — randomized unclassifiable designs.
+
+Every generator returns ``(configs, NetworkSpec)`` where the spec carries
+the ground truth (design class, instance structure, external interfaces),
+so tests can verify the analyzer recovers the truth blindly from the
+serialized text.  :mod:`repro.synth.corpus` assembles the paper's
+31-network study set with the reported marginals.
+"""
+
+from repro.synth.addressing import AddressPool
+from repro.synth.builder import NetworkBuilder
+from repro.synth.corpus import CorpusNetwork, paper_corpus, repository_sizes
+from repro.synth.spec import NetworkSpec
+
+__all__ = [
+    "AddressPool",
+    "CorpusNetwork",
+    "NetworkBuilder",
+    "NetworkSpec",
+    "paper_corpus",
+    "repository_sizes",
+]

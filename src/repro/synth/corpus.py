@@ -1,0 +1,258 @@
+"""The 31-network study corpus (§4.2) and the 2,400-network repository.
+
+Composition mirrors the paper:
+
+* 4 backbone networks, 400–600 routers (mean ≈540), three built on POS and
+  one on HSSI/ATM (§7.2, §7.3);
+* 7 textbook enterprises, 19–101 routers, the largest splitting its 101
+  routers across two IGP instances (§7.1);
+* 20 unclassifiable networks, 4–1,750 routers (median 36), including net5
+  (881 routers), net15 (79 routers), two tier-2 ISPs with staging
+  instances, four giants (760, 881, 1430, 1750), and three networks with
+  no BGP at all;
+* three networks carry no packet filters (§5.3's 31 → 28);
+* per-network internal-filter shares spread so that more than 30 % of the
+  filtered networks apply at least 40 % of their rules internally
+  (Figure 11's knee).
+
+``scale`` shrinks every network proportionally so tests can run the whole
+pipeline quickly; benchmarks use ``scale=1.0``.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.model.network import Network
+from repro.synth.spec import NetworkSpec
+from repro.synth.templates.backbone import build_backbone
+from repro.synth.templates.enterprise import build_enterprise
+from repro.synth.templates.hybrid import build_hybrid
+from repro.synth.templates.net5 import build_net5
+from repro.synth.templates.net15 import build_net15
+from repro.synth.templates.tier2 import build_tier2
+
+
+@dataclass
+class CorpusNetwork:
+    """One generated network: lazy config generation and parsing."""
+
+    name: str
+    build: Callable[[], Tuple[Dict[str, str], NetworkSpec]]
+    _configs: Optional[Dict[str, str]] = field(default=None, repr=False)
+    _spec: Optional[NetworkSpec] = field(default=None, repr=False)
+    _network: Optional[Network] = field(default=None, repr=False)
+
+    def _ensure_built(self) -> None:
+        if self._configs is None:
+            self._configs, self._spec = self.build()
+
+    @property
+    def configs(self) -> Dict[str, str]:
+        self._ensure_built()
+        return self._configs
+
+    @property
+    def spec(self) -> NetworkSpec:
+        self._ensure_built()
+        return self._spec
+
+    def network(self) -> Network:
+        if self._network is None:
+            self._network = Network.from_configs(self.configs, name=self.name)
+        return self._network
+
+
+def _scaled(size: int, scale: float, minimum: int = 3) -> int:
+    return max(minimum, round(size * scale))
+
+
+#: (name, size, per-network internal filter share) for the filtered subset;
+#: shares chosen so >30% of the 28 filtered networks are at or above 40%.
+_HYBRID_ROWS: Tuple[Tuple[str, int, float, bool], ...] = (
+    # (name, routers, internal_filter_share, use_bgp)
+    ("net20", 4, 0.00, True),
+    ("net21", 6, 0.10, True),
+    ("net22", 8, 0.55, True),
+    ("net23", 12, 0.20, False),  # no BGP
+    ("net24", 16, 0.30, True),  # no filters (see _NO_FILTER_NETWORKS)
+    ("net25", 20, 0.65, True),
+    ("net26", 28, 0.05, False),  # no BGP
+    ("net27", 33, 0.42, True),  # no filters
+    ("net28", 35, 0.15, True),
+    ("net29", 36, 0.50, True),
+    ("net30", 36, 0.25, True),
+    ("net31", 48, 0.08, False),  # no BGP
+    ("net32", 60, 0.72, True),
+    ("net33", 760, 0.35, True),
+    ("net34", 1430, 0.12, True),
+    ("net35", 1750, 0.45, True),
+)
+
+_NO_FILTER_NETWORKS = frozenset({"net24", "net27", "net3"})
+
+_ENTERPRISE_ROWS: Tuple[Tuple[str, int, str, float], ...] = (
+    # (name, routers, igp, internal_filter_share)
+    ("net1", 19, "ospf", 0.10),
+    ("net2", 24, "eigrp", 0.45),
+    ("net3", 30, "ospf", 0.20),  # no filters
+    ("net4", 42, "eigrp", 0.02),
+    ("net6", 55, "ospf", 0.30),
+    ("net7", 70, "eigrp", 0.18),
+    ("net8", 101, "ospf", 0.60),
+)
+
+_BACKBONE_ROWS: Tuple[Tuple[str, int, str, float], ...] = (
+    ("net9", 400, "pos", 0.04),
+    ("net10", 540, "pos", 0.10),
+    ("net11", 580, "pos", 0.02),
+    ("net12", 600, "hssi-atm", 0.08),
+)
+
+_TIER2_ROWS: Tuple[Tuple[str, int, float], ...] = (
+    ("net13", 180, 0.22),
+    ("net14", 250, 0.46),
+)
+
+
+def build_corpus(scale: float = 1.0, seed: int = 2004) -> List[CorpusNetwork]:
+    """Construct the 31-network corpus (lazily; nothing is generated yet)."""
+    rng = random.Random(seed)
+    corpus: List[CorpusNetwork] = []
+    index = 0
+
+    def next_index() -> int:
+        nonlocal index
+        index += 1
+        return index
+
+    for name, size, igp, share in _ENTERPRISE_ROWS:
+        corpus.append(
+            CorpusNetwork(
+                name=name,
+                build=_enterprise_builder(
+                    name, next_index(), _scaled(size, scale), igp, share,
+                    with_filters=name not in _NO_FILTER_NETWORKS,
+                    seed=rng.randint(0, 2**31),
+                    two_instances=(name == "net8"),
+                ),
+            )
+        )
+    for name, size, flavor, share in _BACKBONE_ROWS:
+        corpus.append(
+            CorpusNetwork(
+                name=name,
+                build=_backbone_builder(
+                    name, next_index(), _scaled(size, scale, minimum=8), flavor,
+                    share, seed=rng.randint(0, 2**31),
+                ),
+            )
+        )
+    for name, size, share in _TIER2_ROWS:
+        corpus.append(
+            CorpusNetwork(
+                name=name,
+                build=_tier2_builder(
+                    name, next_index(), _scaled(size, scale, minimum=8), share,
+                    seed=rng.randint(0, 2**31),
+                ),
+            )
+        )
+    corpus.append(
+        CorpusNetwork(
+            name="net5",
+            build=functools.partial(build_net5, name="net5", scale=scale),
+        )
+    )
+    corpus.append(
+        CorpusNetwork(
+            name="net15",
+            build=functools.partial(build_net15, name="net15", scale=scale),
+        )
+    )
+    for name, size, share, use_bgp in _HYBRID_ROWS:
+        # Big managed networks shatter into many tiny per-site instances.
+        leaf_range = (1, 2) if size >= 100 else (1, 3)
+        corpus.append(
+            CorpusNetwork(
+                name=name,
+                build=_hybrid_builder(
+                    name, next_index(), _scaled(size, scale),
+                    share, use_bgp,
+                    with_filters=name not in _NO_FILTER_NETWORKS,
+                    seed=rng.randint(0, 2**31),
+                    leaf_range=leaf_range,
+                ),
+            )
+        )
+    assert len(corpus) == 31, f"corpus has {len(corpus)} networks, expected 31"
+    return corpus
+
+
+def _enterprise_builder(name, index, size, igp, share, with_filters, seed, two_instances):
+    return functools.partial(
+        build_enterprise,
+        name,
+        index,
+        size,
+        seed=seed,
+        igp=igp,
+        n_borders=2 if size >= 40 else 1,
+        n_igp_instances=2 if two_instances else 1,
+        internal_filter_share=share,
+        with_filters=with_filters,
+    )
+
+
+def _backbone_builder(name, index, size, flavor, share, seed):
+    return functools.partial(
+        build_backbone,
+        name,
+        index,
+        size,
+        seed=seed,
+        interface_flavor=flavor,
+        internal_filter_share=share,
+    )
+
+
+def _tier2_builder(name, index, size, share, seed):
+    return functools.partial(
+        build_tier2, name, index, size, seed=seed, internal_filter_share=share
+    )
+
+
+def _hybrid_builder(name, index, size, share, use_bgp, with_filters, seed, leaf_range):
+    return functools.partial(
+        build_hybrid,
+        name,
+        index,
+        size,
+        seed=seed,
+        use_bgp=use_bgp,
+        internal_filter_share=share,
+        with_filters=with_filters,
+        leaf_size_range=leaf_range,
+    )
+
+
+@functools.lru_cache(maxsize=4)
+def paper_corpus(scale: float = 1.0, seed: int = 2004) -> Tuple[CorpusNetwork, ...]:
+    """The memoized study corpus.  Generation is lazy per network; parsing
+    is cached per network, so repeated benchmark rounds are cheap."""
+    return tuple(build_corpus(scale=scale, seed=seed))
+
+
+def repository_sizes(count: int = 2400, seed: int = 42) -> List[int]:
+    """Sizes of the networks "known in this repository" (Figure 8's second
+    series): a small-skewed log-normal, most networks under 10 routers."""
+    rng = random.Random(seed)
+    sizes = []
+    for _ in range(count):
+        size = int(math.exp(rng.gauss(math.log(8.0), 1.5)))
+        sizes.append(max(1, min(size, 3000)))
+    return sizes

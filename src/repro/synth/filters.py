@@ -1,0 +1,78 @@
+"""Packet-filter placement for generated networks.
+
+Distributes a rule budget between edge (external-facing) and internal
+interfaces so that the network's internal-rule share lands on the
+requested value exactly — the knob behind Figure 11's CDF.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Tuple
+
+from repro.synth.builder import BuiltInterface, NetworkBuilder
+
+
+def place_filters(
+    builder: NetworkBuilder,
+    rng: random.Random,
+    internal_candidates: Iterable[Tuple[str, str]],
+    total_rules: int,
+    internal_share: float,
+) -> None:
+    """Attach packet filters totaling *total_rules* clauses.
+
+    ``internal_share`` of the clauses go to interfaces from
+    *internal_candidates* (``(router, interface)`` pairs); the rest go to
+    the builder's recorded external-facing interfaces.  If one side has no
+    candidate interfaces its budget shifts to the other side, keeping the
+    total (so a filterless side reads as 0% or 100% internal, as it would
+    in a real network).
+    """
+    internal = _dedup(internal_candidates)
+    edge = _dedup(builder.external_interfaces)
+    internal_budget = round(total_rules * internal_share)
+    edge_budget = total_rules - internal_budget
+    if not edge:
+        internal_budget += edge_budget
+        edge_budget = 0
+    if not internal:
+        edge_budget += internal_budget
+        internal_budget = 0
+    _spread(builder, rng, edge, edge_budget)
+    _spread(builder, rng, internal, internal_budget)
+
+
+def _dedup(pairs: Iterable[Tuple[str, str]]) -> List[Tuple[str, str]]:
+    seen = set()
+    result = []
+    for pair in pairs:
+        if pair not in seen:
+            seen.add(pair)
+            result.append(pair)
+    return result
+
+
+def _spread(
+    builder: NetworkBuilder,
+    rng: random.Random,
+    candidates: List[Tuple[str, str]],
+    budget: int,
+) -> None:
+    """Spread *budget* clauses across interfaces, one inbound and (if
+    needed) one outbound filter per interface, sized 3–47 clauses each
+    (the paper found a single 47-clause filter noteworthy)."""
+    if budget <= 0 or not candidates:
+        return
+    slots = [(pair, "in") for pair in candidates] + [(pair, "out") for pair in candidates]
+    rng.shuffle(slots)
+    index = 0
+    while budget > 0 and index < len(slots):
+        (router, iface_name), direction = slots[index]
+        index += 1
+        count = min(budget, rng.randint(3, 20))
+        if index >= len(slots):
+            count = budget  # last slot absorbs the remainder
+        budget -= count
+        handle = BuiltInterface(router=router, name=iface_name, prefix=None, address=None)
+        builder.add_packet_filter(handle, count, direction=direction)

@@ -1,0 +1,140 @@
+"""Census-shaping interface flavor and configuration boilerplate.
+
+Table 3's interface census (96,487 interfaces over 8,035 devices ≈ 12 per
+router) and Figure 4's file sizes (avg 270 lines) reflect a lot of
+configuration that has nothing to do with routing design: provisioning
+spares, legacy LAN ports, dial backup, and global service boilerplate.
+This module adds that mass — in a way that is *inert* for the analysis
+(extra interfaces are shutdown and unnumbered, so they form no links and
+are never external-facing candidates; boilerplate lines are outside the
+parser's modeled subset and are preserved verbatim).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.ios.config import InterfaceConfig
+from repro.synth.builder import NetworkBuilder
+
+#: Expected extra interfaces per router, shaped after Table 3's column.
+BASE_RATES: Dict[str, float] = {
+    "Serial": 5.2,
+    "FastEthernet": 2.0,
+    "ATM": 0.40,
+    "Ethernet": 0.28,
+    "Hssi": 0.15,
+    "GigabitEthernet": 0.15,
+    "TokenRing": 0.10,
+    "Dialer": 0.13,
+    "BRI": 0.10,
+    "Tunnel": 0.025,
+    "Port": 0.018,
+    "Async": 0.011,
+    "Virtual": 0.010,
+    "Channel": 0.006,
+    "CBR": 0.0017,
+    "Fddi": 0.0007,
+    "Multilink": 0.0005,
+    "Null": 0.00025,
+}
+
+#: Style adjustments applied multiplicatively / additively on the base.
+STYLE_OVERRIDES: Dict[str, Dict[str, float]] = {
+    "enterprise": {},
+    "legacy": {"TokenRing": 0.9, "Ethernet": 1.4, "BRI": 0.4, "Dialer": 0.5},
+    "atm-heavy": {"ATM": 1.6, "Serial": 3.0},
+    "backbone": {
+        "POS": 0.35,
+        "GigabitEthernet": 0.45,
+        "ATM": 0.5,
+        "TokenRing": 0.0,
+        "BRI": 0.0,
+        "Dialer": 0.0,
+        "Serial": 2.0,
+    },
+}
+
+
+def add_flavor_interfaces(
+    builder: NetworkBuilder, rng: random.Random, style: str = "enterprise"
+) -> None:
+    """Add shutdown, unnumbered interfaces to every router.
+
+    These model provisioning spares and non-IP ports: they appear in the
+    interface census and inflate file sizes, but carry no addresses so the
+    link/external analysis never sees them.
+    """
+    rates = dict(BASE_RATES)
+    rates.update(STYLE_OVERRIDES.get(style, {}))
+    for router in builder.routers:
+        for kind, rate in rates.items():
+            count = int(rate) + (1 if rng.random() < (rate - int(rate)) else 0)
+            for _ in range(count):
+                name = builder._next_interface_name(router, kind)
+                iface = InterfaceConfig(name=name, shutdown=True)
+                if kind == "Serial" and rng.random() < 0.3:
+                    iface.encapsulation = "frame-relay"
+                if rng.random() < 0.15:
+                    iface.description = f"spare-{rng.randint(100, 999)}"
+                builder.routers[router].interfaces[name] = iface
+
+
+_BOILERPLATE_FIXED = (
+    "version 12.2",
+    "service timestamps debug datetime msec",
+    "service timestamps log datetime msec",
+    "service password-encryption",
+    "no service pad",
+    "no ip domain-lookup",
+    "ip subnet-zero",
+    "ip classless",
+    "ip cef",
+    "no ip http server",
+    "no ip source-route",
+    "cdp run",
+    "clock timezone GMT 0",
+    "logging buffered 16384 debugging",
+    "no logging console",
+    "memory-size iomem 10",
+    "aaa new-model",
+    "scheduler allocate 20000 1000",
+    "alias exec sb show ip bgp summary",
+)
+
+
+def add_boilerplate(
+    builder: NetworkBuilder,
+    rng: random.Random,
+    min_lines: int = 70,
+    max_lines: int = 240,
+) -> None:
+    """Append global configuration boilerplate to every router.
+
+    All lines fall outside the parser's modeled subset, so they are carried
+    verbatim through parse/serialize cycles and simply make the file sizes
+    realistic (Figure 4's ~270-line average)."""
+    for router, config in builder.routers.items():
+        budget = rng.randint(min_lines, max_lines)
+        lines = list(_BOILERPLATE_FIXED[: min(budget, len(_BOILERPLATE_FIXED))])
+        serial = 0
+        while len(lines) < budget:
+            serial += 1
+            choice = serial % 7
+            host = f"10.{rng.randint(0, 254)}.{rng.randint(0, 254)}.{rng.randint(1, 254)}"
+            if choice == 0:
+                lines.append(f"ntp server {host}")
+            elif choice == 1:
+                lines.append(f"logging host {host}")
+            elif choice == 2:
+                lines.append(f"snmp-server host {host} public")
+            elif choice == 3:
+                lines.append(f"ip name-server {host}")
+            elif choice == 4:
+                lines.append(f"tacacs-server host {host}")
+            elif choice == 5:
+                lines.append(f"snmp-server community comm{rng.randint(10, 99)} RO")
+            else:
+                lines.append(f"ip domain-name site{serial}.example.net")
+        config.unmodeled_lines.extend(lines)

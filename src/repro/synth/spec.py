@@ -1,0 +1,43 @@
+"""Ground truth carried alongside each generated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.classify import DesignClass
+
+
+@dataclass
+class ExpectedInstance:
+    """One routing instance the generator intended to create."""
+
+    protocol: str
+    size: int  # number of participating routers
+    asn: Optional[int] = None
+    external: bool = False  # should be classified as inter-domain
+
+
+@dataclass
+class NetworkSpec:
+    """What the generator built — the label the analyzer must recover."""
+
+    name: str
+    design: DesignClass
+    router_count: int
+    expected_instances: List[ExpectedInstance] = field(default_factory=list)
+    external_interfaces: List[Tuple[str, str]] = field(default_factory=list)
+    internal_filter_fraction: Optional[float] = None
+    has_filters: bool = True
+    internal_as_count: int = 0
+    external_as_count: int = 0
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def instance_count(self) -> int:
+        return len(self.expected_instances)
+
+    def igp_instances(self) -> List[ExpectedInstance]:
+        return [inst for inst in self.expected_instances if inst.protocol != "bgp"]
+
+    def bgp_instances(self) -> List[ExpectedInstance]:
+        return [inst for inst in self.expected_instances if inst.protocol == "bgp"]

@@ -1,0 +1,19 @@
+"""Design templates: one module per routing-design pattern from the paper."""
+
+from repro.synth.templates.backbone import build_backbone
+from repro.synth.templates.enterprise import build_enterprise
+from repro.synth.templates.example_fig1 import build_example_networks
+from repro.synth.templates.hybrid import build_hybrid
+from repro.synth.templates.net5 import build_net5
+from repro.synth.templates.net15 import build_net15
+from repro.synth.templates.tier2 import build_tier2
+
+__all__ = [
+    "build_backbone",
+    "build_enterprise",
+    "build_example_networks",
+    "build_hybrid",
+    "build_net5",
+    "build_net15",
+    "build_tier2",
+]

@@ -1,0 +1,186 @@
+"""Textbook backbone (transit ISP) routing design (§3.1's right half, §7.1).
+
+Pattern: external routes are learned over many EBGP sessions at the edge
+and distributed to every router via IBGP; a single IGP instance carries
+only infrastructure routes; external routes are **never** redistributed
+into the IGP — the hallmark of the design.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.core.classify import DesignClass
+from repro.ios.config import NetworkStatement
+from repro.synth.addressing import NetworkAddressPlan
+from repro.synth.builder import NetworkBuilder
+from repro.synth.spec import ExpectedInstance, NetworkSpec
+
+#: Pools of public-looking peer AS numbers for backbone EBGP sessions.
+PEER_ASNS = tuple(range(9000, 9400))
+
+
+def build_backbone(
+    name: str,
+    index: int,
+    n_routers: int,
+    seed: int = 0,
+    pop_size: int = 8,
+    igp: str = "ospf",
+    ebgp_sessions_per_border: int = 6,
+    interface_flavor: str = "pos",
+    internal_filter_share: float = 0.05,
+    with_filters: bool = True,
+) -> Tuple[Dict[str, str], NetworkSpec]:
+    """Generate a textbook backbone network.
+
+    The topology is a ring of PoPs: each PoP has two core routers (linked
+    into the network-wide core ring) plus access/border routers.  Border
+    routers carry several EBGP sessions to distinct external ASs.
+    ``interface_flavor`` selects the long-haul link technology: ``pos``
+    (three of the paper's four backbones) or ``hssi-atm`` (the fourth).
+    """
+    rng = random.Random(seed)
+    plan = NetworkAddressPlan.standard(index)
+    builder = NetworkBuilder(plan, rng=rng)
+    local_as = [2828, 3561, 4323, 6461][index % 4]
+    core_kind = "POS" if interface_flavor == "pos" else "Hssi"
+    access_kind = "POS" if interface_flavor == "pos" else "ATM"
+
+    n_pops = max(2, n_routers // pop_size)
+    routers = []
+    pops = []
+    count = 0
+    for pop in range(n_pops):
+        members = []
+        for slot in range(pop_size):
+            if count >= n_routers:
+                break
+            router = f"{name}-p{pop}r{slot}"
+            builder.add_router(router)
+            members.append(router)
+            routers.append(router)
+            count += 1
+        if members:
+            pops.append(members)
+
+    process_id = 1
+    internal_ifaces = []
+
+    def cover(iface):
+        if igp == "ospf":
+            builder.cover_ospf(iface, process_id)
+        else:
+            builder.cover_eigrp(iface, process_id)
+        internal_ifaces.append(iface)
+
+    # Core ring between the first router of each PoP, plus intra-PoP star.
+    for pop_index, members in enumerate(pops):
+        next_members = pops[(pop_index + 1) % len(pops)]
+        end_a, end_b = builder.connect(members[0], next_members[0], kind=core_kind)
+        cover(end_a)
+        cover(end_b)
+        if len(members) > 1:
+            end_a, end_b = builder.connect(
+                members[0], members[1], kind=core_kind
+            )
+            cover(end_a)
+            cover(end_b)
+        for member in members[2:]:
+            hub = members[rng.randint(0, 1)] if len(members) > 1 else members[0]
+            end_a, end_b = builder.connect(hub, member, kind=access_kind)
+            cover(end_a)
+            cover(end_b)
+
+    # Loopbacks (covered by the IGP — infrastructure routes) and IBGP mesh.
+    loopbacks = {}
+    for router in routers:
+        loopback = builder.add_loopback(router)
+        loopbacks[router] = loopback
+        if igp == "ospf":
+            builder.cover_ospf(loopback, process_id)
+        else:
+            builder.cover_eigrp(loopback, process_id)
+    # A full IBGP mesh would need n^2 sessions; like real backbones, use a
+    # small set of route reflectors: RRs mesh among themselves, everyone
+    # else peers with every RR.
+    reflectors = [members[0] for members in pops[: max(2, len(pops) // 8)]]
+    for i, rr_a in enumerate(reflectors):
+        for rr_b in reflectors[i + 1:]:
+            builder.ibgp_session(loopbacks[rr_a], loopbacks[rr_b], local_as)
+    for router in routers:
+        if router in reflectors:
+            continue
+        for reflector in reflectors:
+            builder.ibgp_session(loopbacks[router], loopbacks[reflector], local_as)
+            rr_bgp = builder.routers[reflector].bgp_process
+            rr_bgp.neighbors[-1].route_reflector_client = True
+
+    # Border routers: the last router of each PoP peers with several
+    # external ASs.  No redistribution of BGP into the IGP, ever.
+    external_asns = set()
+    session_count = 0
+    from repro.net import Prefix as _Prefix  # noqa: PLC0415
+
+    bogon_entries = [
+        ("deny", _Prefix("10.0.0.0/8"), None, 32),
+        ("deny", _Prefix("172.16.0.0/12"), None, 32),
+        ("deny", _Prefix("192.168.0.0/16"), None, 32),
+        ("permit", _Prefix("0.0.0.0/0"), None, 24),
+    ]
+    for members in pops:
+        border = members[-1]
+        builder.add_prefix_list(border, "BOGON-IN", bogon_entries)
+        for peer_index in range(ebgp_sessions_per_border):
+            uplink = builder.add_external_link(border, kind="Serial")
+            peer_asn = PEER_ASNS[(session_count * 7 + peer_index) % len(PEER_ASNS)]
+            external_asns.add(peer_asn)
+            neighbor = builder.external_ebgp_session(uplink, local_as, peer_asn)
+            # Real backbones filter bogons and over-long prefixes inbound.
+            neighbor.prefix_list_in = "BOGON-IN"
+            session_count += 1
+        bgp = builder.routers[border].bgp_process
+        if not bgp.networks:
+            bgp.networks.append(
+                NetworkStatement(
+                    address=plan.loopbacks.prefix.network,
+                    mask=plan.loopbacks.prefix.netmask,
+                )
+            )
+
+    if with_filters:
+        from repro.synth.filters import place_filters  # noqa: PLC0415
+
+        place_filters(
+            builder, rng,
+            [(iface.router, iface.name) for iface in internal_ifaces],
+            total_rules=rng.randint(120, 400),
+            internal_share=internal_filter_share,
+        )
+
+    from repro.synth.flavor import add_boilerplate, add_flavor_interfaces  # noqa: PLC0415
+
+    add_flavor_interfaces(builder, rng, style="backbone")
+    add_boilerplate(builder, rng, min_lines=60, max_lines=200)
+
+    spec = NetworkSpec(
+        name=name,
+        design=DesignClass.BACKBONE,
+        router_count=len(routers),
+        internal_as_count=1,
+        external_as_count=len(external_asns),
+        has_filters=with_filters,
+        internal_filter_fraction=internal_filter_share if with_filters else None,
+        external_interfaces=list(builder.external_interfaces),
+    )
+    spec.expected_instances.append(
+        ExpectedInstance(protocol=igp, size=len(routers), external=False)
+    )
+    spec.expected_instances.append(
+        ExpectedInstance(protocol="bgp", size=len(routers), asn=local_as, external=True)
+    )
+    spec.notes["ebgp_external_sessions"] = session_count
+    return builder.serialize(), spec
+
+

@@ -1,0 +1,181 @@
+"""Textbook enterprise routing design (§3.1's left half, §7.1).
+
+Pattern: a small number of border routers speak EBGP to the provider(s),
+craft a few summary routes, and redistribute them into the IGP; every other
+router learns all its routes from the IGP.  This minimizes BGP
+configuration and avoids an IBGP mesh entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.core.classify import DesignClass
+from repro.net import Prefix
+from repro.synth.addressing import NetworkAddressPlan
+from repro.synth.builder import BuiltInterface, NetworkBuilder
+from repro.synth.spec import ExpectedInstance, NetworkSpec
+
+#: Public-looking provider AS numbers used by generated networks.
+PROVIDER_ASNS = (7018, 701, 1239, 3356, 2914, 6453, 3549, 1299)
+
+
+def build_enterprise(
+    name: str,
+    index: int,
+    n_routers: int,
+    seed: int = 0,
+    igp: str = "ospf",
+    n_borders: int = 1,
+    n_igp_instances: int = 1,
+    internal_filter_share: float = 0.2,
+    with_filters: bool = True,
+) -> Tuple[Dict[str, str], NetworkSpec]:
+    """Generate a textbook enterprise network.
+
+    Returns ``(configs, spec)`` where *configs* maps router name → IOS text.
+    """
+    if n_routers < n_borders + 1:
+        raise ValueError("need at least one interior router per enterprise")
+    rng = random.Random(seed)
+    plan = NetworkAddressPlan.standard(index)
+    builder = NetworkBuilder(plan, rng=rng)
+    local_as = 64512 + (index % 1000)
+
+    border_names = [f"{name}-border{i}" for i in range(n_borders)]
+    interior_count = n_routers - n_borders
+    interior_names = [f"{name}-r{i}" for i in range(interior_count)]
+    for router in border_names + interior_names:
+        builder.add_router(router)
+
+    # Split interior routers across the requested IGP instances; each
+    # instance is a hub-and-spoke tree rooted at its first router.
+    igp_groups = _split_groups(interior_names, n_igp_instances)
+    hubs = []
+    internal_ifaces = []
+    for group_index, group in enumerate(igp_groups):
+        process_id = 100 + group_index
+        hub = group[0]
+        hubs.append((hub, process_id))
+        for spoke in group[1:]:
+            end_a, end_b = builder.connect(hub, spoke, kind="Serial")
+            _cover(builder, end_a, igp, process_id)
+            _cover(builder, end_b, igp, process_id)
+            internal_ifaces.extend([end_a, end_b])
+            lan = builder.add_lan(spoke, kind="FastEthernet")
+            _cover(builder, lan, igp, process_id)
+            internal_ifaces.append(lan)
+        hub_lan = builder.add_lan(hub, kind="FastEthernet")
+        _cover(builder, hub_lan, igp, process_id)
+        internal_ifaces.append(hub_lan)
+
+    # Each border router connects to every hub and to one provider.
+    provider_asns = []
+    for border_index, border in enumerate(border_names):
+        for hub, process_id in hubs:
+            end_a, end_b = builder.connect(border, hub, kind="Serial")
+            _cover(builder, end_a, igp, process_id)
+            _cover(builder, end_b, igp, process_id)
+            internal_ifaces.extend([end_a, end_b])
+        uplink = builder.add_external_link(border, kind="Serial")
+        provider_asn = PROVIDER_ASNS[(index + border_index) % len(PROVIDER_ASNS)]
+        provider_asns.append(provider_asn)
+        builder.external_ebgp_session(uplink, local_as, provider_asn)
+        bgp = builder.routers[border].bgp_process
+
+        # Announce the internal space; accept a default plus provider blocks.
+        internal_block = plan.internal
+        bgp.networks.append(_network_statement(internal_block))
+
+        # The textbook enterprise move: summarize what BGP learned and
+        # inject it into the IGP at the border.
+        summary = Prefix(0, 0)
+        map_name = f"EXT-IN-{border_index}"
+        builder.add_route_map_permitting(border, map_name, [summary])
+        for hub, process_id in hubs:
+            target = _process_for(builder, border, igp, process_id)
+            builder.redistribute(
+                border, target, "bgp", source_id=local_as, route_map=map_name, metric=100
+            )
+            builder.redistribute(border, target, "connected")
+
+    # IBGP between borders so they agree on external routes.
+    if n_borders > 1:
+        loopbacks = [builder.add_loopback(border) for border in border_names]
+        for i, lb_a in enumerate(loopbacks):
+            for lb_b in loopbacks[i + 1:]:
+                builder.ibgp_session(lb_a, lb_b, local_as)
+
+    if with_filters:
+        from repro.synth.filters import place_filters  # noqa: PLC0415
+
+        place_filters(
+            builder, rng,
+            [(iface.router, iface.name) for iface in internal_ifaces],
+            total_rules=rng.randint(40, 160),
+            internal_share=internal_filter_share,
+        )
+
+    from repro.synth.flavor import add_boilerplate, add_flavor_interfaces  # noqa: PLC0415
+
+    add_flavor_interfaces(
+        builder, rng, style=rng.choice(("enterprise", "legacy", "atm-heavy"))
+    )
+    add_boilerplate(builder, rng)
+
+    spec = NetworkSpec(
+        name=name,
+        design=DesignClass.ENTERPRISE,
+        router_count=n_routers,
+        internal_as_count=1,
+        external_as_count=len(set(provider_asns)),
+        has_filters=with_filters,
+        internal_filter_fraction=internal_filter_share if with_filters else None,
+        external_interfaces=list(builder.external_interfaces),
+    )
+    for group_index, group in enumerate(igp_groups):
+        spec.expected_instances.append(
+            ExpectedInstance(
+                protocol=igp, size=len(group) + n_borders, external=False
+            )
+        )
+    spec.expected_instances.append(
+        ExpectedInstance(protocol="bgp", size=n_borders, asn=local_as, external=True)
+    )
+    return builder.serialize(), spec
+
+
+def _split_groups(items, n_groups):
+    n_groups = max(1, min(n_groups, len(items)))
+    groups = [[] for _ in range(n_groups)]
+    for position, item in enumerate(items):
+        groups[position % n_groups].append(item)
+    return [group for group in groups if group]
+
+
+def _cover(builder: NetworkBuilder, iface: BuiltInterface, igp: str, process_id: int):
+    if igp == "ospf":
+        builder.cover_ospf(iface, process_id)
+    elif igp == "eigrp":
+        builder.cover_eigrp(iface, process_id)
+    elif igp == "rip":
+        builder.cover_rip(iface)
+    else:
+        raise ValueError(f"unsupported IGP {igp!r}")
+
+
+def _process_for(builder: NetworkBuilder, router: str, igp: str, process_id: int):
+    if igp == "ospf":
+        return builder.ensure_ospf(router, process_id)
+    if igp == "eigrp":
+        return builder.ensure_eigrp(router, process_id)
+    return builder.ensure_rip(router)
+
+
+def _network_statement(prefix: Prefix):
+    from repro.ios.config import NetworkStatement  # noqa: PLC0415
+
+    return NetworkStatement(address=prefix.network, mask=prefix.netmask)
+
+

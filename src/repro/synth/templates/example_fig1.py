@@ -1,0 +1,122 @@
+"""The running example of the paper: Figures 1, 2, 5, 6, and 7.
+
+Routers R1–R3 form a small enterprise; R4–R6 are part of a transit
+backbone; R7 is another customer of the backbone whose configuration is
+not in the data set (external).  The routing design matches the paper:
+
+* enterprise: OSPF instance "128" spans R1–R3; a second, single-router
+  OSPF instance "64" covers R2's LAN; R2 runs BGP AS 64780, peers EBGP
+  with R6, and redistributes BGP into OSPF (the enterprise hallmark);
+* backbone: one OSPF instance spans R4–R6 for infrastructure routes, an
+  IBGP mesh in AS 12762 distributes external routes, R4 peers EBGP with
+  the absent R7, and external routes are never redistributed into OSPF.
+
+Analyzed as one configuration set, this produces exactly the five routing
+instances of Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ios.config import NetworkStatement
+from repro.net import Prefix
+from repro.synth.addressing import NetworkAddressPlan
+from repro.synth.builder import NetworkBuilder
+
+ENTERPRISE_AS = 64780
+BACKBONE_AS = 12762
+CUSTOMER_AS = 64920  # R7's AS
+
+
+def build_example_networks() -> Tuple[Dict[str, str], Dict[str, object]]:
+    """Build the Figure 1 example.  Returns ``(configs, meta)``.
+
+    ``meta`` records the designer's intent for the benches:
+    ``enterprise_routers``, ``backbone_routers``, and the expected instance
+    structure (protocol, sorted router tuple) of Figure 6.
+    """
+    plan = NetworkAddressPlan.standard(0)
+    builder = NetworkBuilder(plan)
+    for router in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        builder.add_router(router)
+
+    # --- enterprise side -------------------------------------------------
+    # OSPF instance "128": serial links R1-R2 and R2-R3 plus stub LANs.
+    link12_a, link12_b = builder.connect("R1", "R2", kind="Serial")
+    builder.cover_ospf(link12_a, 128, area="11")
+    builder.cover_ospf(link12_b, 128, area="11")
+    link23_a, link23_b = builder.connect("R2", "R3", kind="Serial")
+    builder.cover_ospf(link23_a, 128, area="11")
+    builder.cover_ospf(link23_b, 128, area="11")
+    lan1 = builder.add_lan("R1", kind="Ethernet")
+    builder.cover_ospf(lan1, 128, area="11")
+    lan3 = builder.add_lan("R3", kind="Ethernet")
+    builder.cover_ospf(lan3, 128, area="11")
+
+    # OSPF instance "64": R2's own LAN, a separate single-router instance.
+    lan2 = builder.add_lan("R2", kind="Ethernet")
+    builder.cover_ospf(lan2, 64, area="0")
+
+    # --- backbone side ----------------------------------------------------
+    # OSPF infrastructure instance across R4-R6 (ring) plus loopbacks.
+    backbone_pairs = (("R4", "R5"), ("R5", "R6"), ("R4", "R6"))
+    for a, b in backbone_pairs:
+        end_a, end_b = builder.connect(a, b, kind="Hssi")
+        builder.cover_ospf(end_a, 1, area="0")
+        builder.cover_ospf(end_b, 1, area="0")
+    loopbacks = {}
+    for router in ("R4", "R5", "R6"):
+        loopback = builder.add_loopback(router)
+        loopbacks[router] = loopback
+        builder.cover_ospf(loopback, 1, area="0")
+
+    # IBGP mesh in AS 12762.
+    builder.ibgp_session(loopbacks["R4"], loopbacks["R5"], BACKBONE_AS)
+    builder.ibgp_session(loopbacks["R5"], loopbacks["R6"], BACKBONE_AS)
+    builder.ibgp_session(loopbacks["R4"], loopbacks["R6"], BACKBONE_AS)
+
+    # --- enterprise <-> backbone peering (R2 <-> R6) ----------------------
+    peer_a, peer_b = builder.connect("R2", "R6", kind="Hssi")
+    builder.ebgp_session(peer_a, peer_b, ENTERPRISE_AS, BACKBONE_AS)
+
+    # The enterprise hallmark: BGP summaries injected into both OSPF
+    # instances at the border router; the enterprise LAN announced out.
+    ext_map = builder.add_route_map_permitting("R2", "EXT-SUMMARY", [Prefix(0, 0)])
+    builder.redistribute(
+        "R2", builder.ensure_ospf("R2", 128), "bgp", source_id=ENTERPRISE_AS,
+        route_map="EXT-SUMMARY", metric=1,
+    )
+    builder.redistribute(
+        "R2", builder.ensure_ospf("R2", 64), "bgp", source_id=ENTERPRISE_AS,
+        route_map="EXT-SUMMARY", metric=1,
+    )
+    builder.redistribute("R2", builder.routers["R2"].bgp_process, "ospf", source_id=64)
+    builder.redistribute("R2", builder.ensure_ospf("R2", 128), "connected")
+
+    # --- backbone <-> R7 (customer whose config is absent) ----------------
+    r7_link = builder.add_external_link("R4", kind="Serial")
+    builder.external_ebgp_session(r7_link, BACKBONE_AS, CUSTOMER_AS)
+    r4_bgp = builder.routers["R4"].bgp_process
+    r4_bgp.networks.append(
+        NetworkStatement(
+            address=plan.loopbacks.prefix.network,
+            mask=plan.loopbacks.prefix.netmask,
+        )
+    )
+
+    meta = {
+        "enterprise_routers": ("R1", "R2", "R3"),
+        "backbone_routers": ("R4", "R5", "R6"),
+        "external_router": "R7",
+        "expected_instances": [
+            ("ospf", ("R1", "R2", "R3")),  # instance "128"
+            ("ospf", ("R2",)),  # instance "64"
+            ("ospf", ("R4", "R5", "R6")),  # backbone IGP
+            ("bgp", ("R2",)),  # AS 64780
+            ("bgp", ("R4", "R5", "R6")),  # AS 12762
+        ],
+        "enterprise_as": ENTERPRISE_AS,
+        "backbone_as": BACKBONE_AS,
+    }
+    return builder.serialize(), meta

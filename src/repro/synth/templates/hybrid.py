@@ -1,0 +1,322 @@
+"""Randomized "unclassifiable" routing designs (§7.1's remaining 20).
+
+These model the managed-enterprise reality behind the paper's numbers: a
+core compartment plus many small leaf compartments, each its own routing
+instance, glued to the core by whichever mechanism the (synthetic) designer
+happened to pick — a redistribution router sitting in both instances, an
+EBGP session used *inside* the network, or plain static routes.  A tunable
+fraction of leaf instances face external customers directly (IGP-as-EGP),
+and a tunable number of borders speak EBGP to the outside.  Three corpus
+networks use no BGP at all, as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.classify import DesignClass
+from repro.net import Prefix
+from repro.synth.addressing import NetworkAddressPlan
+from repro.synth.builder import BuiltInterface, NetworkBuilder
+from repro.synth.spec import ExpectedInstance, NetworkSpec
+
+#: Leaf IGP protocol mix, shaped after Table 1 (EIGRP > OSPF > RIP).
+PROTOCOL_WEIGHTS = (("eigrp", 0.55), ("ospf", 0.33), ("rip", 0.12))
+
+
+def _pick_protocol(rng: random.Random) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for protocol, weight in PROTOCOL_WEIGHTS:
+        cumulative += weight
+        if roll < cumulative:
+            return protocol
+    return "eigrp"
+
+
+def build_hybrid(
+    name: str,
+    index: int,
+    n_routers: int,
+    seed: int = 0,
+    use_bgp: bool = True,
+    leaf_size_range: Tuple[int, int] = (1, 4),
+    p_leaf_external: float = 0.05,
+    internal_filter_share: float = 0.35,
+    with_filters: bool = True,
+    n_borders: Optional[int] = None,
+    external_sessions_per_border: Tuple[int, int] = (1, 3),
+) -> Tuple[Dict[str, str], NetworkSpec]:
+    """Generate an unclassifiable hybrid network of *n_routers* routers."""
+    rng = random.Random(seed)
+    plan = NetworkAddressPlan.standard(index)
+    builder = NetworkBuilder(plan, rng=rng)
+    core_asn = 65100 + (index % 400)
+
+    core_size = max(2, min(n_routers // 4, 40))
+    core_protocol = _pick_protocol(rng)
+    core_id = 1
+    core_names = [f"{name}-core{i}" for i in range(core_size)]
+    internal_ifaces: List[BuiltInterface] = []
+
+    for router in core_names:
+        builder.add_router(router)
+    for i in range(len(core_names) - 1):
+        end_a, end_b = builder.connect(core_names[i], core_names[i + 1], kind="Serial")
+        _cover(builder, end_a, core_protocol, core_id)
+        _cover(builder, end_b, core_protocol, core_id)
+        internal_ifaces.extend([end_a, end_b])
+
+    expected: List[ExpectedInstance] = [
+        ExpectedInstance(protocol=core_protocol, size=core_size, external=False)
+    ]
+
+    # Leaves: small compartments, each its own instance.
+    remaining = n_routers - core_size
+    leaf_index = 0
+    next_id = 100
+    ebgp_intra_sessions = 0
+    while remaining > 0:
+        leaf_size = min(remaining, rng.randint(*leaf_size_range))
+        protocol = _pick_protocol(rng)
+        leaf_names = [f"{name}-s{leaf_index}r{i}" for i in range(leaf_size)]
+        for router in leaf_names:
+            builder.add_router(router)
+        for i in range(leaf_size - 1):
+            end_a, end_b = builder.connect(leaf_names[i], leaf_names[i + 1], kind="Serial")
+            _cover(builder, end_a, protocol, next_id)
+            _cover(builder, end_b, protocol, next_id)
+            internal_ifaces.extend([end_a, end_b])
+        lan = builder.add_lan(leaf_names[0], kind="FastEthernet", length=26)
+        _cover(builder, lan, protocol, next_id)
+        internal_ifaces.append(lan)
+
+        style = rng.choice(
+            # EBGP-as-intra-domain glue is the rare, noteworthy choice
+            # (~10% of all EBGP sessions in the paper).
+            ("redistribution",) * 8 + ("ebgp",) + ("static",) * 7
+        )
+        if protocol == "rip" or (style == "ebgp" and not use_bgp):
+            # RIP allows one process per router, so redistribution glue on a
+            # shared core router would merge separate RIP leaves; use static.
+            style = "static" if protocol == "rip" else "static"
+        core_router = rng.choice(core_names)
+        _glue_leaf(
+            builder, leaf_names[0], core_router,
+            protocol, next_id, core_protocol, core_id,
+            style, core_asn, next_id, internal_ifaces,
+        )
+        if style == "ebgp":
+            ebgp_intra_sessions += 1
+
+        external = rng.random() < p_leaf_external
+        if external:
+            customer = builder.add_external_link(leaf_names[0], kind="Serial")
+            _cover(builder, customer, protocol, next_id)
+
+        instance_size = leaf_size + (1 if style == "redistribution" else 0)
+        expected.append(
+            ExpectedInstance(protocol=protocol, size=instance_size, external=external)
+        )
+        if style == "ebgp":
+            expected.append(
+                ExpectedInstance(
+                    protocol="bgp", size=1, asn=_leaf_asn(next_id), external=False
+                )
+            )
+        remaining -= leaf_size
+        leaf_index += 1
+        next_id += 1
+
+    # Borders with external EBGP sessions (all in the shared core AS).
+    external_asns = set()
+    ebgp_inter_sessions = 0
+    border_routers: List[str] = []
+    if not use_bgp:
+        # BGP-free networks still connect somewhere: static default routes
+        # over one or two provider uplinks.
+        for uplink_index in range(min(2, core_size)):
+            border = core_names[uplink_index]
+            uplink = builder.add_external_link(border, kind="Serial")
+            far_end = builder.external_neighbor_address(uplink)
+            builder.add_static_route(border, Prefix(0, 0), far_end)
+            core_process = _process(builder, border, core_protocol, core_id)
+            if not any(
+                redist.source_protocol == "static"
+                for redist in core_process.redistributes
+            ):
+                builder.redistribute(border, core_process, "static", metric=800)
+    if use_bgp:
+        if n_borders is None:
+            n_borders = max(1, min(6, n_routers // 40))
+        for border_index in range(n_borders):
+            border = core_names[border_index % len(core_names)]
+            if border not in border_routers:
+                border_routers.append(border)
+            for _session in range(rng.randint(*external_sessions_per_border)):
+                uplink = builder.add_external_link(border, kind="Serial")
+                peer_asn = 4000 + (index * 17 + border_index * 5 + _session) % 30000
+                external_asns.add(peer_asn)
+                builder.external_ebgp_session(uplink, core_asn, peer_asn)
+                ebgp_inter_sessions += 1
+            bgp = builder.routers[border].bgp_process
+            core_process = _process(builder, border, core_protocol, core_id)
+            builder.redistribute(
+                border, core_process, "bgp", source_id=core_asn, metric=500
+            )
+            builder.redistribute(
+                border, bgp, core_protocol,
+                source_id=None if core_protocol == "rip" else core_id,
+            )
+
+    # Join every BGP-speaking core router into one instance with IBGP.
+    bgp_cores = [
+        router for router in core_names
+        if builder.routers[router].bgp_process is not None
+    ]
+    if len(bgp_cores) > 1:
+        loopbacks = {router: builder.add_loopback(router) for router in bgp_cores}
+        anchor = bgp_cores[0]
+        for router in bgp_cores[1:]:
+            builder.ibgp_session(loopbacks[anchor], loopbacks[router], core_asn)
+    if bgp_cores:
+        expected.append(
+            ExpectedInstance(
+                protocol="bgp",
+                size=len(bgp_cores),
+                asn=core_asn,
+                external=bool(border_routers),
+            )
+        )
+
+    if with_filters:
+        from repro.synth.filters import place_filters  # noqa: PLC0415
+
+        place_filters(
+            builder, rng,
+            [(iface.router, iface.name) for iface in internal_ifaces],
+            total_rules=rng.randint(60, 300),
+            internal_share=internal_filter_share,
+        )
+
+    from repro.synth.flavor import add_boilerplate, add_flavor_interfaces  # noqa: PLC0415
+
+    add_flavor_interfaces(
+        builder, rng,
+        style=rng.choice(("enterprise", "enterprise", "legacy", "atm-heavy")),
+    )
+    add_boilerplate(builder, rng)
+
+    spec = NetworkSpec(
+        name=name,
+        design=DesignClass.UNCLASSIFIABLE,
+        router_count=len(builder.routers),
+        internal_as_count=len({e.asn for e in expected if e.protocol == "bgp"}),
+        external_as_count=len(external_asns),
+        has_filters=with_filters,
+        internal_filter_fraction=internal_filter_share if with_filters else None,
+        external_interfaces=list(builder.external_interfaces),
+        expected_instances=expected,
+    )
+    spec.notes["ebgp_intra_sessions"] = ebgp_intra_sessions
+    spec.notes["ebgp_inter_sessions"] = ebgp_inter_sessions
+    return builder.serialize(), spec
+
+
+def _leaf_asn(leaf_id: int) -> int:
+    return 64512 + (leaf_id * 3) % 900
+
+
+def _cover(builder: NetworkBuilder, iface: BuiltInterface, protocol: str, pid: int):
+    if protocol == "ospf":
+        builder.cover_ospf(iface, pid)
+    elif protocol == "eigrp":
+        builder.cover_eigrp(iface, pid)
+    else:
+        builder.cover_rip(iface)
+
+
+def _process(builder: NetworkBuilder, router: str, protocol: str, pid: int):
+    if protocol == "ospf":
+        return builder.ensure_ospf(router, pid)
+    if protocol == "eigrp":
+        return builder.ensure_eigrp(router, pid)
+    return builder.ensure_rip(router)
+
+
+def _glue_leaf(
+    builder: NetworkBuilder,
+    leaf_router: str,
+    core_router: str,
+    leaf_protocol: str,
+    leaf_id: int,
+    core_protocol: str,
+    core_id: int,
+    style: str,
+    core_asn: int,
+    leaf_seq: int,
+    internal_ifaces: List[BuiltInterface],
+) -> None:
+    """Attach a leaf compartment to the core via the chosen mechanism."""
+    end_leaf, end_core = builder.connect(leaf_router, core_router, kind="Serial")
+    internal_ifaces.extend([end_leaf, end_core])
+
+    if style == "redistribution":
+        # The core router joins the leaf instance on this link and
+        # redistributes both ways (it is the +1 in the instance size).
+        # Only the *leaf* process covers the glue link on both ends; the
+        # core instance's own process never touches it, so the instances
+        # stay distinct even when both run the same protocol.
+        _cover(builder, end_leaf, leaf_protocol, leaf_id)
+        _cover(builder, end_core, leaf_protocol, leaf_id)
+        leaf_side = _process(builder, core_router, leaf_protocol, leaf_id)
+        core_side = _process(builder, core_router, core_protocol, core_id)
+        builder.redistribute(
+            core_router, core_side, leaf_protocol,
+            source_id=None if leaf_protocol == "rip" else leaf_id,
+            metric=1000,
+        )
+        builder.redistribute(
+            core_router, leaf_side, core_protocol,
+            source_id=None if core_protocol == "rip" else core_id,
+            metric=1000,
+        )
+    elif style == "ebgp":
+        # EBGP used intra-network: leaf border gets a private AS, session
+        # over the glue link to the core AS.  No IGP covers the glue link
+        # (the BGP session runs over the link addresses directly), so a
+        # same-protocol leaf can never fuse with the core instance.
+        leaf_asn = _leaf_asn(leaf_seq)
+        builder.ebgp_session(end_leaf, end_core, leaf_asn, core_asn)
+        leaf_bgp = builder.routers[leaf_router].bgp_process
+        leaf_igp = _process(builder, leaf_router, leaf_protocol, leaf_id)
+        builder.redistribute(
+            leaf_router, leaf_bgp, leaf_protocol,
+            source_id=None if leaf_protocol == "rip" else leaf_id,
+        )
+        builder.redistribute(leaf_router, leaf_igp, "bgp", source_id=leaf_asn)
+        core_bgp = builder.routers[core_router].bgp_process
+        core_igp = _process(builder, core_router, core_protocol, core_id)
+        builder.redistribute(
+            core_router, core_bgp, core_protocol,
+            source_id=None if core_protocol == "rip" else core_id,
+        )
+        builder.redistribute(core_router, core_igp, "bgp", source_id=core_asn)
+    else:  # static
+        # Static glue: the leaf's process may cover its own end (the glue
+        # subnet becomes a leaf route), but the core side stays uncovered so
+        # no same-protocol adjacency can form; the core learns the leaf via
+        # a static route redistributed into its IGP.
+        _cover(builder, end_leaf, leaf_protocol, leaf_id)
+        builder.add_static_route(
+            core_router, builder.plan.lans.prefix, end_leaf.address
+        )
+        builder.add_static_route(leaf_router, Prefix(0, 0), end_core.address)
+        core_side = _process(builder, core_router, core_protocol, core_id)
+        if not any(
+            redist.source_protocol == "static" for redist in core_side.redistributes
+        ):
+            builder.redistribute(core_router, core_side, "static", metric=1000)
+
+

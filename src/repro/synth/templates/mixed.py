@@ -1,0 +1,98 @@
+"""Mixed-vendor network: JunOS core, IOS edge.
+
+Real operator networks mix vendors; the paper's framework is vendor-neutral
+(§2: "the granularity and type of information they contain are very
+similar").  This template emits a network whose core routers are serialized
+in the JunOS dialect and whose access routers are Cisco IOS — the analyzer
+sees one coherent design.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.core.classify import DesignClass
+from repro.ios.serializer import serialize_config
+from repro.junos.serializer import serialize_junos_config
+from repro.synth.addressing import NetworkAddressPlan
+from repro.synth.builder import NetworkBuilder
+from repro.synth.spec import ExpectedInstance, NetworkSpec
+
+
+def build_mixed(
+    name: str,
+    index: int,
+    n_routers: int = 12,
+    seed: int = 0,
+    core_size: int = 4,
+) -> Tuple[Dict[str, str], NetworkSpec]:
+    """Generate a mixed-vendor network (JunOS core ring + IOS access)."""
+    rng = random.Random(seed)
+    plan = NetworkAddressPlan.standard(index)
+    builder = NetworkBuilder(plan, rng=rng)
+    local_as = 64700 + (index % 100)
+
+    core_size = max(2, min(core_size, n_routers - 1))
+    core = [f"{name}-core{i}" for i in range(core_size)]
+    access = [f"{name}-acc{i}" for i in range(n_routers - core_size)]
+    for router in core + access:
+        builder.add_router(router)
+
+    # Core ring on POS links, one OSPF instance, IBGP mesh via loopbacks.
+    for i in range(core_size):
+        end_a, end_b = builder.connect(core[i], core[(i + 1) % core_size], kind="POS")
+        builder.cover_ospf(end_a, 1)
+        builder.cover_ospf(end_b, 1)
+    loopbacks = {}
+    for router in core:
+        loopback = builder.add_loopback(router)
+        loopbacks[router] = loopback
+        builder.cover_ospf(loopback, 1)
+    for i, router_a in enumerate(core):
+        for router_b in core[i + 1:]:
+            builder.ibgp_session(loopbacks[router_a], loopbacks[router_b], local_as)
+
+    # Access routers (IOS) hang off the core, joining the same OSPF.
+    for access_index, router in enumerate(access):
+        hub = core[access_index % core_size]
+        end_a, end_b = builder.connect(hub, router, kind="Serial")
+        builder.cover_ospf(end_a, 1)
+        builder.cover_ospf(end_b, 1)
+        lan = builder.add_lan(router, kind="FastEthernet")
+        builder.cover_ospf(lan, 1)
+
+    # One external peering on the first core router.
+    uplink = builder.add_external_link(core[0], kind="Serial")
+    builder.external_ebgp_session(uplink, local_as, 7018)
+
+    configs = {}
+    for router, config in builder.routers.items():
+        if router in core:
+            configs[router] = serialize_junos_config(config)
+        else:
+            configs[router] = serialize_config(config)
+
+    # JunOS interface names come back unit-qualified; translate the ground
+    # truth for external interfaces on JunOS routers accordingly.
+    external_truth = [
+        (router, iface if ("." in iface or router not in core) else f"{iface}.0")
+        for router, iface in builder.external_interfaces
+    ]
+
+    spec = NetworkSpec(
+        name=name,
+        design=DesignClass.UNCLASSIFIABLE,
+        router_count=n_routers,
+        internal_as_count=1,
+        external_as_count=1,
+        has_filters=False,
+        external_interfaces=external_truth,
+        expected_instances=[
+            ExpectedInstance(protocol="ospf", size=n_routers),
+            ExpectedInstance(protocol="bgp", size=core_size, asn=local_as, external=True),
+        ],
+    )
+    spec.notes["junos_routers"] = core
+    spec.notes["ios_routers"] = access
+    return configs, spec

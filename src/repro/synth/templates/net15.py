@@ -1,0 +1,226 @@
+"""net15: controlled external reachability (§6.2, Figure 12, Table 2).
+
+A 79-router, 6-instance network in which routing policy deliberately
+restricts reachability:
+
+* hosts have **no** reachability to the Internet at large — only the
+  routes named by policies A1, A3, A5 (two /16s and three /24s in total)
+  are allowed in, and **no default route** is permitted;
+* the two sites cannot reach each other at all: the intersection of the
+  route policies controlling what leaves one site and what enters the
+  other is the empty set (A2∩A5 = A2∩A3 = A4∩A1 = ∅);
+* internal host blocks (AB2 on the left, AB4 on the right) are announced
+  out, so the public ASs *may* deliver packets inward that the hosts can
+  never answer — the paper's security observation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.core.classify import DesignClass
+from repro.net import Prefix
+from repro.synth.addressing import AddressPool, NetworkAddressPlan
+from repro.synth.builder import NetworkBuilder
+from repro.synth.spec import ExpectedInstance, NetworkSpec
+
+PUBLIC_AS_LEFT = 25286
+PUBLIC_AS_RIGHT = 12762
+
+#: The external address blocks of Table 2 ("two /16 networks and 3 /24s").
+AB0 = [Prefix("198.18.0.0/16")]
+AB1 = [Prefix("198.19.0.0/16")]
+AB3 = [Prefix("203.0.0.0/24"), Prefix("203.0.1.0/24"), Prefix("203.0.2.0/24")]
+
+
+def build_net15(
+    name: str = "net15",
+    index: int = 15,
+    scale: float = 1.0,
+    seed: int = 155,
+    with_filters: bool = True,
+) -> Tuple[Dict[str, str], NetworkSpec]:
+    """Generate net15.  At ``scale=1.0`` the network has 79 routers."""
+    rng = random.Random(seed)
+
+    def scaled(size: int, minimum: int = 2) -> int:
+        return max(minimum, round(size * scale))
+
+    master = AddressPool(Prefix("10.64.0.0/12"))
+    external = AddressPool(Prefix("192.64.0.0/14"))
+    left_plan = _site_plan(master, external)
+    right_plan = _site_plan(master, external)
+    builder = NetworkBuilder(left_plan, rng=rng)
+
+    # AB2 and AB4 are the two sites' host LAN blocks.
+    ab2 = [left_plan.lans.prefix]
+    ab4 = [right_plan.lans.prefix]
+
+    # Table 2: the contents of each policy.
+    policy_contents = {
+        "A1": AB0 + AB1,
+        "A2": ab2,
+        "A3": AB0 + AB3,
+        "A4": ab4,
+        "A5": AB0,
+    }
+
+    # --- left site: OSPF instance 1 + BGP instance 2 ----------------------
+    left_size = scaled(35, 4)
+    left_names = [f"{name}-l{i}" for i in range(left_size)]
+    left_border = left_names[0]
+    _build_site(builder, left_plan, left_names, ospf_pid=1, rng=rng)
+
+    builder.plan = left_plan
+    _build_border(
+        builder,
+        border=left_border,
+        local_asn=64701,
+        public_asn=PUBLIC_AS_LEFT,
+        ospf_pid=1,
+        policy_in=("A1", policy_contents["A1"]),
+        policy_out=("A2", policy_contents["A2"]),
+    )
+
+    # --- right site: OSPF instance 6 + BGP instances 3, 4, 5 --------------
+    right_size = scaled(44, 5)
+    right_names = [f"{name}-r{i}" for i in range(right_size)]
+    right_borders = right_names[:3]
+    builder.plan = right_plan
+    _build_site(builder, right_plan, right_names, ospf_pid=2, rng=rng)
+
+    border_specs = [
+        (right_borders[0], 64710, ("A3", policy_contents["A3"])),
+        (right_borders[1], 64720, ("A5", policy_contents["A5"])),
+        (right_borders[2], 64730, ("A5", policy_contents["A5"])),
+    ]
+    for border, asn, policy_in in border_specs:
+        _build_border(
+            builder,
+            border=border,
+            local_asn=asn,
+            public_asn=PUBLIC_AS_RIGHT,
+            ospf_pid=2,
+            policy_in=policy_in,
+            policy_out=("A4", policy_contents["A4"]),
+        )
+
+    if with_filters:
+        from repro.synth.filters import place_filters  # noqa: PLC0415
+
+        internal_candidates = [
+            (router_name, iface.name)
+            for router_name, config in builder.routers.items()
+            for iface in config.interfaces.values()
+            if iface.kind == "FastEthernet"
+        ]
+        place_filters(
+            builder, rng, internal_candidates,
+            total_rules=rng.randint(80, 160),
+            internal_share=0.1,
+        )
+
+    from repro.synth.flavor import add_boilerplate, add_flavor_interfaces  # noqa: PLC0415
+
+    add_flavor_interfaces(builder, rng, style="enterprise")
+    add_boilerplate(builder, rng)
+
+    spec = NetworkSpec(
+        name=name,
+        design=DesignClass.UNCLASSIFIABLE,
+        router_count=len(builder.routers),
+        internal_as_count=4,
+        external_as_count=2,
+        has_filters=with_filters,
+        internal_filter_fraction=0.1 if with_filters else None,
+        external_interfaces=list(builder.external_interfaces),
+    )
+    spec.expected_instances.extend(
+        [
+            ExpectedInstance(protocol="ospf", size=left_size),
+            ExpectedInstance(protocol="ospf", size=right_size),
+            ExpectedInstance(protocol="bgp", size=1, asn=64701, external=True),
+            ExpectedInstance(protocol="bgp", size=1, asn=64710, external=True),
+            ExpectedInstance(protocol="bgp", size=1, asn=64720, external=True),
+            ExpectedInstance(protocol="bgp", size=1, asn=64730, external=True),
+        ]
+    )
+    spec.notes["policies"] = {
+        key: [str(prefix) for prefix in value] for key, value in policy_contents.items()
+    }
+    spec.notes["ab2"] = [str(prefix) for prefix in ab2]
+    spec.notes["ab4"] = [str(prefix) for prefix in ab4]
+    spec.notes["left_ospf_routers"] = left_names
+    spec.notes["right_ospf_routers"] = right_names
+    return builder.serialize(), spec
+
+
+def _site_plan(master: AddressPool, external: AddressPool) -> NetworkAddressPlan:
+    block = master.subpool(16)
+    plan = NetworkAddressPlan.__new__(NetworkAddressPlan)
+    plan.internal = block.prefix
+    plan.lans = block.subpool(17)
+    plan.p2p = block.subpool(18)
+    plan.loopbacks = block.subpool(19)
+    plan.spare = block.subpool(19)
+    plan.external = external
+    return plan
+
+
+def _build_site(
+    builder: NetworkBuilder,
+    plan: NetworkAddressPlan,
+    names: List[str],
+    ospf_pid: int,
+    rng: random.Random,
+) -> None:
+    """A hub-and-spoke OSPF site with host LANs on the spokes."""
+    builder.plan = plan
+    for router in names:
+        builder.add_router(router)
+    hubs = names[: max(2, len(names) // 12)]
+    for i in range(len(hubs) - 1):
+        end_a, end_b = builder.connect(hubs[i], hubs[i + 1], kind="Serial")
+        builder.cover_ospf(end_a, ospf_pid)
+        builder.cover_ospf(end_b, ospf_pid)
+    for spoke in names[len(hubs):]:
+        end_a, end_b = builder.connect(rng.choice(hubs), spoke, kind="Serial")
+        builder.cover_ospf(end_a, ospf_pid)
+        builder.cover_ospf(end_b, ospf_pid)
+        lan = builder.add_lan(spoke, kind="FastEthernet", length=26)
+        builder.cover_ospf(lan, ospf_pid)
+
+
+def _build_border(
+    builder: NetworkBuilder,
+    border: str,
+    local_asn: int,
+    public_asn: int,
+    ospf_pid: int,
+    policy_in: Tuple[str, List[Prefix]],
+    policy_out: Tuple[str, List[Prefix]],
+) -> None:
+    """A border router: EBGP to a public AS with named in/out policies,
+    BGP↔OSPF redistribution also constrained by the same policies."""
+    in_name, in_prefixes = policy_in
+    out_name, out_prefixes = policy_out
+    uplink = builder.add_external_link(border, kind="Serial")
+    neighbor = builder.external_ebgp_session(uplink, local_asn, public_asn)
+    builder.add_route_map_permitting(border, in_name, in_prefixes)
+    builder.add_route_map_permitting(border, out_name, out_prefixes)
+    neighbor.route_map_in = in_name
+    neighbor.route_map_out = out_name
+
+    bgp = builder.routers[border].bgp_process
+    ospf = builder.ensure_ospf(border, ospf_pid)
+    # External routes (already reduced to A-in by the session policy) into
+    # OSPF; only the site's host block back out toward BGP.
+    builder.redistribute(
+        border, ospf, "bgp", source_id=local_asn, route_map=in_name, metric=200
+    )
+    builder.redistribute(
+        border, bgp, "ospf", source_id=ospf_pid, route_map=out_name
+    )
+
+

@@ -1,0 +1,376 @@
+"""net5: the compartmentalized EIGRP/BGP design of §5.1, §6.1, Figure 9/10.
+
+The paper's headline case study: 881 routers, 24 routing instances, 14
+internal BGP ASs, 16 external ASs.  The majority of routers sit in three
+EIGRP compartments (445, 32, and 64 routers); four BGP instances glue the
+compartments together; external routes cross at least three layers of
+protocols and redistributions before reaching the middle of the network.
+The design avoids an IBGP mesh by (a) laying out each compartment's
+addresses inside its own block, so redistribution policy is expressible as
+address-based route maps, and (b) tagging external routes at injection so
+route selection can key off tags instead of BGP attributes.
+
+The generator reproduces that structure (scaled 1:1 by default).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.core.classify import DesignClass
+from repro.net import Prefix
+from repro.synth.addressing import AddressPool, NetworkAddressPlan
+from repro.synth.builder import NetworkBuilder
+from repro.synth.spec import ExpectedInstance, NetworkSpec
+
+#: The AS numbers named in Figure 9.
+AS_GLUE_AB = 65001  # instance 4: 6 routers between compartments B and A
+AS_GLUE_AC = 65010  # instance 2: 39 routers between compartments A and C
+AS_EDGE_B = 10436  # instance 5: 3 routers, external peering (AS 1629)
+AS_EDGE_C = 65040  # instance 3: 7 routers, EBGP-internal to 65010
+
+EXTERNAL_AS_B = 1629
+EXTERNAL_AS_C = 6470
+
+
+def _compartment_plan(master: AddressPool, external: AddressPool, length: int):
+    """Give one compartment its own address block (the §6.1 technique)."""
+    block = master.subpool(length)
+    plan = NetworkAddressPlan.__new__(NetworkAddressPlan)
+    plan.internal = block.prefix
+    plan.lans = block.subpool(block.prefix.length + 1)
+    plan.p2p = block.subpool(block.prefix.length + 2)
+    plan.loopbacks = block.subpool(block.prefix.length + 3)
+    plan.spare = block.subpool(block.prefix.length + 3)
+    plan.external = external
+    return plan, block.prefix
+
+
+def _build_compartment(
+    builder: NetworkBuilder,
+    plan: NetworkAddressPlan,
+    names: List[str],
+    eigrp_asn: int,
+    rng: random.Random,
+    n_hubs: int = 4,
+    lan_length: int = 28,
+) -> List[str]:
+    """A hub-and-spoke EIGRP compartment.  Returns the hub routers."""
+    builder.plan = plan
+    hubs = names[: min(n_hubs, len(names))]
+    for router in names:
+        if router not in builder.routers:
+            builder.add_router(router)
+    for i, hub in enumerate(hubs[:-1]):
+        end_a, end_b = builder.connect(hub, hubs[i + 1], kind="Serial")
+        builder.cover_eigrp(end_a, eigrp_asn)
+        builder.cover_eigrp(end_b, eigrp_asn)
+    for spoke in names[len(hubs):]:
+        hub = rng.choice(hubs)
+        end_a, end_b = builder.connect(hub, spoke, kind="Serial")
+        builder.cover_eigrp(end_a, eigrp_asn)
+        builder.cover_eigrp(end_b, eigrp_asn)
+        lan = builder.add_lan(spoke, kind="FastEthernet", length=lan_length)
+        builder.cover_eigrp(lan, eigrp_asn)
+    for hub in hubs:
+        lan = builder.add_lan(hub, kind="FastEthernet", length=lan_length)
+        builder.cover_eigrp(lan, eigrp_asn)
+    return hubs
+
+
+def build_net5(
+    name: str = "net5",
+    index: int = 5,
+    scale: float = 1.0,
+    seed: int = 55,
+    internal_filter_share: float = 0.45,
+    with_filters: bool = True,
+) -> Tuple[Dict[str, str], NetworkSpec]:
+    """Generate net5.  ``scale`` shrinks every compartment proportionally
+    (minimum sizes keep the structure intact), for fast tests."""
+    rng = random.Random(seed)
+
+    def scaled(size: int, minimum: int = 2) -> int:
+        return max(minimum, round(size * scale))
+
+    master = AddressPool(Prefix("10.0.0.0/11"))
+    external = AddressPool(Prefix("192.16.0.0/14"))
+    shared_plan = NetworkAddressPlan.__new__(NetworkAddressPlan)
+    glue_block = master.subpool(16)
+    shared_plan.internal = glue_block.prefix
+    shared_plan.lans = glue_block.subpool(17)
+    shared_plan.p2p = glue_block.subpool(18)
+    shared_plan.loopbacks = glue_block.subpool(19)
+    shared_plan.spare = glue_block.subpool(19)
+    shared_plan.external = external
+    builder = NetworkBuilder(shared_plan, rng=rng)
+
+    # --- the three named compartments ------------------------------------
+    size_a, size_b, size_c = scaled(445, 8), scaled(32, 4), scaled(64, 4)
+    asn_a, asn_b, asn_c = 60001, 60006, 60007
+    plan_a, block_a = _compartment_plan(master, external, 13)
+    plan_b, block_b = _compartment_plan(master, external, 17)
+    plan_c, block_c = _compartment_plan(master, external, 16)
+    names_a = [f"{name}-a{i}" for i in range(size_a)]
+    names_b = [f"{name}-b{i}" for i in range(size_b)]
+    names_c = [f"{name}-c{i}" for i in range(size_c)]
+    hubs_a = _build_compartment(builder, plan_a, names_a, asn_a, rng, n_hubs=8)
+    hubs_b = _build_compartment(builder, plan_b, names_b, asn_b, rng, n_hubs=2)
+    hubs_c = _build_compartment(builder, plan_c, names_c, asn_c, rng, n_hubs=3)
+
+    builder.plan = shared_plan
+
+    # --- instance 4: BGP AS 65001, glue between compartments B and A ------
+    # Six redundant redistribution routers (the paper's "6 routers that
+    # serve this same purpose").
+    glue_ab = [f"{name}-gab{i}" for i in range(scaled(6, 2))]
+    _build_glue(
+        builder, rng, glue_ab, AS_GLUE_AB,
+        side_hubs=(hubs_b, asn_b), other_hubs=(hubs_a, asn_a),
+        import_block=block_b, export_block=block_a, tag=AS_GLUE_AB,
+    )
+
+    # --- instance 2: BGP AS 65010, glue between compartments A and C ------
+    glue_ac = [f"{name}-gac{i}" for i in range(scaled(39, 3))]
+    _build_glue(
+        builder, rng, glue_ac, AS_GLUE_AC,
+        side_hubs=(hubs_a, asn_a), other_hubs=(hubs_c, asn_c),
+        import_block=block_a, export_block=block_c, tag=AS_GLUE_AC,
+    )
+
+    # --- instance 5: BGP AS 10436, external edge of compartment B --------
+    edge_b = [f"{name}-eb{i}" for i in range(scaled(3, 2))]
+    _build_edge(
+        builder, rng, edge_b, AS_EDGE_B, hubs_b, asn_b,
+        external_asn=EXTERNAL_AS_B, tag=AS_EDGE_B,
+    )
+
+    # --- instance 3: BGP AS 65040, EBGP-internal to 65010 -----------------
+    # Attached to compartment C; also has its own external peering (AS 6470).
+    edge_c = [f"{name}-ec{i}" for i in range(scaled(7, 2))]
+    _build_edge(
+        builder, rng, edge_c, AS_EDGE_C, hubs_c, asn_c,
+        external_asn=EXTERNAL_AS_C, tag=AS_EDGE_C,
+    )
+    # EBGP used as an *intra*-domain protocol: sessions between the 65040
+    # and 65010 routers, both inside net5.
+    for edge_router, glue_router in zip(edge_c, glue_ac):
+        end_a, end_b = builder.connect(edge_router, glue_router, kind="Serial")
+        builder.ebgp_session(end_a, end_b, AS_EDGE_C, AS_GLUE_AC)
+
+    # --- the remaining compartments and glue ASs ---------------------------
+    # Seven more EIGRP compartments and ten more small BGP ASs, bringing the
+    # totals to 10 EIGRP instances, 14 BGP ASs, 24 instances, 16 external ASs.
+    # Sized so the full-scale network lands on the paper's 881 routers:
+    # 541 compartment + 45 glue + 10 edge + 10 small-AS + 275 here.
+    other_sizes = [100, 75, 40, 25, 15, 12, 8]
+    other_igp: List[Tuple[List[str], int, List[str], Prefix]] = []
+    for comp_index, size in enumerate(other_sizes):
+        comp_size = scaled(size, 2)
+        comp_asn = 60100 + comp_index
+        plan_x, block_x = _compartment_plan(master, external, 17)
+        names_x = [f"{name}-x{comp_index}r{i}" for i in range(comp_size)]
+        hubs_x = _build_compartment(builder, plan_x, names_x, comp_asn, rng, n_hubs=2)
+        other_igp.append((names_x, comp_asn, hubs_x, block_x))
+    builder.plan = shared_plan
+
+    external_asns = {EXTERNAL_AS_B, EXTERNAL_AS_C}
+    small_bgp: List[Tuple[int, int]] = []  # (asn, size)
+    for small_index in range(10):
+        asn = 64600 + small_index
+        comp, comp_asn, hubs_x, block_x = other_igp[small_index % len(other_igp)]
+        edge_router = f"{name}-s{small_index}"
+        builder.add_router(edge_router)
+        end_a, end_b = builder.connect(edge_router, hubs_x[0], kind="Serial")
+        builder.cover_eigrp(end_a, comp_asn)
+        builder.cover_eigrp(end_b, comp_asn)
+        builder.ensure_bgp(edge_router, asn)
+        eigrp = builder.ensure_eigrp(edge_router, comp_asn)
+        builder.redistribute(
+            edge_router, builder.routers[edge_router].bgp_process, "eigrp",
+            source_id=comp_asn,
+        )
+        builder.redistribute(
+            edge_router, eigrp, "bgp", source_id=asn, tag=asn, metric=2000,
+        )
+        # 14 more external ASs spread over these edge routers.
+        n_external = 2 if small_index < 4 else 1
+        for peer_slot in range(n_external):
+            peer_asn = 20000 + small_index * 29 + peer_slot
+            uplink = builder.add_external_link(edge_router, kind="Serial")
+            builder.external_ebgp_session(uplink, asn, peer_asn)
+            external_asns.add(peer_asn)
+        small_bgp.append((asn, 1))
+
+    if with_filters:
+        from repro.synth.filters import place_filters  # noqa: PLC0415
+
+        internal_candidates = [
+            (router_name, iface.name)
+            for router_name, config in builder.routers.items()
+            for iface in config.interfaces.values()
+            if iface.kind in ("FastEthernet", "Serial")
+            and (router_name, iface.name) not in set(builder.external_interfaces)
+        ]
+        place_filters(
+            builder, rng, internal_candidates,
+            total_rules=rng.randint(300, 600),
+            internal_share=internal_filter_share,
+        )
+
+    from repro.synth.flavor import add_boilerplate, add_flavor_interfaces  # noqa: PLC0415
+
+    add_flavor_interfaces(builder, rng, style=rng.choice(("enterprise", "atm-heavy")))
+    add_boilerplate(builder, rng, min_lines=140, max_lines=330)
+
+    # --- ground truth -------------------------------------------------------
+    spec = NetworkSpec(
+        name=name,
+        design=DesignClass.UNCLASSIFIABLE,
+        router_count=len(builder.routers),
+        internal_as_count=4 + len(small_bgp),
+        external_as_count=len(external_asns),
+        has_filters=with_filters,
+        internal_filter_fraction=internal_filter_share if with_filters else None,
+        external_interfaces=list(builder.external_interfaces),
+    )
+    glue_ab_size = len(glue_ab)
+    glue_ac_size = len(glue_ac)
+    spec.expected_instances.extend(
+        [
+            ExpectedInstance(
+                protocol="eigrp",
+                size=size_a + glue_ab_size + glue_ac_size,
+                asn=asn_a,
+            ),
+            ExpectedInstance(protocol="eigrp", size=size_b + glue_ab_size + len(edge_b), asn=asn_b),
+            ExpectedInstance(
+                protocol="eigrp", size=size_c + glue_ac_size + len(edge_c), asn=asn_c
+            ),
+            ExpectedInstance(protocol="bgp", size=glue_ab_size, asn=AS_GLUE_AB),
+            ExpectedInstance(protocol="bgp", size=glue_ac_size, asn=AS_GLUE_AC),
+            ExpectedInstance(protocol="bgp", size=len(edge_b), asn=AS_EDGE_B, external=True),
+            ExpectedInstance(protocol="bgp", size=len(edge_c), asn=AS_EDGE_C, external=True),
+        ]
+    )
+    attach_counts = [0] * len(other_igp)
+    for small_index in range(10):
+        attach_counts[small_index % len(other_igp)] += 1
+    for (names_x, comp_asn, _hubs, _block), extra in zip(other_igp, attach_counts):
+        spec.expected_instances.append(
+            ExpectedInstance(protocol="eigrp", size=len(names_x) + extra, asn=comp_asn)
+        )
+    for asn, size in small_bgp:
+        spec.expected_instances.append(
+            ExpectedInstance(protocol="bgp", size=size, asn=asn, external=True)
+        )
+    spec.notes["compartment_blocks"] = {
+        "a": str(block_a),
+        "b": str(block_b),
+        "c": str(block_c),
+    }
+    spec.notes["glue_ab_routers"] = glue_ab
+    spec.notes["middle_router"] = names_a[len(names_a) // 2]
+    return builder.serialize(), spec
+
+
+def _build_glue(
+    builder: NetworkBuilder,
+    rng: random.Random,
+    glue_names: List[str],
+    glue_asn: int,
+    side_hubs: Tuple[List[str], int],
+    other_hubs: Tuple[List[str], int],
+    import_block: Prefix,
+    export_block: Prefix,
+    tag: int,
+) -> None:
+    """Routers that redistribute routes between two EIGRP compartments via
+    a shared BGP AS (Figure 9's instances 2 and 4).
+
+    Each glue router joins both compartments' EIGRP instances and runs BGP;
+    route maps are *address-based* (the §6.1 observation) and tag routes as
+    they enter each EIGRP instance.
+    """
+    hubs_src, asn_src = side_hubs
+    hubs_dst, asn_dst = other_hubs
+    loopbacks = []
+    for router in glue_names:
+        builder.add_router(router)
+        end_a, end_b = builder.connect(router, rng.choice(hubs_src), kind="Serial")
+        builder.cover_eigrp(end_a, asn_src)
+        builder.cover_eigrp(end_b, asn_src)
+        end_a, end_b = builder.connect(router, rng.choice(hubs_dst), kind="Serial")
+        builder.cover_eigrp(end_a, asn_dst)
+        builder.cover_eigrp(end_b, asn_dst)
+        loopbacks.append(builder.add_loopback(router))
+
+        bgp = builder.ensure_bgp(router, glue_asn)
+        # Address-based policy: only the source compartment's block may be
+        # redistributed into BGP, and only BGP routes for it may continue
+        # into the destination compartment's EIGRP instance.
+        map_in = f"FROM-EIGRP-{asn_src}"
+        builder.add_route_map_permitting(router, map_in, [import_block, Prefix(0, 0)])
+        builder.redistribute(
+            router, bgp, "eigrp", source_id=asn_src, route_map=map_in
+        )
+        map_out = f"INTO-EIGRP-{asn_dst}"
+        builder.add_route_map_permitting(
+            router, map_out, [import_block, Prefix(0, 0)], set_tag=tag
+        )
+        builder.redistribute(
+            router,
+            builder.ensure_eigrp(router, asn_dst),
+            "bgp",
+            source_id=glue_asn,
+            route_map=map_out,
+            metric=1000,
+        )
+    # IBGP among the glue routers so they form one BGP instance.
+    for i, lb_a in enumerate(loopbacks):
+        for lb_b in loopbacks[i + 1:]:
+            builder.ibgp_session(lb_a, lb_b, glue_asn)
+
+
+def _build_edge(
+    builder: NetworkBuilder,
+    rng: random.Random,
+    edge_names: List[str],
+    edge_asn: int,
+    compartment_hubs: List[str],
+    compartment_asn: int,
+    external_asn: int,
+    tag: int,
+) -> None:
+    """Edge routers with an external EBGP peering, injecting external
+    routes into their compartment's EIGRP instance (tagged)."""
+    loopbacks = []
+    for router in edge_names:
+        builder.add_router(router)
+        end_a, end_b = builder.connect(router, rng.choice(compartment_hubs), kind="Serial")
+        builder.cover_eigrp(end_a, compartment_asn)
+        builder.cover_eigrp(end_b, compartment_asn)
+        loopbacks.append(builder.add_loopback(router))
+        builder.ensure_bgp(router, edge_asn)
+        uplink = builder.add_external_link(router, kind="Serial")
+        builder.external_ebgp_session(uplink, edge_asn, external_asn)
+        builder.redistribute(
+            router,
+            builder.ensure_eigrp(router, compartment_asn),
+            "bgp",
+            source_id=edge_asn,
+            tag=tag,
+            metric=5000,
+        )
+        builder.redistribute(
+            router,
+            builder.routers[router].bgp_process,
+            "eigrp",
+            source_id=compartment_asn,
+        )
+    for i, lb_a in enumerate(loopbacks):
+        for lb_b in loopbacks[i + 1:]:
+            builder.ibgp_session(lb_a, lb_b, edge_asn)
+
+

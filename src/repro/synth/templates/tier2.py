@@ -1,0 +1,177 @@
+"""Tier-2 ISP design: backbone BGP structure plus staging IGP instances.
+
+§7.1: "The large tier-2 ISP has the BGP structure of a backbone network,
+but contains a very large number of staging IGP instances ... routing
+instances of a traditional IGP protocol that have only a single router
+inside the network, but a large number of external peers.  Presumably
+these are used to connect customers that do not run BGP ... the IGP
+provides ongoing validation that the link to the customer is still up."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.core.classify import DesignClass
+from repro.ios.config import NetworkStatement
+from repro.synth.addressing import NetworkAddressPlan
+from repro.synth.builder import NetworkBuilder
+from repro.synth.spec import ExpectedInstance, NetworkSpec
+
+
+def build_tier2(
+    name: str,
+    index: int,
+    n_routers: int,
+    seed: int = 0,
+    staging_share: float = 0.5,
+    staging_per_router: Tuple[int, int] = (1, 2),
+    # OSPF-heavy, matching Table 1's inter-domain IGP column
+    # (OSPF 1,161 vs EIGRP 156 vs RIP 161).
+    staging_igp_mix: Tuple[str, ...] = ("ospf",) * 8 + ("eigrp", "rip"),
+    internal_filter_share: float = 0.15,
+    with_filters: bool = True,
+) -> Tuple[Dict[str, str], NetworkSpec]:
+    """Generate a tier-2 ISP.
+
+    A core ring of routers runs one OSPF infrastructure instance and an
+    IBGP mesh (route reflectors at scale); *staging_share* of the routers
+    additionally terminate customers via small per-customer IGP processes
+    with external-facing links — each one a staging instance.
+    """
+    rng = random.Random(seed)
+    plan = NetworkAddressPlan.standard(index)
+    builder = NetworkBuilder(plan, rng=rng)
+    local_as = 10000 + index * 13 % 3000
+
+    routers = [f"{name}-r{i}" for i in range(n_routers)]
+    for router in routers:
+        builder.add_router(router)
+
+    core_pid = 1
+    internal_ifaces = []
+    # Ring core plus chords.
+    for i, router in enumerate(routers):
+        peer = routers[(i + 1) % n_routers]
+        end_a, end_b = builder.connect(router, peer, kind="POS")
+        builder.cover_ospf(end_a, core_pid)
+        builder.cover_ospf(end_b, core_pid)
+        internal_ifaces.extend([end_a, end_b])
+    for _ in range(max(1, n_routers // 6)):
+        a, b = rng.sample(routers, 2)
+        end_a, end_b = builder.connect(a, b, kind="POS")
+        builder.cover_ospf(end_a, core_pid)
+        builder.cover_ospf(end_b, core_pid)
+        internal_ifaces.extend([end_a, end_b])
+
+    loopbacks = {}
+    for router in routers:
+        loopback = builder.add_loopback(router)
+        loopbacks[router] = loopback
+        builder.cover_ospf(loopback, core_pid)
+    reflectors = routers[: max(2, n_routers // 10)]
+    for i, rr_a in enumerate(reflectors):
+        for rr_b in reflectors[i + 1:]:
+            builder.ibgp_session(loopbacks[rr_a], loopbacks[rr_b], local_as)
+    for router in routers:
+        if router in reflectors:
+            continue
+        for reflector in reflectors:
+            builder.ibgp_session(loopbacks[router], loopbacks[reflector], local_as)
+            builder.routers[reflector].bgp_process.neighbors[-1].route_reflector_client = True
+
+    # Upstream/peer EBGP sessions on the reflectors.
+    external_asns = set()
+    ebgp_sessions = 0
+    for rr_index, reflector in enumerate(reflectors):
+        for peer_slot in range(3):
+            uplink = builder.add_external_link(reflector, kind="Serial")
+            peer_asn = 7018 + (rr_index * 3 + peer_slot) * 97 % 20000
+            external_asns.add(peer_asn)
+            builder.external_ebgp_session(uplink, local_as, peer_asn)
+            ebgp_sessions += 1
+        bgp = builder.routers[reflector].bgp_process
+        if not bgp.networks:
+            bgp.networks.append(
+                NetworkStatement(
+                    address=plan.loopbacks.prefix.network,
+                    mask=plan.loopbacks.prefix.netmask,
+                )
+            )
+
+    # Staging instances: per-customer IGP processes on access routers.
+    staging_instances = []
+    access_routers = routers[len(reflectors):]
+    n_staging_routers = int(len(access_routers) * staging_share)
+    next_pid = 100
+    for router in access_routers[:n_staging_routers]:
+        for _ in range(rng.randint(*staging_per_router)):
+            igp = rng.choice(staging_igp_mix)
+            customer_link = builder.add_external_link(router, kind="Serial")
+            if igp == "ospf":
+                builder.cover_ospf(customer_link, next_pid)
+                process = builder.ensure_ospf(router, next_pid)
+            elif igp == "eigrp":
+                builder.cover_eigrp(customer_link, next_pid)
+                process = builder.ensure_eigrp(router, next_pid)
+            else:
+                builder.cover_rip(customer_link)
+                process = builder.ensure_rip(router)
+            # The staging instance feeds customer routes into BGP.
+            bgp = builder.routers[router].bgp_process or builder.ensure_bgp(
+                router, local_as
+            )
+            builder.redistribute(
+                router, bgp, igp, source_id=None if igp == "rip" else next_pid
+            )
+            staging_instances.append((igp, router))
+            next_pid += 1
+
+    if with_filters:
+        from repro.synth.filters import place_filters  # noqa: PLC0415
+
+        place_filters(
+            builder, rng,
+            [(iface.router, iface.name) for iface in internal_ifaces],
+            total_rules=rng.randint(80, 250),
+            internal_share=internal_filter_share,
+        )
+
+    from repro.synth.flavor import add_boilerplate, add_flavor_interfaces  # noqa: PLC0415
+
+    add_flavor_interfaces(builder, rng, style="enterprise")
+    add_boilerplate(builder, rng)
+
+    spec = NetworkSpec(
+        name=name,
+        design=DesignClass.UNCLASSIFIABLE,
+        router_count=n_routers,
+        internal_as_count=1,
+        external_as_count=len(external_asns),
+        has_filters=with_filters,
+        internal_filter_fraction=internal_filter_share if with_filters else None,
+        external_interfaces=list(builder.external_interfaces),
+    )
+    spec.expected_instances.append(
+        ExpectedInstance(protocol="ospf", size=n_routers, external=False)
+    )
+    spec.expected_instances.append(
+        ExpectedInstance(protocol="bgp", size=n_routers, asn=local_as, external=True)
+    )
+    rip_routers = set()
+    for igp, router in staging_instances:
+        if igp == "rip":
+            # IOS allows one RIP process per router: several RIP customers
+            # on one router share a single staging instance.
+            if router in rip_routers:
+                continue
+            rip_routers.add(router)
+        spec.expected_instances.append(
+            ExpectedInstance(protocol=igp, size=1, external=True)
+        )
+    spec.notes["staging_instances"] = len(spec.expected_instances) - 2
+    spec.notes["ebgp_external_sessions"] = ebgp_sessions
+    return builder.serialize(), spec
+
+

@@ -1,0 +1,182 @@
+"""Anonymizer tests (§4.1): token rules, prefix preservation, structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.anonymize import Anonymizer, PrefixPreservingAnonymizer
+from repro.ios import parse_config
+from repro.net.ipv4 import format_ipv4, parse_ipv4
+
+from tests.test_ios_parser import FIG2
+
+
+class TestPrefixPreservingIP:
+    def test_deterministic(self):
+        a = PrefixPreservingAnonymizer(key=b"k")
+        assert a.anonymize("10.1.2.3") == a.anonymize("10.1.2.3")
+
+    def test_key_changes_mapping(self):
+        a = PrefixPreservingAnonymizer(key=b"k1")
+        b = PrefixPreservingAnonymizer(key=b"k2")
+        assert a.anonymize("10.1.2.3") != b.anonymize("10.1.2.3")
+
+    def test_not_identity(self):
+        a = PrefixPreservingAnonymizer(key=b"k")
+        outputs = {a.anonymize(f"10.0.0.{i}") for i in range(16)}
+        assert outputs != {f"10.0.0.{i}" for i in range(16)}
+
+    @staticmethod
+    def _common_prefix_len(x: int, y: int) -> int:
+        for bit in range(32):
+            if (x >> (31 - bit)) != (y >> (31 - bit)):
+                return bit
+        return 32
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_prefix_preservation_property(self, x, y):
+        a = PrefixPreservingAnonymizer(key=b"prop")
+        ax, ay = a.anonymize_int(x), a.anonymize_int(y)
+        assert self._common_prefix_len(x, y) == self._common_prefix_len(ax, ay)
+
+    def test_bijective_on_sample(self):
+        a = PrefixPreservingAnonymizer(key=b"k")
+        inputs = [parse_ipv4(f"10.{i}.{j}.1") for i in range(8) for j in range(8)]
+        outputs = {a.anonymize_int(v) for v in inputs}
+        assert len(outputs) == len(inputs)
+
+
+class TestTokenRules:
+    @pytest.fixture()
+    def anon(self):
+        return Anonymizer(key=b"test")
+
+    def test_keywords_kept(self, anon):
+        line = anon.anonymize_line("router ospf 64")
+        assert line == "router ospf 64"
+
+    def test_interface_names_kept(self, anon):
+        assert anon.anonymize_token("Serial1/0.5", None) == "Serial1/0.5"
+        assert anon.anonymize_token("FastEthernet0/1", None) == "FastEthernet0/1"
+
+    def test_unknown_names_hashed(self, anon):
+        hashed = anon.anonymize_token("CUSTOMER-EDGE-NYC", None)
+        assert hashed != "CUSTOMER-EDGE-NYC"
+        assert len(hashed) == 11
+
+    def test_hashing_deterministic(self, anon):
+        assert anon.hash_name("foo") == anon.hash_name("foo")
+        assert anon.hash_name("foo") != anon.hash_name("bar")
+
+    def test_netmasks_not_anonymized(self, anon):
+        line = anon.anonymize_line(" ip address 10.1.2.3 255.255.255.252")
+        assert "255.255.255.252" in line
+        assert "10.1.2.3" not in line
+
+    def test_wildcards_not_anonymized(self, anon):
+        line = anon.anonymize_line(" network 10.1.2.0 0.0.0.255 area 0")
+        assert "0.0.0.255" in line
+        assert "area 0" in line
+
+    def test_plain_integers_kept(self, anon):
+        assert anon.anonymize_line(" bandwidth 1544") == " bandwidth 1544"
+
+    def test_public_asn_mapped(self, anon):
+        line = anon.anonymize_line("router bgp 7018")
+        asn = int(line.split()[-1])
+        assert asn != 7018
+        assert 1 <= asn <= 64511
+
+    def test_public_asn_mapping_consistent(self, anon):
+        line_a = anon.anonymize_line("router bgp 7018")
+        line_b = anon.anonymize_line(" neighbor 1.2.3.4 remote-as 7018")
+        assert line_a.split()[-1] == line_b.split()[-1]
+
+    def test_private_asn_kept(self, anon):
+        assert anon.anonymize_line("router bgp 65001") == "router bgp 65001"
+
+    def test_comments_stripped(self, anon):
+        assert anon.anonymize_line("! secret location: NYC POP 3") == "!"
+
+    def test_indentation_preserved(self, anon):
+        line = anon.anonymize_line("  shutdown")
+        assert line == "  shutdown"
+
+
+class TestStructurePreservation:
+    def test_anonymized_fig2_still_parses(self):
+        anon = Anonymizer(key=b"s")
+        text = anon.anonymize_config(FIG2)
+        cfg = parse_config(text)
+        assert len(cfg.interfaces) == 3
+        assert [p.process_id for p in cfg.ospf_processes] == [64, 128]
+        assert cfg.bgp_process is not None
+        assert len(cfg.access_lists["143"].rules) == 2
+        assert len(cfg.static_routes) == 1
+
+    def test_subnet_relationships_survive(self):
+        anon = Anonymizer(key=b"s2")
+        text = anon.anonymize_config(
+            "interface Ethernet0\n ip address 10.0.0.1 255.255.255.252\n"
+        )
+        cfg = parse_config(text)
+        iface = cfg.interfaces["Ethernet0"]
+        assert iface.prefix.length == 30
+        assert iface.prefix.contains_address(iface.address)
+
+    def test_route_map_references_stay_consistent(self):
+        anon = Anonymizer(key=b"s3")
+        text = anon.anonymize_config(
+            "router bgp 65000\n redistribute ospf 1 route-map MY-POLICY\n"
+            "!\nroute-map MY-POLICY permit 10\n match ip address 7\n"
+        )
+        cfg = parse_config(text)
+        redist_map = cfg.bgp_process.redistributes[0].route_map
+        assert redist_map in cfg.route_maps
+        assert redist_map != "MY-POLICY"
+
+    def test_same_subnet_interfaces_still_match(self):
+        anon = Anonymizer(key=b"s4")
+        text_a = anon.anonymize_config(
+            "interface Serial0\n ip address 10.9.0.1 255.255.255.252\n"
+        )
+        text_b = anon.anonymize_config(
+            "interface Serial0\n ip address 10.9.0.2 255.255.255.252\n"
+        )
+        prefix_a = parse_config(text_a).interfaces["Serial0"].prefix
+        prefix_b = parse_config(text_b).interfaces["Serial0"].prefix
+        assert prefix_a == prefix_b
+
+    def test_line_count_preserved_excluding_comment_text(self):
+        anon = Anonymizer(key=b"s5")
+        source = "! comment\ninterface Ethernet0\n ip address 10.0.0.1 255.0.0.0\n"
+        out = anon.anonymize_config(source)
+        assert len(out.splitlines()) == len(source.splitlines())
+
+
+class TestMappingExport:
+    def test_mapping_covers_everything_rewritten(self):
+        anon = Anonymizer(key=b"map")
+        anon.anonymize_config(
+            "hostname secret-core\n"
+            "!\ninterface Ethernet0\n ip address 10.1.2.3 255.255.255.0\n"
+            "!\nrouter bgp 7018\n"
+        )
+        mapping = anon.export_mapping()
+        assert "secret-core" in mapping["names"]
+        assert "7018" in mapping["asns"]
+        assert "10.1.2.3" in mapping["addresses"]
+
+    def test_mapping_inverts_the_anonymization(self):
+        anon = Anonymizer(key=b"map2")
+        out = anon.anonymize_line("hostname secret-core")
+        mapping = anon.export_mapping()
+        assert out == f"hostname {mapping['names']['secret-core']}"
+
+    def test_mapping_is_not_in_the_output(self):
+        anon = Anonymizer(key=b"map3")
+        out = anon.anonymize_config("hostname secret-core\n")
+        assert "secret-core" not in out

@@ -1,0 +1,187 @@
+"""CLI tests (exercised in-process via repro.cli.main)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.synth.templates.example_fig1 import build_example_networks
+
+
+@pytest.fixture(scope="module")
+def config_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("configs")
+    configs, _meta = build_example_networks()
+    for name, text in configs.items():
+        (path / name).write_text(text)
+    return os.fspath(path)
+
+
+class TestAnalyze:
+    def test_summary_output(self, config_dir, capsys):
+        assert main(["analyze", config_dir]) == 0
+        out = capsys.readouterr().out
+        assert "routers: 6" in out
+        assert "routing instances: 5" in out
+        assert "address blocks:" in out
+
+    def test_rejects_missing_dir(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "/nonexistent/place"])
+
+
+class TestInstances:
+    def test_listing(self, config_dir, capsys):
+        assert main(["instances", config_dir]) == 0
+        out = capsys.readouterr().out
+        assert "bgp" in out and "ospf" in out
+        assert "12762" in out
+
+
+class TestPathway:
+    def test_pathway_output(self, config_dir, capsys):
+        assert main(["pathway", config_dir, "R1"]) == 0
+        out = capsys.readouterr().out
+        assert "depth 0" in out
+        assert "External World" in out
+
+    def test_unknown_router(self, config_dir):
+        with pytest.raises(SystemExit):
+            main(["pathway", config_dir, "R99"])
+
+
+class TestAnonymize:
+    def test_produces_parseable_archive(self, config_dir, tmp_path, capsys):
+        out_dir = os.fspath(tmp_path / "anon")
+        assert main(["anonymize", config_dir, out_dir, "--key", "k"]) == 0
+        assert main(["analyze", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "routing instances: 5" in out
+
+    def test_file_names_are_anonymous(self, config_dir, tmp_path):
+        out_dir = os.fspath(tmp_path / "anon2")
+        main(["anonymize", config_dir, out_dir, "--key", "k"])
+        assert sorted(os.listdir(out_dir)) == [f"config{i}" for i in range(1, 7)]
+
+
+class TestSurvivability:
+    def test_reports_spofs(self, config_dir, capsys):
+        assert main(["survivability", config_dir]) == 0
+        out = capsys.readouterr().out
+        assert "articulation routers" in out
+        assert "SINGLE POINT OF FAILURE" in out
+
+
+class TestDiff:
+    def test_no_change_exit_zero(self, config_dir, capsys):
+        assert main(["diff", config_dir, config_dir]) == 0
+        assert "no design-level changes" in capsys.readouterr().out
+
+    def test_change_exit_one(self, config_dir, tmp_path, capsys):
+        import shutil
+
+        altered = tmp_path / "altered"
+        shutil.copytree(config_dir, altered)
+        (altered / "R1").unlink()
+        assert main(["diff", config_dir, os.fspath(altered)]) == 1
+        assert "-1 routers" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_enterprise(self, tmp_path, capsys):
+        out_dir = os.fspath(tmp_path / "gen")
+        assert main(["generate", "enterprise", out_dir, "--routers", "8"]) == 0
+        assert len(os.listdir(out_dir)) == 8
+        assert main(["analyze", out_dir]) == 0
+        assert "design class: enterprise" in capsys.readouterr().out
+
+    def test_generate_unknown_template(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "martian", os.fspath(tmp_path / "x")])
+
+
+class TestFlow:
+    def test_permitted_flow(self, config_dir, capsys):
+        # R1's LAN host to R3's LAN host inside the enterprise.
+        from repro.model import Network
+
+        net = Network.from_directory(config_dir)
+        r1_lan = net.routers["R1"].config.interfaces["Ethernet0/0"].prefix
+        r3_lan = net.routers["R3"].config.interfaces["Ethernet0/0"].prefix
+        code = main(
+            [
+                "flow",
+                config_dir,
+                str(r1_lan.network + 5),
+                str(r3_lan.network + 5),
+                "--protocol",
+                "tcp",
+                "--port",
+                "80",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PERMITTED" in out
+        assert "R1 -> R2 -> R3" in out
+
+    def test_unknown_hosts(self, config_dir, capsys):
+        assert main(["flow", config_dir, "203.0.113.9", "203.0.113.10"]) == 2
+
+
+class TestReport:
+    def test_report_to_stdout(self, config_dir, capsys):
+        assert main(["report", config_dir]) == 0
+        out = capsys.readouterr().out
+        for section in (
+            "# Routing design report",
+            "## Inventory",
+            "## Design classification",
+            "## Routing instances",
+            "## Protocol roles",
+            "## Address space structure",
+            "## Packet filtering",
+            "## Survivability",
+        ):
+            assert section in out
+
+    def test_report_to_file(self, config_dir, tmp_path, capsys):
+        out_file = os.fspath(tmp_path / "report.md")
+        assert main(["report", config_dir, "-o", out_file]) == 0
+        text = open(out_file).read()
+        assert "## Routing instances" in text
+        assert "| id | protocol | AS | routers |" in text
+
+
+class TestGraph:
+    def test_dot_output(self, config_dir, capsys):
+        assert main(["graph", config_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "External World" in out
+        assert "BGP AS 12762" in out
+        assert "dir=both" in out
+
+    def test_dot_file(self, config_dir, tmp_path):
+        out_file = os.fspath(tmp_path / "g.dot")
+        assert main(["graph", config_dir, "-o", out_file]) == 0
+        text = open(out_file).read()
+        assert text.count("inst") >= 5
+
+
+class TestAudit:
+    def test_audit_reports_open_edges(self, config_dir, capsys):
+        # The fig1 example has an unfiltered uplink toward R7.
+        code = main(["audit", config_dir])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unfiltered" in out
+
+    def test_audit_clean_network(self, tmp_path, capsys):
+        (tmp_path / "r1").write_text(
+            "hostname r1\n"
+            "!\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+        )
+        code = main(["audit", os.fspath(tmp_path)])
+        assert code == 0
+        assert "consistent" in capsys.readouterr().out

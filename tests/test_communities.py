@@ -1,0 +1,122 @@
+"""BGP community tests: parsing, policy semantics, propagation."""
+
+from repro.ios import parse_config, serialize_config
+from repro.model import Network
+from repro.net import Prefix
+from repro.routing import RoutingSimulation
+from repro.routing.policy import _apply_set_community, apply_route_map
+from repro.routing.route import Route
+
+
+class TestParsing:
+    def test_community_list(self):
+        cfg = parse_config(
+            "ip community-list 7 permit 65000:100\n"
+            "ip community-list 7 deny 65000:666\n"
+        )
+        clist = cfg.community_lists["7"]
+        assert clist.entries == [("permit", "65000:100"), ("deny", "65000:666")]
+
+    def test_match_community(self):
+        cfg = parse_config("route-map POL permit 10\n match community 7\n")
+        assert cfg.route_maps["POL"].clauses[0].match_communities == ["7"]
+
+    def test_set_community_parsed(self):
+        cfg = parse_config("route-map POL permit 10\n set community 65000:100 additive\n")
+        assert cfg.route_maps["POL"].clauses[0].set_community == "65000:100 additive"
+
+    def test_roundtrip(self):
+        text = (
+            "ip community-list CUST permit 65000:100\n"
+            "route-map POL permit 10\n match community CUST\n set community 65000:200\n"
+        )
+        first = parse_config(text)
+        second = parse_config(serialize_config(first))
+        assert first.community_lists == second.community_lists
+        assert first.route_maps == second.route_maps
+
+
+class TestSetCommunitySemantics:
+    def test_replace(self):
+        assert _apply_set_community(("1:1",), "2:2") == ("2:2",)
+
+    def test_additive(self):
+        assert _apply_set_community(("1:1",), "2:2 additive") == ("1:1", "2:2")
+
+    def test_none_clears(self):
+        assert _apply_set_community(("1:1", "2:2"), "none") == ()
+
+    def test_additive_dedups(self):
+        assert _apply_set_community(("1:1",), "1:1 additive") == ("1:1",)
+
+
+class TestRouteMapCommunityMatch:
+    def test_match_and_transform(self):
+        cfg = parse_config(
+            "ip community-list 7 permit 65000:100\n"
+            "route-map POL permit 10\n match community 7\n set local-preference 300\n"
+            "route-map POL deny 20\n"
+        )
+        tagged = Route(
+            prefix=Prefix("20.0.0.0/8"), protocol="bgp", communities=("65000:100",)
+        )
+        plain = Route(prefix=Prefix("20.0.0.0/8"), protocol="bgp")
+        rm = cfg.route_maps["POL"]
+        out = apply_route_map(
+            rm, cfg.access_lists, tagged, community_lists=cfg.community_lists
+        )
+        assert out is not None and out.local_pref == 300
+        assert (
+            apply_route_map(
+                rm, cfg.access_lists, plain, community_lists=cfg.community_lists
+            )
+            is None
+        )
+
+
+class TestPropagation:
+    def topology(self, send_community: bool):
+        send = " neighbor 10.0.0.2 send-community\n" if send_community else ""
+        return {
+            "a": (
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+                "!\nrouter bgp 65001\n"
+                " redistribute connected route-map TAG\n"
+                " neighbor 10.0.0.2 remote-as 65002\n" + send +
+                "!\ninterface Ethernet0\n ip address 20.0.0.1 255.255.255.0\n"
+                "!\nroute-map TAG permit 10\n set community 65001:42\n"
+            ),
+            "b": (
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+                "!\nrouter bgp 65002\n neighbor 10.0.0.1 remote-as 65001\n"
+            ),
+        }
+
+    def test_send_community_carries_values(self):
+        net = Network.from_configs(self.topology(send_community=True))
+        sim = RoutingSimulation(net).run()
+        route = sim.lookup("b", "20.0.0.5")
+        assert route is not None
+        assert route.communities == ("65001:42",)
+
+    def test_default_strips_communities(self):
+        net = Network.from_configs(self.topology(send_community=False))
+        sim = RoutingSimulation(net).run()
+        route = sim.lookup("b", "20.0.0.5")
+        assert route is not None
+        assert route.communities == ()
+
+    def test_community_based_filtering_downstream(self):
+        # b denies routes carrying 65001:42.
+        configs = self.topology(send_community=True)
+        configs["b"] = (
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\nrouter bgp 65002\n neighbor 10.0.0.1 remote-as 65001\n"
+            " neighbor 10.0.0.1 route-map NO-TAGGED in\n"
+            "!\nip community-list 9 permit 65001:42\n"
+            "route-map NO-TAGGED deny 10\n match community 9\n"
+            "route-map NO-TAGGED permit 20\n"
+        )
+        net = Network.from_configs(configs)
+        sim = RoutingSimulation(net).run()
+        assert not sim.can_reach("b", "20.0.0.5")

@@ -1,0 +1,133 @@
+"""Address space structure recovery tests (§3.4)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.address_space import (
+    AddressBlock,
+    extract_address_space,
+    join_blocks,
+    mentioned_subnets,
+)
+from repro.model import Network
+from repro.net import Prefix
+
+
+class TestJoinBlocks:
+    def test_adjacent_halves_join(self):
+        blocks = join_blocks([Prefix("10.0.0.0/25"), Prefix("10.0.0.128/25")])
+        assert [b.prefix for b in blocks] == [Prefix("10.0.0.0/24")]
+
+    def test_two_bit_join_when_half_used(self):
+        # Two /26s inside a /24: exactly half the /24 is used.
+        blocks = join_blocks([Prefix("10.0.0.0/26"), Prefix("10.0.0.192/26")])
+        assert [b.prefix for b in blocks] == [Prefix("10.0.0.0/24")]
+
+    def test_three_bit_gap_does_not_join(self):
+        # Two /27s inside a /24 use only a quarter: no join at the default
+        # 2-bit / 50% thresholds.
+        blocks = join_blocks([Prefix("10.0.0.0/27"), Prefix("10.0.0.224/27")])
+        assert len(blocks) == 2
+
+    def test_distant_blocks_stay_apart(self):
+        blocks = join_blocks([Prefix("10.0.0.0/24"), Prefix("172.16.0.0/24")])
+        assert len(blocks) == 2
+
+    def test_chain_of_subnets_coalesces(self):
+        subnets = list(Prefix("10.1.0.0/22").subnets(26))  # 16 x /26, all used
+        blocks = join_blocks(subnets)
+        assert [b.prefix for b in blocks] == [Prefix("10.1.0.0/22")]
+
+    def test_utilization_accounting(self):
+        blocks = join_blocks([Prefix("10.0.0.0/25"), Prefix("10.0.0.128/25")])
+        assert blocks[0].used_addresses == 256
+        assert blocks[0].utilization == 1.0
+
+    def test_threshold_parameters(self):
+        subnets = [Prefix("10.0.0.0/27"), Prefix("10.0.0.224/27")]
+        # Lowering the utilization requirement lets the /24 form.
+        loose = join_blocks(subnets, min_utilization=0.25, max_join_bits=3)
+        assert [b.prefix for b in loose] == [Prefix("10.0.0.0/24")]
+
+    def test_duplicates_do_not_double_count(self):
+        blocks = join_blocks([Prefix("10.0.0.0/25"), Prefix("10.0.0.0/25")])
+        assert blocks[0].used_addresses == 128
+
+    def test_empty_input(self):
+        assert join_blocks([]) == []
+
+    @given(
+        st.lists(
+            st.builds(
+                Prefix,
+                st.integers(min_value=0, max_value=0xFFFFFFFF),
+                st.integers(min_value=8, max_value=30),
+            ),
+            max_size=20,
+        )
+    )
+    def test_blocks_cover_all_inputs_and_are_disjoint(self, subnets):
+        blocks = join_blocks(subnets)
+        for subnet in subnets:
+            assert any(block.prefix.contains(subnet) for block in blocks)
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1:]:
+                assert not a.prefix.overlaps(b.prefix)
+
+    @given(
+        st.lists(
+            st.builds(
+                Prefix,
+                st.integers(min_value=0, max_value=0xFFFFFFFF),
+                st.integers(min_value=8, max_value=30),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_every_block_meets_the_utilization_bar_or_is_original(self, subnets):
+        for block in join_blocks(subnets):
+            assert block.utilization >= 0.5 or len(block.subnets) == 1
+
+
+class TestMentionedSubnets:
+    def test_collects_interfaces_networks_and_statics(self):
+        config = (
+            "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+            "!\nrouter ospf 1\n network 10.0.1.0 0.0.0.255 area 0\n"
+            "!\nip route 10.0.2.0 255.255.255.0 10.0.0.2\n"
+        )
+        net = Network.from_configs({"r1": config})
+        subnets = mentioned_subnets(net)
+        for expected in ("10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24"):
+            assert any(s.contains(Prefix(expected)) for s in subnets)
+
+    def test_default_routes_excluded(self):
+        config = "ip route 0.0.0.0 0.0.0.0 10.0.0.1\n"
+        net = Network.from_configs({"r1": config})
+        assert Prefix("0.0.0.0/0") not in mentioned_subnets(net)
+
+
+class TestExtraction:
+    def test_compartment_blocks_recovered(self, net5_small):
+        # §6.1: each net5 compartment draws from its own block; the
+        # recovery should produce blocks nested inside those plans.
+        net, spec = net5_small
+        blocks = extract_address_space(net)
+        compartments = [Prefix(p) for p in spec.notes["compartment_blocks"].values()]
+        for compartment in compartments:
+            assert any(
+                compartment.contains(b.prefix) or b.prefix.contains(compartment)
+                for b in blocks
+            )
+
+    def test_internal_and_external_space_distinct(self, enterprise_net):
+        net, _spec = enterprise_net
+        blocks = extract_address_space(net)
+        internal = [b for b in blocks if str(b.prefix).startswith("10.")]
+        external = [b for b in blocks if not str(b.prefix).startswith("10.")]
+        assert internal and external
+
+    def test_str(self):
+        block = AddressBlock(prefix=Prefix("10.0.0.0/24"), subnets=[Prefix("10.0.0.0/25")])
+        assert "10.0.0.0/24" in str(block)

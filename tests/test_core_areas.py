@@ -1,0 +1,102 @@
+"""OSPF area structure tests."""
+
+from repro.core.areas import OspfAreaStructure, _normalize_area, analyze_ospf_areas
+from repro.model import Network
+
+
+def ospf_router(name_suffix, stanzas):
+    """Helper: interfaces plus an OSPF process covering them."""
+    lines = []
+    networks = []
+    for index, (subnet_octet, host, area) in enumerate(stanzas):
+        lines.append(
+            f"interface Serial{index}\n"
+            f" ip address 10.0.{subnet_octet}.{host} 255.255.255.252\n!"
+        )
+        networks.append(f" network 10.0.{subnet_octet}.{(host - 1) // 4 * 4} 0.0.0.3 area {area}")
+    return "\n".join(lines) + "\nrouter ospf 1\n" + "\n".join(networks) + "\n"
+
+
+MULTI_AREA = {
+    # backbone link r1-r2 in area 0; r2-r3 in area 1; r3-r4 in area 1.
+    "r1": ospf_router("r1", [(0, 1, "0")]),
+    "r2": ospf_router("r2", [(0, 2, "0"), (4, 5, "1")]),
+    "r3": ospf_router("r3", [(4, 6, "1"), (8, 9, "1")]),
+    "r4": ospf_router("r4", [(8, 10, "1")]),
+}
+
+
+class TestNormalize:
+    def test_int_form(self):
+        assert _normalize_area("0") == "0"
+        assert _normalize_area("23") == "23"
+
+    def test_dotted_form(self):
+        assert _normalize_area("0.0.0.0") == "0"
+        assert _normalize_area("0.0.0.11") == "11"
+        assert _normalize_area("0.0.1.0") == "256"
+
+    def test_none(self):
+        assert _normalize_area(None) == "0"
+
+
+class TestAreaRecovery:
+    def test_areas_and_membership(self):
+        net = Network.from_configs(MULTI_AREA)
+        (structure,) = analyze_ospf_areas(net)
+        assert structure.area_ids == ["0", "1"]
+        assert structure.areas["0"] == {"r1", "r2"}
+        assert structure.areas["1"] == {"r2", "r3", "r4"}
+
+    def test_abr_detection(self):
+        net = Network.from_configs(MULTI_AREA)
+        (structure,) = analyze_ospf_areas(net)
+        assert structure.border_routers == {"r2"}
+        assert structure.abr_count() == 1
+
+    def test_backbone_attached(self):
+        net = Network.from_configs(MULTI_AREA)
+        (structure,) = analyze_ospf_areas(net)
+        assert structure.has_backbone
+        assert structure.detached_areas() == []
+
+    def test_detached_area_flagged(self):
+        # Area 2 exists on r4 only — no ABR joins it to the backbone.
+        configs = dict(MULTI_AREA)
+        configs["r4"] = ospf_router("r4", [(8, 10, "1")]).replace(
+            "router ospf 1\n",
+            "interface Ethernet0\n ip address 10.0.20.1 255.255.255.0\n"
+            "!\nrouter ospf 1\n network 10.0.20.0 0.0.0.255 area 2\n",
+        )
+        configs["r5"] = (
+            "interface Ethernet0\n ip address 10.0.20.2 255.255.255.0\n"
+            "!\nrouter ospf 1\n network 10.0.20.0 0.0.0.255 area 2\n"
+        )
+        net = Network.from_configs(configs)
+        (structure,) = analyze_ospf_areas(net)
+        assert "2" in structure.area_ids
+        assert structure.detached_areas() == ["2"]
+
+    def test_single_area_instance(self, enterprise_net):
+        net, _spec = enterprise_net
+        structures = analyze_ospf_areas(net)
+        assert structures
+        assert all(s.is_single_area for s in structures)
+        assert all(s.detached_areas() == [] for s in structures)
+
+    def test_junos_areas_normalize_with_ios(self):
+        junos = """
+        system { host-name j1; }
+        interfaces { so-0/0/0 { unit 0 { family inet { address 10.0.0.1/30; } } } }
+        protocols { ospf { area 0.0.0.0 { interface so-0/0/0.0; } } }
+        """
+        ios = (
+            "hostname c1\n"
+            "!\ninterface POS0/0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+        )
+        net = Network.from_configs({"j1": junos, "c1": ios})
+        (structure,) = analyze_ospf_areas(net)
+        # "0.0.0.0" (JunOS) and "0" (IOS) are the same area.
+        assert structure.area_ids == ["0"]
+        assert structure.areas["0"] == {"j1", "c1"}

@@ -1,0 +1,60 @@
+"""Census tests (Figure 4, Figure 8, Table 3)."""
+
+from repro.core.census import (
+    config_size_distribution,
+    corpus_size_histogram,
+    interface_census,
+)
+
+
+class TestInterfaceCensus:
+    def test_aggregates_over_networks(self, small_corpus):
+        nets = [cn.network() for cn in small_corpus[:5]]
+        census = interface_census(nets)
+        assert sum(census.values()) == sum(
+            len(r.config.interfaces) for n in nets for r in n.routers.values()
+        )
+
+    def test_serial_most_common(self, small_corpus):
+        nets = [cn.network() for cn in small_corpus]
+        census = interface_census(nets)
+        assert max(census, key=census.get) == "Serial"
+
+    def test_fastethernet_second(self, small_corpus):
+        nets = [cn.network() for cn in small_corpus]
+        census = interface_census(nets)
+        ranked = sorted(census, key=census.get, reverse=True)
+        assert ranked[1] == "FastEthernet"
+
+
+class TestConfigSizes:
+    def test_sorted_series(self, net5_small):
+        net, _spec = net5_small
+        series = config_size_distribution(net)
+        assert series == sorted(series)
+        assert len(series) == len(net)
+
+    def test_sizes_have_spread(self, net5_small):
+        # Figure 4 shows a wide distribution, not a constant.
+        net, _spec = net5_small
+        series = config_size_distribution(net)
+        assert series[-1] > series[0]
+
+
+class TestHistogram:
+    BOUNDS = [10, 20, 40, 80]
+
+    def test_fractions_sum_to_one(self):
+        fractions = corpus_size_histogram([5, 15, 25, 50, 100], self.BOUNDS)
+        assert abs(sum(fractions) - 1.0) < 1e-9
+
+    def test_bucket_assignment(self):
+        fractions = corpus_size_histogram([5, 15, 25, 50, 100], self.BOUNDS)
+        assert fractions == [0.2, 0.2, 0.2, 0.2, 0.2]
+
+    def test_boundary_goes_to_upper_bucket(self):
+        fractions = corpus_size_histogram([10], self.BOUNDS)
+        assert fractions[1] == 1.0
+
+    def test_empty(self):
+        assert corpus_size_histogram([], self.BOUNDS) == [0.0] * 5

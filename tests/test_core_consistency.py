@@ -1,0 +1,175 @@
+"""Configuration consistency / vulnerability audit tests (§8.1)."""
+
+from repro.core.consistency import (
+    audit_configuration,
+    dangling_references,
+    incomplete_adjacencies,
+    one_sided_sessions,
+    unprotected_edges,
+    unused_policies,
+)
+from repro.model import Network
+
+
+class TestUnprotectedEdges:
+    def test_unfiltered_external_interface_flagged(self):
+        net = Network.from_configs(
+            {"r1": "interface Serial0\n ip address 192.0.2.1 255.255.255.252\n"}
+        )
+        findings = unprotected_edges(net)
+        assert any(f.category == "unfiltered-edge-interface" for f in findings)
+
+    def test_filtered_edge_passes(self):
+        config = (
+            "interface Serial0\n ip address 192.0.2.1 255.255.255.252\n"
+            " ip access-group 100 in\n"
+            "!\naccess-list 100 permit ip any any\n"
+        )
+        net = Network.from_configs({"r1": config})
+        assert not [
+            f
+            for f in unprotected_edges(net)
+            if f.category == "unfiltered-edge-interface"
+        ]
+
+    def test_policyless_external_session_flagged(self):
+        config = (
+            "interface Serial0\n ip address 192.0.2.1 255.255.255.252\n"
+            " ip access-group 100 in\n"
+            "!\naccess-list 100 permit ip any any\n"
+            "router bgp 65000\n neighbor 192.0.2.2 remote-as 7018\n"
+        )
+        net = Network.from_configs({"r1": config})
+        findings = unprotected_edges(net)
+        assert any(f.category == "unfiltered-external-session" for f in findings)
+
+    def test_session_with_prefix_list_passes(self):
+        config = (
+            "interface Serial0\n ip address 192.0.2.1 255.255.255.252\n"
+            " ip access-group 100 in\n"
+            "!\naccess-list 100 permit ip any any\n"
+            "router bgp 65000\n neighbor 192.0.2.2 remote-as 7018\n"
+            " neighbor 192.0.2.2 prefix-list SANE in\n"
+            "!\nip prefix-list SANE seq 5 permit 0.0.0.0/0 le 24\n"
+        )
+        net = Network.from_configs({"r1": config})
+        assert not [
+            f
+            for f in unprotected_edges(net)
+            if f.category == "unfiltered-external-session"
+        ]
+
+
+class TestIncompleteAdjacency:
+    COVERED = (
+        "interface Serial0\n ip address 10.0.0.{host} 255.255.255.252\n"
+        "!\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+    )
+    UNCOVERED = "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+
+    def test_half_covered_link_flagged(self):
+        net = Network.from_configs(
+            {"r1": self.COVERED.format(host=1), "r2": self.UNCOVERED}
+        )
+        (finding,) = incomplete_adjacencies(net)
+        assert finding.router == "r2"
+        assert "not covered" in finding.detail
+
+    def test_fully_covered_link_passes(self):
+        net = Network.from_configs(
+            {"r1": self.COVERED.format(host=1), "r2": self.COVERED.format(host=2)}
+        )
+        assert incomplete_adjacencies(net) == []
+
+    def test_fully_uncovered_link_passes(self):
+        # Links with no IGP at all (pure BGP or static designs) are fine.
+        net = Network.from_configs(
+            {
+                "r1": "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n",
+                "r2": self.UNCOVERED,
+            }
+        )
+        assert incomplete_adjacencies(net) == []
+
+
+class TestReferences:
+    def test_dangling_access_group(self):
+        net = Network.from_configs(
+            {
+                "r1": "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+                " ip access-group 55 in\n"
+            }
+        )
+        (finding,) = dangling_references(net)
+        assert "access-list 55" in finding.detail
+
+    def test_dangling_route_map(self):
+        config = "router ospf 1\n redistribute static route-map GONE subnets\n"
+        net = Network.from_configs({"r1": config})
+        findings = dangling_references(net)
+        assert any("route-map GONE" in f.detail for f in findings)
+
+    def test_unused_acl_flagged(self):
+        net = Network.from_configs({"r1": "access-list 9 permit any\n"})
+        (finding,) = unused_policies(net)
+        assert "access-list 9" in finding.detail
+
+    def test_used_objects_not_flagged(self):
+        config = (
+            "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+            " ip access-group 9 in\n"
+            "!\naccess-list 9 permit any\n"
+        )
+        net = Network.from_configs({"r1": config})
+        assert unused_policies(net) == []
+
+
+class TestOneSidedSessions:
+    def test_missing_reverse_neighbor_flagged(self):
+        configs = {
+            "a": (
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+                "!\nrouter bgp 65000\n neighbor 10.0.0.2 remote-as 65000\n"
+            ),
+            "b": (
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+                "!\nrouter bgp 65000\n"
+            ),
+        }
+        net = Network.from_configs(configs)
+        findings = one_sided_sessions(net)
+        assert len(findings) == 1
+        assert findings[0].router == "a"
+
+    def test_bidirectional_session_passes(self):
+        configs = {
+            "a": (
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+                "!\nrouter bgp 65000\n neighbor 10.0.0.2 remote-as 65000\n"
+            ),
+            "b": (
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+                "!\nrouter bgp 65000\n neighbor 10.0.0.1 remote-as 65000\n"
+            ),
+        }
+        net = Network.from_configs(configs)
+        assert one_sided_sessions(net) == []
+
+
+class TestFullAudit:
+    def test_generated_networks_are_mostly_clean(self, enterprise_net):
+        net, _spec = enterprise_net
+        report = audit_configuration(net)
+        # The generator wires everything consistently; the only expected
+        # findings are the deliberately open edges (no inbound filter is
+        # placed on every uplink) — never dangling refs or broken sessions.
+        assert report.by_category("dangling-reference") == []
+        assert report.by_category("one-sided-session") == []
+        assert report.by_category("incomplete-adjacency") == []
+
+    def test_report_shape(self, enterprise_net):
+        net, _spec = enterprise_net
+        report = audit_configuration(net)
+        assert len(report) == len(report.findings)
+        for finding in report.findings:
+            assert str(finding).startswith("[")

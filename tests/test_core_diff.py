@@ -1,0 +1,74 @@
+"""Design diff tests (§8.2 longitudinal analysis)."""
+
+from repro.core import diff_designs
+from repro.model import Network
+from repro.synth.templates.enterprise import build_enterprise
+
+
+def make_snapshot(n_routers, seed=5, **kw):
+    configs, _spec = build_enterprise("snap", 40, n_routers, seed=seed, **kw)
+    return configs
+
+
+class TestDiff:
+    def test_identical_snapshots_empty(self):
+        configs = make_snapshot(10)
+        before = Network.from_configs(configs, name="t0")
+        after = Network.from_configs(dict(configs), name="t1")
+        diff = diff_designs(before, after)
+        assert diff.is_empty
+        assert diff.summary_lines() == ["no design-level changes"]
+
+    def test_removed_router_detected(self):
+        configs = make_snapshot(10)
+        before = Network.from_configs(configs, name="t0")
+        shrunk = {k: v for k, v in configs.items() if k != "snap-r5"}
+        after = Network.from_configs(shrunk, name="t1")
+        diff = diff_designs(before, after)
+        assert diff.routers_removed == ["snap-r5"]
+        assert not diff.routers_added
+        assert diff.links_removed  # its uplink disappears with it
+
+    def test_instance_resize_detected(self):
+        before = Network.from_configs(make_snapshot(10), name="t0")
+        after = Network.from_configs(make_snapshot(13), name="t1")
+        diff = diff_designs(before, after)
+        resized = [c for c in diff.instances_changed if c.protocol == "ospf"]
+        assert resized
+        assert resized[0].grew
+        assert resized[0].routers_added
+
+    def test_new_instance_detected(self):
+        configs = make_snapshot(10)
+        before = Network.from_configs(configs, name="t0")
+        grown = dict(configs)
+        grown["snap-lab"] = (
+            "hostname snap-lab\n"
+            "!\ninterface Ethernet0\n ip address 172.20.0.1 255.255.255.0\n"
+            "!\nrouter rip\n version 2\n network 172.20.0.0\n"
+        )
+        after = Network.from_configs(grown, name="t1")
+        diff = diff_designs(before, after)
+        assert ("rip", 1) in diff.instances_added
+
+    def test_filter_volume_change(self):
+        configs = make_snapshot(10)
+        before = Network.from_configs(configs, name="t0")
+        hardened = dict(configs)
+        name = "snap-r1"
+        hardened[name] = hardened[name].replace(
+            "interface FastEthernet0/0\n",
+            "interface FastEthernet0/0\n ip access-group 1333 in\n",
+            1,
+        ) + "access-list 1333 deny 10.66.0.0 0.0.255.255\naccess-list 1333 permit any\n"
+        after = Network.from_configs(hardened, name="t1")
+        diff = diff_designs(before, after)
+        assert diff.filter_rules_after == diff.filter_rules_before + 2
+
+    def test_summary_mentions_changes(self):
+        configs = make_snapshot(10)
+        before = Network.from_configs(configs, name="t0")
+        shrunk = {k: v for k, v in configs.items() if k != "snap-r5"}
+        after = Network.from_configs(shrunk, name="t1")
+        lines = diff_designs(before, after).summary_lines()
+        assert any("routers" in line for line in lines)

@@ -1,0 +1,92 @@
+"""Packet-filter placement tests (§5.3, Figure 11)."""
+
+import pytest
+
+from repro.core.filters import analyze_filter_placement, internal_filter_cdf
+from repro.model import Network
+
+
+def net_with_filters(acl_rules: int, on_external: bool):
+    """One router; a filter on either an external /30 or an internal LAN."""
+    rules = "".join(
+        f"access-list 101 deny tcp 10.{i}.0.0 0.0.255.255 any eq 80\n"
+        for i in range(acl_rules - 1)
+    ) + "access-list 101 permit ip any any\n"
+    if on_external:
+        iface = "interface Serial0\n ip address 192.0.2.1 255.255.255.252\n ip access-group 101 in\n"
+    else:
+        iface = "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n ip access-group 101 in\n"
+    return Network.from_configs({"r1": iface + "!\n" + rules})
+
+
+class TestPlacement:
+    def test_external_filter_counts_as_edge(self):
+        placement = analyze_filter_placement(net_with_filters(5, on_external=True))
+        assert placement.total_rules == 5
+        assert placement.internal_rules == 0
+        assert placement.internal_fraction == 0.0
+
+    def test_internal_filter_counts_as_internal(self):
+        placement = analyze_filter_placement(net_with_filters(5, on_external=False))
+        assert placement.internal_fraction == 1.0
+
+    def test_each_clause_is_a_rule(self):
+        placement = analyze_filter_placement(net_with_filters(47, on_external=False))
+        assert placement.total_rules == 47
+        assert placement.largest_filter() == ("101", 47)
+
+    def test_filter_applied_twice_counts_twice(self):
+        config = (
+            "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+            " ip access-group 9 in\n ip access-group 9 out\n"
+            "!\naccess-list 9 permit any\n"
+        )
+        net = Network.from_configs({"r1": config})
+        placement = analyze_filter_placement(net)
+        assert placement.total_rules == 2
+        assert len(placement.applications) == 2
+
+    def test_dangling_acl_reference_ignored(self):
+        config = (
+            "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+            " ip access-group 77 in\n"
+        )
+        net = Network.from_configs({"r1": config})
+        placement = analyze_filter_placement(net)
+        assert not placement.has_filters
+        assert placement.largest_filter() is None
+
+    def test_no_filters(self):
+        net = Network.from_configs(
+            {"r1": "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"}
+        )
+        assert not analyze_filter_placement(net).has_filters
+
+
+class TestCorpusCdf:
+    def test_filterless_networks_excluded(self, small_corpus):
+        nets = [cn.network() for cn in small_corpus]
+        cdf = internal_filter_cdf(nets)
+        assert len(cdf) == 28  # 31 networks, 3 without filters
+
+    def test_cdf_sorted_percentages(self, small_corpus):
+        nets = [cn.network() for cn in small_corpus]
+        cdf = internal_filter_cdf(nets)
+        assert cdf == sorted(cdf)
+        assert all(0.0 <= value <= 100.0 for value in cdf)
+
+    def test_figure11_knee(self, small_corpus):
+        # "in more than 30% of the networks, at least 40% of the packet
+        # filter rules are applied at internal interfaces."
+        nets = [cn.network() for cn in small_corpus]
+        cdf = internal_filter_cdf(nets)
+        at_least_40 = sum(1 for value in cdf if value >= 40.0) / len(cdf)
+        assert at_least_40 > 0.25
+
+    def test_placement_tracks_generator_target(self, small_corpus):
+        for cn in small_corpus:
+            target = cn.spec.internal_filter_fraction
+            if target is None or not cn.spec.external_interfaces:
+                continue
+            measured = analyze_filter_placement(cn.network()).internal_fraction
+            assert measured == pytest.approx(target, abs=0.10)

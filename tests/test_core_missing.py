@@ -1,0 +1,48 @@
+"""Missing-router detection tests (§3.4)."""
+
+from repro.core import find_suspect_external_interfaces
+from repro.model import Network
+from repro.synth.templates.enterprise import build_enterprise
+
+
+def parse_subset(configs, drop):
+    kept = {name: text for name, text in configs.items() if name != drop}
+    return Network.from_configs(kept, name="partial")
+
+
+class TestMissingRouterDetection:
+    def test_complete_data_set_has_no_suspects(self, enterprise_net):
+        net, _spec = enterprise_net
+        assert find_suspect_external_interfaces(net) == []
+
+    def test_dropping_a_spoke_creates_a_suspect(self):
+        configs, _spec = build_enterprise("md", 11, 14, seed=9)
+        # Drop an interior spoke; its hub-side interface lands mid-block.
+        victim = "md-r5"
+        partial = parse_subset(configs, victim)
+        suspects = find_suspect_external_interfaces(partial)
+        assert suspects, "expected the hub's orphaned interface to be flagged"
+        # The flagged interface's address sits inside an internal block.
+        assert all(str(s.block).startswith("10.") for s in suspects)
+
+    def test_true_external_interfaces_not_flagged(self):
+        configs, spec = build_enterprise("md2", 12, 14, seed=10)
+        net = Network.from_configs(configs, name="md2")
+        suspects = find_suspect_external_interfaces(net)
+        flagged = {(s.router, s.interface) for s in suspects}
+        # The provider uplink is genuinely external: from the external
+        # address block, so never flagged.
+        assert not flagged & set(spec.external_interfaces)
+
+    def test_min_neighbors_threshold(self):
+        configs, _spec = build_enterprise("md3", 13, 14, seed=11)
+        partial = parse_subset(configs, "md3-r5")
+        strict = find_suspect_external_interfaces(partial, min_internal_neighbors=10**6)
+        assert strict == []
+
+    def test_suspect_fields(self):
+        configs, _spec = build_enterprise("md4", 14, 14, seed=12)
+        partial = parse_subset(configs, "md4-r5")
+        for suspect in find_suspect_external_interfaces(partial):
+            assert suspect.router in partial.routers
+            assert suspect.internal_neighbors_in_block >= 3

@@ -1,0 +1,192 @@
+"""Data-plane (packet filter) reachability tests (§2.4, §5.3)."""
+
+import pytest
+
+from repro.core.packet_reach import Flow, PacketReachability
+from repro.model import Network
+from repro.net import IPv4Address
+
+
+def triangle_with_filters(extra_r2=""):
+    """r1 -- r2 -- r3, LANs on r1 and r3; filters configurable on r2."""
+    return {
+        "r1": (
+            "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+            "!\ninterface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n"
+        ),
+        "r2": (
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\ninterface Serial1\n ip address 10.0.0.5 255.255.255.252\n"
+            + extra_r2
+        ),
+        "r3": (
+            "interface Serial0\n ip address 10.0.0.6 255.255.255.252\n"
+            "!\ninterface Ethernet0\n ip address 10.3.0.1 255.255.255.0\n"
+        ),
+    }
+
+
+WEB_FLOW = Flow.between("10.1.0.50", "10.3.0.50", protocol="tcp", port=80)
+APP_FLOW = Flow.between("10.1.0.50", "10.3.0.50", protocol="tcp", port=8080)
+PIM_FLOW = Flow.between("10.1.0.50", "10.3.0.50", protocol="pim")
+
+
+class TestAclFlowSemantics:
+    def test_port_eq(self):
+        from repro.ios import parse_config
+
+        cfg = parse_config(
+            "access-list 101 deny tcp any any eq 8080\n"
+            "access-list 101 permit ip any any\n"
+        )
+        acl = cfg.access_lists["101"]
+        src, dst = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+        assert not acl.permits_flow(src, dst, "tcp", 8080)
+        assert acl.permits_flow(src, dst, "tcp", 80)
+        assert acl.permits_flow(src, dst, "udp", 8080)  # tcp rule skipped
+
+    def test_port_range(self):
+        from repro.ios import parse_config
+
+        cfg = parse_config(
+            "access-list 102 permit udp any any range 5000 6000\n"
+        )
+        acl = cfg.access_lists["102"]
+        src, dst = IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2")
+        assert acl.permits_flow(src, dst, "udp", 5500)
+        assert not acl.permits_flow(src, dst, "udp", 6500)
+
+    def test_protocol_specific_deny(self):
+        from repro.ios import parse_config
+
+        cfg = parse_config(
+            "access-list 103 deny pim any any\naccess-list 103 permit ip any any\n"
+        )
+        acl = cfg.access_lists["103"]
+        src, dst = IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2")
+        assert not acl.permits_flow(src, dst, "pim")
+        assert acl.permits_flow(src, dst, "tcp", 22)
+
+    def test_ip_protocol_matches_everything(self):
+        from repro.ios import parse_config
+
+        cfg = parse_config("access-list 104 permit ip any any\n")
+        acl = cfg.access_lists["104"]
+        src, dst = IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2")
+        assert acl.permits_flow(src, dst, "icmp")
+
+    def test_dest_matching(self):
+        from repro.ios import parse_config
+
+        cfg = parse_config(
+            "access-list 105 permit tcp any host 10.3.0.50 eq 80\n"
+        )
+        acl = cfg.access_lists["105"]
+        src = IPv4Address("1.1.1.1")
+        assert acl.permits_flow(src, IPv4Address("10.3.0.50"), "tcp", 80)
+        assert not acl.permits_flow(src, IPv4Address("10.3.0.51"), "tcp", 80)
+
+
+class TestUnfilteredPath:
+    def test_flow_allowed(self):
+        net = Network.from_configs(triangle_with_filters())
+        reach = PacketReachability(net)
+        verdict = reach.trace_flow("r1", "r3", WEB_FLOW)
+        assert verdict.allowed
+        assert verdict.path == ["r1", "r2", "r3"]
+
+    def test_host_location(self):
+        net = Network.from_configs(triangle_with_filters())
+        reach = PacketReachability(net)
+        assert reach.locate_host("10.1.0.50") == ("r1", "Ethernet0")
+        assert reach.locate_host("10.3.0.99") == ("r3", "Ethernet0")
+        assert reach.locate_host("99.0.0.1") is None
+
+    def test_host_flow_end_to_end(self):
+        net = Network.from_configs(triangle_with_filters())
+        reach = PacketReachability(net)
+        assert reach.host_flow(WEB_FLOW).allowed
+
+
+class TestInternalFilters:
+    PORT_FILTER = (
+        " ip access-group 101 in\n"
+        "!\naccess-list 101 deny tcp any any eq 8080\n"
+        "access-list 101 permit ip any any\n"
+    )
+
+    def make(self):
+        configs = triangle_with_filters()
+        configs["r2"] = configs["r2"].replace(
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n",
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+            + self.PORT_FILTER.split("!\n")[0],
+        ) + "access-list 101 deny tcp any any eq 8080\naccess-list 101 permit ip any any\n"
+        return Network.from_configs(configs)
+
+    def test_port_blocked_midpath(self):
+        reach = PacketReachability(self.make())
+        verdict = reach.trace_flow("r1", "r3", APP_FLOW)
+        assert not verdict.allowed
+        assert verdict.blocked_at.router == "r2"
+        assert verdict.blocked_at.direction == "in"
+        assert verdict.blocked_at.acl == "101"
+
+    def test_other_ports_pass(self):
+        reach = PacketReachability(self.make())
+        assert reach.trace_flow("r1", "r3", WEB_FLOW).allowed
+
+    def test_reverse_direction_unfiltered(self):
+        # The filter is inbound on r2's r1-facing interface only.
+        reach = PacketReachability(self.make())
+        back = Flow.between("10.3.0.50", "10.1.0.50", protocol="tcp", port=8080)
+        assert reach.trace_flow("r3", "r1", back).allowed
+
+
+class TestProtocolDisabling:
+    def test_pim_disabled_in_part_of_network(self):
+        # §5.3: "drop packets of a specific protocol (e.g., PIM) ...
+        # effectively disabling that protocol in all or parts of the network"
+        configs = triangle_with_filters()
+        configs["r3"] = configs["r3"].replace(
+            "interface Serial0\n ip address 10.0.0.6 255.255.255.252\n",
+            "interface Serial0\n ip address 10.0.0.6 255.255.255.252\n"
+            " ip access-group 120 in\n",
+        ) + "access-list 120 deny pim any any\naccess-list 120 permit ip any any\n"
+        net = Network.from_configs(configs)
+        reach = PacketReachability(net)
+        assert reach.protocol_disabled_between("r1", "r3", "pim")
+        assert not reach.protocol_disabled_between("r1", "r3", "tcp")
+        assert not reach.protocol_disabled_between("r1", "r2", "pim")
+
+
+class TestLanEdgeFilters:
+    def test_source_lan_ingress_filter(self):
+        configs = triangle_with_filters()
+        configs["r1"] = configs["r1"].replace(
+            "interface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n",
+            "interface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n"
+            " ip access-group 130 in\n",
+        ) + (
+            "access-list 130 deny tcp host 10.1.0.50 any eq 80\n"
+            "access-list 130 permit ip any any\n"
+        )
+        net = Network.from_configs(configs)
+        reach = PacketReachability(net)
+        # §5.3: "dictate which set of hosts can use a particular application"
+        blocked_host = Flow.between("10.1.0.50", "10.3.0.50", "tcp", 80)
+        allowed_host = Flow.between("10.1.0.51", "10.3.0.50", "tcp", 80)
+        assert not reach.host_flow(blocked_host).allowed
+        assert reach.host_flow(blocked_host).blocked_at.interface == "Ethernet0"
+        assert reach.host_flow(allowed_host).allowed
+
+    def test_disconnected_routers(self):
+        configs = triangle_with_filters()
+        configs["island"] = (
+            "interface Ethernet0\n ip address 172.20.0.1 255.255.255.0\n"
+        )
+        net = Network.from_configs(configs)
+        reach = PacketReachability(net)
+        verdict = reach.trace_flow("r1", "island", WEB_FLOW)
+        assert not verdict.allowed
+        assert verdict.path == []

@@ -1,0 +1,127 @@
+"""Route pathway graph tests (§3.3, Figures 7 and 10)."""
+
+import pytest
+
+from repro.core import compute_instances, route_pathway
+from repro.core.pathways import ROUTER_RIB
+from repro.core.process_graph import EXTERNAL_NODE
+from repro.model import Network
+from repro.synth.templates.example_fig1 import build_example_networks
+
+
+@pytest.fixture(scope="module")
+def split_networks():
+    """The Figure 1 example analyzed per administrative domain, so the
+    enterprise sees the backbone as external (as in Figure 7)."""
+    configs, meta = build_example_networks()
+    enterprise = Network.from_configs(
+        {name: configs[name] for name in meta["enterprise_routers"]},
+        name="enterprise",
+    )
+    backbone = Network.from_configs(
+        {name: configs[name] for name in meta["backbone_routers"]},
+        name="backbone",
+    )
+    return enterprise, backbone
+
+
+class TestFig7Enterprise:
+    def test_router1_pathway(self, split_networks):
+        enterprise, _ = split_networks
+        pathway = route_pathway(enterprise, "R1")
+        # Figure 7(a): Router RIB <- OSPF instance <- BGP instance <- external.
+        assert pathway.layers[ROUTER_RIB] == 0
+        assert pathway.reaches_external
+        assert pathway.external_depth() == 3
+
+    def test_router1_sees_one_ospf_instance_directly(self, split_networks):
+        enterprise, _ = split_networks
+        pathway = route_pathway(enterprise, "R1")
+        depth_one = [n for n, d in pathway.layers.items() if d == 1]
+        assert len(depth_one) == 1
+
+    def test_border_router_direct_instances(self, split_networks):
+        enterprise, _ = split_networks
+        pathway = route_pathway(enterprise, "R2")
+        # R2 runs ospf 64, ospf 128, and BGP: three depth-1 instances.
+        depth_one = [n for n, d in pathway.layers.items() if d == 1]
+        assert len(depth_one) == 3
+        assert pathway.external_depth() == 2
+
+
+class TestFig7Backbone:
+    def test_router5_pathway(self, split_networks):
+        _, backbone = split_networks
+        pathway = route_pathway(backbone, "R5")
+        # Figure 7(b): external routes arrive via the BGP instance directly.
+        assert pathway.external_depth() == 2
+        depth_one = [n for n, d in pathway.layers.items() if d == 1]
+        assert len(depth_one) == 2  # the OSPF instance and the BGP instance
+
+    def test_backbone_ospf_not_on_external_path(self, split_networks):
+        _, backbone = split_networks
+        instances = compute_instances(backbone)
+        pathway = route_pathway(backbone, "R5", instances=instances)
+        ospf_id = next(i.instance_id for i in instances if i.protocol == "ospf")
+        # The hallmark: external routes never flow through the IGP, so the
+        # OSPF instance has no incoming edge in the pathway graph.
+        assert not list(pathway.graph.predecessors(ospf_id))
+
+
+class TestNet5Pathway:
+    def test_middle_router_depth_at_least_three(self, net5_small):
+        net, spec = net5_small
+        pathway = route_pathway(net, spec.notes["middle_router"])
+        # §5.1: external routes cross at least 3 layers of protocols and
+        # redistribution before reaching the middle of net5.
+        assert pathway.external_depth() is not None
+        assert pathway.external_depth() >= 3
+
+    def test_unknown_router_raises(self, net5_small):
+        net, _ = net5_small
+        with pytest.raises(KeyError):
+            route_pathway(net, "nonexistent")
+
+
+class TestPathwayShape:
+    def test_bfs_layer_invariant(self, split_networks):
+        enterprise, _ = split_networks
+        pathway = route_pathway(enterprise, "R1")
+        # BFS guarantees a source is discovered at most one layer beyond
+        # its consumer (bidirectional exchanges create same-layer edges).
+        for source, target in pathway.graph.edges:
+            assert pathway.layers[source] <= pathway.layers[target] + 1
+
+    def test_depth_property(self, split_networks):
+        enterprise, _ = split_networks
+        pathway = route_pathway(enterprise, "R1")
+        assert pathway.depth == max(pathway.layers.values())
+
+    def test_instances_listing(self, split_networks):
+        enterprise, _ = split_networks
+        pathway = route_pathway(enterprise, "R1")
+        assert all(isinstance(i, int) for i in pathway.instances)
+
+
+class TestPolicyLocation:
+    """§3.3: pathways locate the policies affecting a router's routes."""
+
+    def test_enterprise_pathway_carries_border_policy(self, split_networks):
+        enterprise, _ = split_networks
+        pathway = route_pathway(enterprise, "R1")
+        # R2's EXT-SUMMARY route map governs what R1 can ever learn.
+        names = {name for _s, _t, name in pathway.policies}
+        assert "EXT-SUMMARY" in names
+
+    def test_backbone_pathway_has_no_redistribution_policies(self, split_networks):
+        _, backbone = split_networks
+        pathway = route_pathway(backbone, "R5")
+        assert pathway.policies == []
+
+    def test_net5_pathway_locates_compartment_policies(self, net5_small):
+        net, spec = net5_small
+        pathway = route_pathway(net, spec.notes["middle_router"])
+        names = {name for _s, _t, name in pathway.policies}
+        # The address-based compartment route maps of §6.1.
+        assert any(name.startswith("INTO-EIGRP") for name in names)
+        assert any(name.startswith("FROM-EIGRP") for name in names)

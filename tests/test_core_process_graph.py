@@ -1,0 +1,117 @@
+"""Routing process graph tests (§3.1, Figure 5)."""
+
+from repro.core.process_graph import (
+    EXTERNAL_NODE,
+    NodeKind,
+    build_process_graph,
+    local_rib_node,
+    router_rib_node,
+)
+
+
+class TestFig1ProcessGraph:
+    def test_node_population(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        # Each router: local RIB + router RIB; plus one node per process;
+        # plus the external world.
+        expected = 1 + 2 * len(net.routers) + len(net.processes)
+        assert graph.number_of_nodes() == expected
+
+    def test_node_kinds(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        assert graph.nodes[EXTERNAL_NODE]["kind"] == NodeKind.EXTERNAL
+        assert graph.nodes[local_rib_node("R1")]["kind"] == NodeKind.LOCAL
+        assert graph.nodes[router_rib_node("R1")]["kind"] == NodeKind.ROUTER_RIB
+        assert graph.nodes[("R2", "bgp", 64780)]["kind"] == NodeKind.PROCESS
+
+    def test_selection_edges(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        rib = router_rib_node("R2")
+        sources = {u for u, _v, d in graph.in_edges(rib, data=True) if d["kind"] == "selection"}
+        # local RIB + R2's three processes (ospf 64, ospf 128, bgp).
+        assert local_rib_node("R2") in sources
+        assert ("R2", "ospf", 64) in sources
+        assert ("R2", "ospf", 128) in sources
+        assert ("R2", "bgp", 64780) in sources
+
+    def test_redistribution_edges_on_r2(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        bgp = ("R2", "bgp", 64780)
+        ospf128 = ("R2", "ospf", 128)
+        kinds = {d["kind"] for _u, _v, d in graph.out_edges(bgp, data=True)}
+        assert "redistribution" in kinds
+        # bgp -> ospf 128 redistribution present with its route map.
+        maps = [
+            d.get("route_map")
+            for _u, v, d in graph.out_edges(bgp, data=True)
+            if v == ospf128 and d["kind"] == "redistribution"
+        ]
+        assert maps == ["EXT-SUMMARY"]
+
+    def test_connected_redistribution_comes_from_local_rib(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        ospf128 = ("R2", "ospf", 128)
+        sources = {
+            u for u, _v, d in graph.in_edges(ospf128, data=True)
+            if d["kind"] == "redistribution"
+        }
+        assert local_rib_node("R2") in sources
+
+    def test_igp_adjacency_edges_bidirectional(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        r1 = ("R1", "ospf", 128)
+        r2 = ("R2", "ospf", 128)
+        assert any(d["kind"] == "adjacency" for d in graph.get_edge_data(r1, r2).values())
+        assert any(d["kind"] == "adjacency" for d in graph.get_edge_data(r2, r1).values())
+
+    def test_ibgp_adjacency_edges(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        r4 = ("R4", "bgp", 12762)
+        r5 = ("R5", "bgp", 12762)
+        data = graph.get_edge_data(r4, r5)
+        assert data is not None
+        assert any(d.get("bgp") == "ibgp" for d in data.values())
+
+    def test_ebgp_adjacency_edge(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        ent = ("R2", "bgp", 64780)
+        bb = ("R6", "bgp", 12762)
+        data = graph.get_edge_data(ent, bb)
+        assert data is not None
+        assert any(d.get("bgp") == "ebgp" for d in data.values())
+
+    def test_external_edge_for_missing_r7(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        r4 = ("R4", "bgp", 12762)
+        data = graph.get_edge_data(EXTERNAL_NODE, r4)
+        assert data is not None
+        assert any(d["kind"] == "external" for d in data.values())
+
+    def test_no_external_edges_to_enterprise(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net)
+        for node in graph.successors(EXTERNAL_NODE):
+            if node == EXTERNAL_NODE:
+                continue
+            assert node[0] != "R2", "enterprise border is internal in this data set"
+
+
+class TestExternalIgpEdges:
+    def test_staging_processes_touch_external(self, tier2_net):
+        net, _spec = tier2_net
+        graph = build_process_graph(net)
+        igp_external = {
+            v
+            for _u, v, d in graph.out_edges(EXTERNAL_NODE, data=True)
+            if d["kind"] == "external" and v[1] in ("ospf", "eigrp", "rip")
+        }
+        assert igp_external, "tier-2 staging IGP processes must face outward"

@@ -1,0 +1,86 @@
+"""IGP/EGP role classification tests (§5.2, Table 1)."""
+
+from repro.core.roles import RoleCensus, census_over_networks, classify_roles
+from repro.model import Network
+
+
+class TestPerNetworkRoles:
+    def test_enterprise_roles(self, enterprise_net):
+        net, _spec = enterprise_net
+        census = classify_roles(net)
+        assert census.igp_intra["ospf"] == 1
+        assert census.igp_inter["ospf"] == 0
+        assert census.ebgp_inter == 2  # two provider uplinks
+        assert census.ebgp_intra == 0
+
+    def test_backbone_roles(self, backbone_net):
+        net, spec = backbone_net
+        census = classify_roles(net)
+        assert census.igp_intra["ospf"] == 1
+        assert census.ebgp_inter == spec.notes["ebgp_external_sessions"]
+        assert census.ebgp_intra == 0
+
+    def test_tier2_staging_instances_are_inter_domain(self, tier2_net):
+        net, spec = tier2_net
+        census = classify_roles(net)
+        inter_total = sum(census.igp_inter.values())
+        # One core OSPF instance is intra; every staging instance is inter.
+        assert census.igp_intra["ospf"] == 1
+        assert inter_total == spec.notes["staging_instances"]
+
+    def test_net5_intra_ebgp_sessions(self, net5_small):
+        net, _spec = net5_small
+        census = classify_roles(net)
+        # net5 uses EBGP as an intra-domain protocol (instances 2 <-> 3).
+        assert census.ebgp_intra > 0
+        # The paper counts 16 external ASs; sessions may outnumber ASs.
+        assert census.ebgp_inter >= 16
+
+    def test_igrp_folds_into_eigrp(self):
+        config = (
+            "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+            "!\nrouter igrp 7\n network 10.0.0.0\n"
+        )
+        net = Network.from_configs({"r1": config})
+        census = classify_roles(net)
+        assert census.igp_intra["eigrp"] == 1
+
+
+class TestAggregation:
+    def test_add(self):
+        a = RoleCensus(igp_intra={"ospf": 1}, igp_inter={"ospf": 2}, ebgp_intra=3, ebgp_inter=4)
+        b = RoleCensus(igp_intra={"ospf": 10}, igp_inter={"ospf": 20}, ebgp_intra=30, ebgp_inter=40)
+        a.add(b)
+        assert a.igp_intra["ospf"] == 11
+        assert a.igp_inter["ospf"] == 22
+        assert (a.ebgp_intra, a.ebgp_inter) == (33, 44)
+
+    def test_fractions(self):
+        census = RoleCensus(
+            igp_intra={"ospf": 90}, igp_inter={"ospf": 10}, ebgp_intra=10, ebgp_inter=90
+        )
+        assert census.unconventional_igp_fraction() == 0.1
+        assert census.unconventional_ebgp_fraction() == 0.1
+
+    def test_fractions_empty(self):
+        census = RoleCensus()
+        assert census.unconventional_igp_fraction() == 0.0
+        assert census.unconventional_ebgp_fraction() == 0.0
+
+    def test_corpus_shape(self, small_corpus):
+        nets = [cn.network() for cn in small_corpus]
+        census = census_over_networks(nets)
+        # Table 1's shape: conventional usage dominates, but a significant
+        # minority breaks the IGP/EGP paradigm.
+        assert 0.03 < census.unconventional_igp_fraction() < 0.30
+        assert 0.02 < census.unconventional_ebgp_fraction() < 0.30
+        # EIGRP has the most intra-domain instances; OSPF the most
+        # inter-domain ones (per Table 1).
+        assert census.igp_intra["eigrp"] >= census.igp_intra["ospf"]
+        assert census.igp_inter["ospf"] >= census.igp_inter["eigrp"]
+        # Three corpus networks do not use BGP at all.
+        no_bgp = [
+            net for net in nets
+            if not any(r.config.bgp_process for r in net.routers.values())
+        ]
+        assert len(no_bgp) == 3

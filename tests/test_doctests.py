@@ -1,0 +1,19 @@
+"""Run the doctest examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.ios.config
+import repro.net.ipv4
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.net.ipv4, repro.ios.config],
+    ids=lambda m: m.__name__,
+)
+def test_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,59 @@
+"""Tests for the line/block structure layer."""
+
+from repro.ios.blocks import split_blocks
+
+
+class TestSplitBlocks:
+    def test_flat_commands(self):
+        blocks, lines, commands = split_blocks("ip cef\nip classless\n")
+        assert [b.line for b in blocks] == ["ip cef", "ip classless"]
+        assert (lines, commands) == (2, 2)
+
+    def test_children_attach_to_parent(self):
+        blocks, _, _ = split_blocks("interface Ethernet0\n ip address 1.2.3.4 255.0.0.0\n")
+        assert len(blocks) == 1
+        assert blocks[0].child_lines() == ["ip address 1.2.3.4 255.0.0.0"]
+
+    def test_bang_separator_closes_stanza(self):
+        text = "interface Ethernet0\n!\n shutdown\n"
+        blocks, _, _ = split_blocks(text)
+        # After "!", the indented line cannot attach to the interface.
+        assert blocks[0].children == []
+        assert blocks[1].line == "shutdown"
+
+    def test_comments_counted_as_lines_not_commands(self):
+        _, lines, commands = split_blocks("! a comment\nip cef\n")
+        assert (lines, commands) == (2, 1)
+
+    def test_blank_lines_ignored(self):
+        _, lines, commands = split_blocks("\n\nip cef\n\n")
+        assert (lines, commands) == (1, 1)
+
+    def test_nested_indentation(self):
+        text = "router bgp 1\n address-family ipv4\n  network 10.0.0.0\n"
+        blocks, _, _ = split_blocks(text)
+        family = blocks[0].children[0]
+        assert family.line == "address-family ipv4"
+        assert family.children[0].line == "network 10.0.0.0"
+
+    def test_sibling_after_nested(self):
+        text = "router bgp 1\n address-family ipv4\n  network 10.0.0.0\n neighbor 1.1.1.1 remote-as 2\n"
+        blocks, _, _ = split_blocks(text)
+        assert [c.line for c in blocks[0].children] == [
+            "address-family ipv4",
+            "neighbor 1.1.1.1 remote-as 2",
+        ]
+
+    def test_walk_visits_all(self):
+        text = "a\n b\n  c\n d\n"
+        blocks, _, _ = split_blocks(text)
+        assert [node.line for node in blocks[0].walk()] == ["a", "b", "c", "d"]
+
+    def test_line_numbers(self):
+        blocks, _, _ = split_blocks("ip cef\n\ninterface Ethernet0\n")
+        assert blocks[0].line_number == 1
+        assert blocks[1].line_number == 3
+
+    def test_words(self):
+        blocks, _, _ = split_blocks("ip route 10.0.0.0 255.0.0.0 1.1.1.1\n")
+        assert blocks[0].words[:2] == ["ip", "route"]

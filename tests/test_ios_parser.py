@@ -1,0 +1,276 @@
+"""Parser tests, anchored on the paper's Figure 2 configlet."""
+
+import pytest
+
+from repro.ios import parse_config
+from repro.ios.parser import ConfigParseError
+from repro.net import Prefix
+
+FIG2 = """\
+interface Ethernet0
+ ip address 66.251.75.144 255.255.255.128
+ ip access-group 143 in
+!
+interface Serial1/0.5 point-to-point
+ ip address 66.253.32.85 255.255.255.252
+ ip access-group 143 in
+ frame-relay interface-dlci 28
+!
+interface Hssi2/0 point-to-point
+ ip address 66.253.160.67 255.255.255.252
+!
+router ospf 64
+ redistribute connected metric-type 1 subnets
+ redistribute bgp 64780 metric 1 subnets
+ network 66.251.75.128 0.0.0.127 area 0
+!
+router ospf 128
+ redistribute connected metric-type 1 subnets
+ network 66.253.32.84 0.0.0.3 area 11
+ distribute-list 44 in Serial1/0.5
+ distribute-list 45 out
+!
+router bgp 64780
+ redistribute ospf 64 match route-map 8aTzlvBrbaW
+ neighbor 66.253.160.68 remote-as 12762
+ neighbor 66.253.160.68 distribute-list 4 in
+ neighbor 66.253.160.68 distribute-list 3 out
+!
+access-list 143 deny 134.161.0.0 0.0.255.255
+access-list 143 permit any
+route-map 8aTzlvBrbaW deny 10
+ match ip address 4
+route-map 8aTzlvBrbaW permit 20
+ match ip address 7
+ip route 10.235.240.71 255.255.0.0 10.234.12.7
+"""
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return parse_config(FIG2)
+
+
+class TestFig2Interfaces:
+    def test_all_interfaces_present(self, fig2):
+        assert list(fig2.interfaces) == ["Ethernet0", "Serial1/0.5", "Hssi2/0"]
+
+    def test_ethernet_prefix(self, fig2):
+        assert fig2.interfaces["Ethernet0"].prefix == Prefix("66.251.75.128/25")
+
+    def test_serial_is_point_to_point(self, fig2):
+        assert fig2.interfaces["Serial1/0.5"].point_to_point
+
+    def test_serial_dlci(self, fig2):
+        assert fig2.interfaces["Serial1/0.5"].frame_relay_dlci == 28
+
+    def test_access_group(self, fig2):
+        assert fig2.interfaces["Ethernet0"].access_group_in == "143"
+        assert fig2.interfaces["Ethernet0"].access_group_out is None
+
+    def test_interface_kinds(self, fig2):
+        assert fig2.interfaces["Serial1/0.5"].kind == "Serial"
+        assert fig2.interfaces["Hssi2/0"].kind == "Hssi"
+
+
+class TestFig2Routing:
+    def test_two_ospf_processes(self, fig2):
+        assert [p.process_id for p in fig2.ospf_processes] == [64, 128]
+
+    def test_ospf64_redistributes(self, fig2):
+        redists = fig2.ospf(64).redistributes
+        assert redists[0].source_protocol == "connected"
+        assert redists[0].metric_type == 1
+        assert redists[0].subnets
+        assert redists[1].source_protocol == "bgp"
+        assert redists[1].source_id == 64780
+        assert redists[1].metric == 1
+
+    def test_ospf64_network_statement(self, fig2):
+        stmt = fig2.ospf(64).networks[0]
+        assert stmt.area == "0"
+        assert stmt.prefix() == Prefix("66.251.75.128/25")
+
+    def test_ospf128_distribute_lists(self, fig2):
+        dists = fig2.ospf(128).distribute_lists
+        assert (dists[0].acl, dists[0].direction, dists[0].interface) == (
+            "44", "in", "Serial1/0.5",
+        )
+        assert (dists[1].acl, dists[1].direction) == ("45", "out")
+
+    def test_network_statement_covers_interface(self, fig2):
+        stmt = fig2.ospf(64).networks[0]
+        assert stmt.matches_interface(fig2.interfaces["Ethernet0"].address)
+        assert not stmt.matches_interface(fig2.interfaces["Hssi2/0"].address)
+
+    def test_bgp_asn_and_neighbor(self, fig2):
+        bgp = fig2.bgp_process
+        assert bgp.asn == 64780
+        nbr = bgp.neighbor("66.253.160.68")
+        assert nbr.remote_as == 12762
+        assert nbr.distribute_list_in == "4"
+        assert nbr.distribute_list_out == "3"
+
+    def test_bgp_redistribute_route_map_variant_spelling(self, fig2):
+        # "redistribute ospf 64 match route-map NAME" (the paper's spelling)
+        redist = fig2.bgp_process.redistributes[0]
+        assert redist.source_protocol == "ospf"
+        assert redist.source_id == 64
+        assert redist.route_map == "8aTzlvBrbaW"
+
+
+class TestFig2Policies:
+    def test_acl_143_clauses(self, fig2):
+        acl = fig2.access_lists["143"]
+        assert [r.action for r in acl.rules] == ["deny", "permit"]
+        assert acl.rules[0].source_prefix() == Prefix("134.161.0.0/16")
+        assert acl.rules[1].source_any
+
+    def test_acl_first_match(self, fig2):
+        from repro.net import IPv4Address
+
+        acl = fig2.access_lists["143"]
+        assert not acl.permits_address(IPv4Address("134.161.7.7"))
+        assert acl.permits_address(IPv4Address("8.8.8.8"))
+
+    def test_route_map_clauses(self, fig2):
+        rm = fig2.route_maps["8aTzlvBrbaW"]
+        clauses = rm.sorted_clauses()
+        assert [(c.action, c.sequence) for c in clauses] == [("deny", 10), ("permit", 20)]
+        assert clauses[0].match_ip_address == ["4"]
+
+    def test_static_route_canonicalized(self, fig2):
+        route = fig2.static_routes[0]
+        assert route.prefix == Prefix("10.235.0.0/16")
+        assert str(route.next_hop) == "10.234.12.7"
+
+    def test_counts(self, fig2):
+        assert fig2.line_count == 36
+        assert fig2.command_count == 30
+
+
+class TestParserRobustness:
+    def test_unknown_lines_preserved(self):
+        cfg = parse_config("snmp-server community foo RO\nip cef\n")
+        assert cfg.unmodeled_lines == ["snmp-server community foo RO", "ip cef"]
+
+    def test_unknown_router_protocol_preserved(self):
+        cfg = parse_config("router isis\n net 49.0001.0000.0000.0001.00\n")
+        assert "router isis" in cfg.unmodeled_lines
+
+    def test_hostname(self):
+        assert parse_config("hostname core-1\n").hostname == "core-1"
+
+    def test_secondary_address(self):
+        cfg = parse_config(
+            "interface Ethernet0\n"
+            " ip address 10.0.0.1 255.255.255.0\n"
+            " ip address 10.0.1.1 255.255.255.0 secondary\n"
+        )
+        iface = cfg.interfaces["Ethernet0"]
+        assert str(iface.address) == "10.0.0.1"
+        assert len(iface.secondary_addresses) == 1
+
+    def test_unnumbered_interface(self):
+        cfg = parse_config("interface Serial0\n ip unnumbered Loopback0\n")
+        iface = cfg.interfaces["Serial0"]
+        assert not iface.is_numbered
+        assert iface.unnumbered_source == "Loopback0"
+        assert iface.prefix is None
+
+    def test_shutdown(self):
+        cfg = parse_config("interface Serial0\n shutdown\n")
+        assert cfg.interfaces["Serial0"].shutdown
+
+    def test_extended_acl(self):
+        cfg = parse_config(
+            "access-list 101 permit tcp any host 10.0.0.1 eq 80\n"
+            "access-list 101 deny udp 10.0.0.0 0.0.0.255 any\n"
+        )
+        acl = cfg.access_lists["101"]
+        assert acl.is_extended
+        assert acl.rules[0].protocol == "tcp"
+        assert acl.rules[0].source_any
+        assert str(acl.rules[0].dest) == "10.0.0.1"
+        assert acl.rules[0].port_op == "eq"
+        assert acl.rules[0].port == "80"
+        assert acl.rules[1].dest_any
+
+    def test_extended_acl_range(self):
+        cfg = parse_config("access-list 102 permit tcp any any range 1024 2048\n")
+        rule = cfg.access_lists["102"].rules[0]
+        assert rule.port_op == "range"
+        assert rule.port == "1024-2048"
+
+    def test_named_access_list(self):
+        cfg = parse_config(
+            "ip access-list standard MGMT\n permit 10.0.0.0 0.0.0.255\n deny any\n"
+        )
+        acl = cfg.access_lists["MGMT"]
+        assert len(acl.rules) == 2
+        assert not acl.is_extended
+
+    def test_eigrp_and_igrp(self):
+        cfg = parse_config(
+            "router eigrp 100\n network 10.0.0.0\n no auto-summary\n"
+            "!\nrouter igrp 200\n network 10.0.0.0\n"
+        )
+        assert cfg.eigrp(100).protocol == "eigrp"
+        assert cfg.eigrp(100).no_auto_summary
+        assert cfg.eigrp(200).protocol == "igrp"
+
+    def test_rip(self):
+        cfg = parse_config("router rip\n version 2\n network 10.0.0.0\n")
+        assert cfg.rip_process.version == 2
+        assert cfg.rip_process.networks[0].prefix() == Prefix("10.0.0.0/8")
+
+    def test_bgp_network_with_mask(self):
+        cfg = parse_config("router bgp 65000\n network 10.0.0.0 mask 255.255.0.0\n")
+        assert cfg.bgp_process.networks[0].prefix() == Prefix("10.0.0.0/16")
+
+    def test_bgp_neighbor_options(self):
+        cfg = parse_config(
+            "router bgp 65000\n"
+            " neighbor 10.0.0.2 remote-as 65000\n"
+            " neighbor 10.0.0.2 update-source Loopback0\n"
+            " neighbor 10.0.0.2 next-hop-self\n"
+            " neighbor 10.0.0.2 route-reflector-client\n"
+            " neighbor 10.0.0.2 route-map FOO out\n"
+        )
+        nbr = cfg.bgp_process.neighbor("10.0.0.2")
+        assert nbr.update_source == "Loopback0"
+        assert nbr.next_hop_self
+        assert nbr.route_reflector_client
+        assert nbr.route_map_out == "FOO"
+
+    def test_static_route_via_interface(self):
+        cfg = parse_config("ip route 0.0.0.0 0.0.0.0 Null0 250\n")
+        route = cfg.static_routes[0]
+        assert route.interface == "Null0"
+        assert route.distance == 250
+
+    def test_static_route_with_tag(self):
+        cfg = parse_config("ip route 10.1.0.0 255.255.0.0 10.0.0.1 tag 77\n")
+        assert cfg.static_routes[0].tag == 77
+
+    def test_malformed_interface_raises(self):
+        with pytest.raises(ConfigParseError):
+            parse_config("interface\n")
+
+    def test_malformed_address_raises(self):
+        with pytest.raises(ConfigParseError):
+            parse_config("interface Ethernet0\n ip address 300.0.0.1 255.0.0.0\n")
+
+    def test_empty_config(self):
+        cfg = parse_config("")
+        assert cfg.line_count == 0
+        assert not cfg.interfaces
+
+    def test_comment_only_config(self):
+        cfg = parse_config("! generated by rancid\n!\n")
+        assert cfg.command_count == 0
+        assert cfg.line_count == 2
+
+    def test_routing_processes_listing(self, fig2):
+        procs = fig2.routing_processes()
+        assert len(procs) == 3  # ospf 64, ospf 128, bgp

@@ -1,0 +1,84 @@
+"""Serializer round-trip tests: parse(serialize(model)) == model."""
+
+import pytest
+
+from repro.ios import parse_config, serialize_config
+from repro.synth.templates.backbone import build_backbone
+from repro.synth.templates.enterprise import build_enterprise
+
+from tests.test_ios_parser import FIG2
+
+MODEL_FIELDS = (
+    "hostname",
+    "interfaces",
+    "ospf_processes",
+    "eigrp_processes",
+    "rip_process",
+    "bgp_process",
+    "access_lists",
+    "route_maps",
+    "static_routes",
+)
+
+
+def assert_equivalent(a, b):
+    for field in MODEL_FIELDS:
+        assert getattr(a, field) == getattr(b, field), f"field {field} differs"
+
+
+class TestRoundTrip:
+    def test_fig2_roundtrip(self):
+        first = parse_config(FIG2)
+        second = parse_config(serialize_config(first))
+        assert_equivalent(first, second)
+
+    def test_roundtrip_is_fixpoint(self):
+        first = parse_config(FIG2)
+        once = serialize_config(first)
+        twice = serialize_config(parse_config(once))
+        assert once == twice
+
+    def test_unmodeled_lines_survive(self):
+        cfg = parse_config("ip cef\nsnmp-server community abc RO\n")
+        text = serialize_config(cfg)
+        reparsed = parse_config(text)
+        assert reparsed.unmodeled_lines == cfg.unmodeled_lines
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_enterprise_roundtrips(self, seed):
+        configs, _spec = build_enterprise(
+            "rt", seed + 1, 12, seed=seed, igp=("ospf", "eigrp", "rip")[seed % 3]
+        )
+        for text in configs.values():
+            first = parse_config(text)
+            second = parse_config(serialize_config(first))
+            assert_equivalent(first, second)
+
+    def test_generated_backbone_roundtrips(self):
+        configs, _spec = build_backbone("rtb", 9, 16, seed=4, pop_size=4)
+        for text in configs.values():
+            first = parse_config(text)
+            second = parse_config(serialize_config(first))
+            assert_equivalent(first, second)
+
+
+class TestSerializedSyntax:
+    def test_interface_lines(self):
+        cfg = parse_config(FIG2)
+        text = serialize_config(cfg)
+        assert "interface Serial1/0.5 point-to-point" in text
+        assert " ip address 66.253.32.85 255.255.255.252" in text
+        assert " frame-relay interface-dlci 28" in text
+
+    def test_stanza_separators(self):
+        cfg = parse_config(FIG2)
+        text = serialize_config(cfg)
+        assert "\n!\n" in text
+
+    def test_acl_any_form(self):
+        cfg = parse_config("access-list 10 permit any\n")
+        assert "access-list 10 permit any" in serialize_config(cfg)
+
+    def test_static_route_text(self):
+        cfg = parse_config("ip route 10.1.0.0 255.255.0.0 10.0.0.1 tag 5\n")
+        assert "ip route 10.1.0.0 255.255.0.0 10.0.0.1 tag 5" in serialize_config(cfg)

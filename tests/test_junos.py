@@ -1,0 +1,365 @@
+"""JunOS front-end tests: dialect parsing and mixed-vendor analysis."""
+
+import pytest
+
+from repro.core import compute_instances
+from repro.junos import parse_junos_config
+from repro.junos.blocks import JunosSyntaxError, parse_blocks
+from repro.model import Network
+from repro.model.network import Router
+from repro.net import Prefix
+
+SAMPLE = """
+system {
+    host-name pe1;
+}
+interfaces {
+    so-0/0/0 {
+        unit 0 {
+            family inet {
+                address 10.0.0.1/30;
+            }
+        }
+    }
+    ge-0/1/0 {
+        unit 0 {
+            description "customer lan";
+            family inet {
+                address 10.1.0.1/24;
+                filter {
+                    input block-web;
+                }
+            }
+        }
+    }
+    lo0 {
+        unit 0 {
+            family inet {
+                address 10.9.0.1/32;
+            }
+        }
+    }
+}
+routing-options {
+    autonomous-system 65010;
+    static {
+        route 172.16.0.0/16 next-hop 10.0.0.2;
+    }
+}
+protocols {
+    ospf {
+        export statics;
+        area 0.0.0.0 {
+            interface so-0/0/0.0;
+            interface lo0.0 {
+                passive;
+            }
+        }
+    }
+    bgp {
+        group upstream {
+            type external;
+            peer-as 7018;
+            export announce-lan;
+            neighbor 10.0.0.2;
+        }
+    }
+}
+policy-options {
+    policy-statement statics {
+        term 1 {
+            from protocol static;
+            then accept;
+        }
+    }
+    policy-statement announce-lan {
+        term 1 {
+            from {
+                route-filter 10.1.0.0/24;
+            }
+            then accept;
+        }
+        term last {
+            then reject;
+        }
+    }
+}
+firewall {
+    family inet {
+        filter block-web {
+            term drop-http {
+                from {
+                    protocol tcp;
+                    destination-port http;
+                }
+                then discard;
+            }
+            term default {
+                then accept;
+            }
+        }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pe1():
+    return parse_junos_config(SAMPLE)
+
+
+class TestBlocks:
+    def test_nesting(self):
+        root = parse_blocks("a { b { c d; } }")
+        assert root.child("a").child("b").child("c").words == ["c", "d"]
+
+    def test_comments_stripped(self):
+        root = parse_blocks("# comment\na { /* inline */ b c; }")
+        assert root.child("a").leaf_value("b") == "c"
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(JunosSyntaxError):
+            parse_blocks("a { b;")
+        with pytest.raises(JunosSyntaxError):
+            parse_blocks("a; }")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(JunosSyntaxError):
+            parse_blocks("a { b }")
+
+
+class TestConversion:
+    def test_hostname(self, pe1):
+        assert pe1.hostname == "pe1"
+
+    def test_interfaces_and_kinds(self, pe1):
+        assert set(pe1.interfaces) == {"so-0/0/0.0", "ge-0/1/0.0", "lo0.0"}
+        assert pe1.interfaces["so-0/0/0.0"].kind == "POS"
+        assert pe1.interfaces["ge-0/1/0.0"].kind == "GigabitEthernet"
+        assert pe1.interfaces["lo0.0"].kind == "Loopback"
+
+    def test_addresses(self, pe1):
+        assert pe1.interfaces["so-0/0/0.0"].prefix == Prefix("10.0.0.0/30")
+        assert str(pe1.interfaces["ge-0/1/0.0"].address) == "10.1.0.1"
+
+    def test_filter_binding(self, pe1):
+        assert pe1.interfaces["ge-0/1/0.0"].access_group_in == "block-web"
+
+    def test_firewall_filter_lowered_to_acl(self, pe1):
+        acl = pe1.access_lists["block-web"]
+        assert acl.rules[0].action == "deny"
+        assert acl.rules[0].protocol == "tcp"
+        assert acl.rules[0].port == "80"  # "http" resolved
+        assert acl.rules[1].action == "permit"
+
+    def test_static_route(self, pe1):
+        (route,) = pe1.static_routes
+        assert route.prefix == Prefix("172.16.0.0/16")
+        assert str(route.next_hop) == "10.0.0.2"
+
+    def test_ospf_coverage(self, pe1):
+        (process,) = pe1.ospf_processes
+        covered = [stmt for stmt in process.networks]
+        assert len(covered) == 2  # so-0/0/0.0 and lo0.0
+        assert process.passive_interfaces == ["lo0.0"]
+        assert covered[0].matches_interface(pe1.interfaces["so-0/0/0.0"].address)
+        assert not covered[0].matches_interface(pe1.interfaces["ge-0/1/0.0"].address)
+
+    def test_ospf_export_becomes_redistribution(self, pe1):
+        (process,) = pe1.ospf_processes
+        (redist,) = process.redistributes
+        assert redist.source_protocol == "static"
+        assert redist.route_map == "statics"
+
+    def test_bgp_group(self, pe1):
+        bgp = pe1.bgp_process
+        assert bgp.asn == 65010
+        nbr = bgp.neighbor("10.0.0.2")
+        assert nbr.remote_as == 7018
+        assert nbr.route_map_out == "announce-lan"
+
+    def test_policy_statement_lowered_to_route_map(self, pe1):
+        route_map = pe1.route_maps["announce-lan"]
+        clauses = route_map.sorted_clauses()
+        assert clauses[0].action == "permit"
+        assert clauses[0].match_ip_address == ["PL-announce-lan"]
+        assert clauses[1].action == "deny"
+        acl = pe1.access_lists["PL-announce-lan"]
+        assert acl.rules[0].source_prefix() == Prefix("10.1.0.0/24")
+
+
+class TestMixedVendorNetwork:
+    def test_junos_and_ios_form_one_instance(self):
+        junos_text = """
+        system { host-name j1; }
+        interfaces {
+            so-0/0/0 { unit 0 { family inet { address 10.0.0.1/30; } } }
+        }
+        protocols {
+            ospf { area 0.0.0.0 { interface so-0/0/0.0; } }
+        }
+        """
+        ios_text = (
+            "hostname c1\n"
+            "!\ninterface POS0/0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+        )
+        from repro.ios import parse_config
+
+        network = Network(
+            [
+                Router("j1", parse_junos_config(junos_text)),
+                Router("c1", parse_config(ios_text)),
+            ],
+            name="mixed",
+        )
+        assert len(network.links) == 1
+        instances = compute_instances(network)
+        ospf = [i for i in instances if i.protocol == "ospf"]
+        assert len(ospf) == 1
+        assert ospf[0].routers == {"j1", "c1"}
+
+    def test_census_merges_vendor_names(self, pe1):
+        network = Network([Router("pe1", pe1)], name="solo")
+        census = network.interface_type_census()
+        assert census == {"POS": 1, "GigabitEthernet": 1, "Loopback": 1}
+
+
+class TestQuotedStrings:
+    def test_description_with_spaces(self):
+        cfg = parse_junos_config(
+            'interfaces { ge-0/0/0 { unit 0 { description "customer lan uplink"; '
+            "family inet { address 10.0.0.1/24; } } } }"
+        )
+        assert cfg.interfaces["ge-0/0/0.0"].description == "customer lan uplink"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(JunosSyntaxError):
+            parse_blocks('a { b "unterminated; }')
+
+
+class TestSerializerRoundTrip:
+    FIELDS = ("hostname", "interfaces", "ospf_processes", "bgp_process", "static_routes")
+
+    def test_sample_roundtrip(self):
+        from repro.junos import serialize_junos_config
+
+        first = parse_junos_config(SAMPLE)
+        second = parse_junos_config(serialize_junos_config(first))
+        for field in self.FIELDS:
+            assert getattr(first, field) == getattr(second, field), field
+
+    def test_serialization_is_fixpoint(self):
+        from repro.junos import serialize_junos_config
+
+        first = parse_junos_config(SAMPLE)
+        once = serialize_junos_config(first)
+        twice = serialize_junos_config(parse_junos_config(once))
+        assert once == twice
+
+    def test_policies_survive(self):
+        from repro.junos import serialize_junos_config
+
+        first = parse_junos_config(SAMPLE)
+        second = parse_junos_config(serialize_junos_config(first))
+        rm1 = first.route_maps["announce-lan"].sorted_clauses()
+        rm2 = second.route_maps["announce-lan"].sorted_clauses()
+        assert [(c.action, bool(c.match_ip_address)) for c in rm1] == [
+            (c.action, bool(c.match_ip_address)) for c in rm2
+        ]
+
+    def test_firewall_survives(self):
+        from repro.junos import serialize_junos_config
+
+        first = parse_junos_config(SAMPLE)
+        second = parse_junos_config(serialize_junos_config(first))
+        assert first.access_lists["block-web"] == second.access_lists["block-web"]
+
+
+class TestMixedVendorTemplate:
+    def test_one_design_across_vendors(self):
+        from repro.synth.templates.mixed import build_mixed
+
+        configs, spec = build_mixed("mv", 33, n_routers=10, seed=4)
+        # Core files are brace-structured; access files are IOS.
+        for router in spec.notes["junos_routers"]:
+            assert "{" in configs[router]
+        for router in spec.notes["ios_routers"]:
+            assert "{" not in configs[router]
+
+        network = Network.from_configs(configs, name="mv")
+        instances = compute_instances(network)
+        got = sorted((i.protocol, i.size) for i in instances)
+        want = sorted((e.protocol, e.size) for e in spec.expected_instances)
+        assert got == want
+
+    def test_external_interface_recovered(self):
+        from repro.synth.templates.mixed import build_mixed
+
+        configs, spec = build_mixed("mv2", 34, n_routers=8, seed=5)
+        network = Network.from_configs(configs, name="mv2")
+        assert network.external_interfaces == set(spec.external_interfaces)
+
+    def test_census_spans_vendor_naming(self):
+        from repro.synth.templates.mixed import build_mixed
+
+        configs, _spec = build_mixed("mv3", 35, n_routers=8, seed=6)
+        network = Network.from_configs(configs, name="mv3")
+        census = network.interface_type_census()
+        assert census.get("POS", 0) >= 4
+        assert census.get("FastEthernet", 0) >= 4
+
+
+class TestJunosRobustness:
+    def test_empty_config(self):
+        cfg = parse_junos_config("")
+        assert cfg.hostname is None
+        assert not cfg.interfaces
+
+    def test_interface_without_address(self):
+        cfg = parse_junos_config("interfaces { ge-0/0/0 { unit 0 { } } }")
+        iface = cfg.interfaces["ge-0/0/0.0"]
+        assert not iface.is_numbered
+
+    def test_disabled_interface(self):
+        cfg = parse_junos_config(
+            "interfaces { ge-0/0/0 { unit 0 { disable; "
+            "family inet { address 10.0.0.1/24; } } } }"
+        )
+        assert cfg.interfaces["ge-0/0/0.0"].shutdown
+
+    def test_multiple_addresses_become_secondary(self):
+        cfg = parse_junos_config(
+            "interfaces { ge-0/0/0 { unit 0 { family inet { "
+            "address 10.0.0.1/24; address 10.0.1.1/24; } } } }"
+        )
+        iface = cfg.interfaces["ge-0/0/0.0"]
+        assert str(iface.address) == "10.0.0.1"
+        assert len(iface.secondary_addresses) == 1
+
+    def test_multiple_units(self):
+        cfg = parse_junos_config(
+            "interfaces { so-0/0/0 { "
+            "unit 0 { family inet { address 10.0.0.1/30; } } "
+            "unit 5 { family inet { address 10.0.0.5/30; } } } }"
+        )
+        assert set(cfg.interfaces) == {"so-0/0/0.0", "so-0/0/0.5"}
+
+    def test_ospf_interface_referencing_missing_interface(self):
+        # A dangling area interface reference is tolerated (ignored).
+        cfg = parse_junos_config(
+            "protocols { ospf { area 0 { interface ge-9/9/9.0; } } }"
+        )
+        assert cfg.ospf_processes[0].networks == []
+
+    def test_bgp_without_local_as_uses_zero(self):
+        cfg = parse_junos_config(
+            "protocols { bgp { group x { peer-as 7018; neighbor 10.0.0.2; } } }"
+        )
+        assert cfg.bgp_process.asn == 0
+        assert cfg.bgp_process.neighbors[0].remote_as == 7018
+
+    def test_line_and_command_counts(self):
+        cfg = parse_junos_config(SAMPLE)
+        assert cfg.line_count > 0
+        assert cfg.command_count > 0

@@ -1,0 +1,98 @@
+"""Link inference tests (§2.1)."""
+
+from repro.ios.config import InterfaceConfig
+from repro.model.links import infer_links
+from repro.net import IPv4Address, Prefix
+
+
+def iface(address, masklen, name="Serial0", **kw):
+    prefix = Prefix(address + f"/{masklen}")
+    return InterfaceConfig(
+        name=name,
+        address=IPv4Address(address),
+        netmask=prefix.netmask,
+        **kw,
+    )
+
+
+class TestInferLinks:
+    def test_p2p_match(self):
+        links, unmatched = infer_links(
+            {
+                ("r1", "Serial0"): iface("10.0.0.1", 30),
+                ("r2", "Serial0"): iface("10.0.0.2", 30),
+            }
+        )
+        assert len(links) == 1
+        assert not unmatched
+        assert links[0].is_point_to_point
+        assert links[0].routers == ("r1", "r2")
+        assert not links[0].may_have_external
+
+    def test_unmatched_interface(self):
+        links, unmatched = infer_links({("r1", "Serial0"): iface("10.0.0.1", 30)})
+        assert not links
+        assert unmatched == [("r1", "Serial0")]
+
+    def test_different_subnets_do_not_match(self):
+        _, unmatched = infer_links(
+            {
+                ("r1", "Serial0"): iface("10.0.0.1", 30),
+                ("r2", "Serial0"): iface("10.0.0.5", 30),
+            }
+        )
+        assert len(unmatched) == 2
+
+    def test_multipoint_link(self):
+        links, _ = infer_links(
+            {
+                ("r1", "Ethernet0"): iface("10.1.0.1", 24, "Ethernet0"),
+                ("r2", "Ethernet0"): iface("10.1.0.2", 24, "Ethernet0"),
+                ("r3", "Ethernet0"): iface("10.1.0.3", 24, "Ethernet0"),
+            }
+        )
+        assert len(links) == 1
+        assert len(links[0].ends) == 3
+        assert not links[0].is_point_to_point
+        assert links[0].may_have_external  # 251 spare addresses
+
+    def test_full_p2p_has_no_room_for_external(self):
+        links, _ = infer_links(
+            {
+                ("r1", "Serial0"): iface("10.0.0.1", 30),
+                ("r2", "Serial0"): iface("10.0.0.2", 30),
+            }
+        )
+        assert not links[0].may_have_external
+
+    def test_shutdown_ignored(self):
+        _, unmatched = infer_links(
+            {("r1", "Serial0"): iface("10.0.0.1", 30, shutdown=True)}
+        )
+        assert not unmatched
+
+    def test_unnumbered_ignored(self):
+        _, unmatched = infer_links(
+            {("r1", "Serial0"): InterfaceConfig(name="Serial0")}
+        )
+        assert not unmatched
+
+    def test_loopbacks_never_link_or_unmatch(self):
+        links, unmatched = infer_links(
+            {
+                ("r1", "Loopback0"): iface("10.9.0.1", 32, "Loopback0"),
+                ("r2", "Loopback0"): iface("10.9.0.2", 32, "Loopback0"),
+            }
+        )
+        assert not links
+        assert not unmatched
+
+    def test_same_router_two_interfaces_same_subnet_is_not_a_link(self):
+        links, unmatched = infer_links(
+            {
+                ("r1", "Ethernet0"): iface("10.1.0.1", 24, "Ethernet0"),
+                ("r1", "Ethernet1"): iface("10.1.0.2", 24, "Ethernet1"),
+            }
+        )
+        assert not links
+        assert len(unmatched) == 2

@@ -1,0 +1,214 @@
+"""Network model tests: indexes, external classification, adjacencies."""
+
+import pytest
+
+from repro.model import Network
+from repro.net import Prefix
+
+
+def make_network(configs, name="test"):
+    return Network.from_configs(configs, name=name)
+
+
+P2P = "interface Serial0\n ip address {a} 255.255.255.252\n"
+
+
+class TestIndexes:
+    def test_address_map(self):
+        net = make_network(
+            {
+                "r1": P2P.format(a="10.0.0.1"),
+                "r2": P2P.format(a="10.0.0.2"),
+            }
+        )
+        assert net.address_map[Prefix("10.0.0.1/32").network_int] == ("r1", "Serial0")
+        assert net.owns_address("10.0.0.2")
+        assert not net.owns_address("10.0.0.5")
+
+    def test_duplicate_router_names_rejected(self):
+        from repro.model.network import Router
+        from repro.ios import parse_config
+
+        router = Router("dup", parse_config(""))
+        with pytest.raises(ValueError):
+            Network([router, Router("dup", parse_config(""))])
+
+    def test_internal_address_space(self):
+        net = make_network(
+            {
+                "r1": "interface Ethernet0\n ip address 10.0.0.1 255.255.255.128\n",
+                "r2": "interface Ethernet0\n ip address 10.0.0.129 255.255.255.128\n",
+            }
+        )
+        assert net.internal_address_space == [Prefix("10.0.0.0/24")]
+
+
+class TestExternalClassification:
+    def test_unmatched_p2p_is_external(self):
+        net = make_network({"r1": P2P.format(a="10.0.0.1")})
+        assert net.is_external_interface("r1", "Serial0")
+
+    def test_matched_p2p_is_internal(self):
+        net = make_network(
+            {"r1": P2P.format(a="10.0.0.1"), "r2": P2P.format(a="10.0.0.2")}
+        )
+        assert not net.external_interfaces
+
+    def test_unmatched_lan_is_internal_by_default(self):
+        # Multipoint subnets connect hosts; no evidence of an external router.
+        net = make_network(
+            {"r1": "interface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n"}
+        )
+        assert not net.is_external_interface("r1", "Ethernet0")
+
+    def test_unmatched_lan_with_external_next_hop_is_external(self):
+        config = (
+            "interface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n"
+            "!\n"
+            "ip route 99.0.0.0 255.0.0.0 10.1.0.254\n"
+        )
+        net = make_network({"r1": config})
+        assert net.is_external_interface("r1", "Ethernet0")
+
+    def test_lan_next_hop_to_internal_destination_stays_internal(self):
+        config = (
+            "interface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n"
+            "!\n"
+            "ip route 10.1.0.0 255.255.255.0 10.1.0.254\n"
+        )
+        net = make_network({"r1": config})
+        assert not net.is_external_interface("r1", "Ethernet0")
+
+    def test_matched_multipoint_with_external_bgp_neighbor(self):
+        shared = "interface Ethernet0\n ip address 10.1.0.{host} 255.255.255.0\n"
+        r1 = shared.format(host=1) + (
+            "!\nrouter bgp 65000\n neighbor 10.1.0.200 remote-as 7018\n"
+        )
+        net = make_network({"r1": r1, "r2": shared.format(host=2)})
+        assert net.is_external_interface("r1", "Ethernet0")
+        assert net.is_external_interface("r2", "Ethernet0")
+
+
+class TestIgpAdjacency:
+    def test_ospf_adjacency_requires_coverage(self):
+        covered = (
+            "interface Serial0\n ip address 10.0.0.{host} 255.255.255.252\n"
+            "!\nrouter ospf {pid}\n network 10.0.0.0 0.0.0.3 area 0\n"
+        )
+        net = make_network(
+            {"r1": covered.format(host=1, pid=1), "r2": covered.format(host=2, pid=2)}
+        )
+        # OSPF process ids are router-local; different pids still adjacent.
+        assert len(net.igp_adjacencies) == 1
+
+    def test_no_adjacency_when_one_side_uncovered(self):
+        covered = (
+            "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+            "!\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+        )
+        uncovered = "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+        net = make_network({"r1": covered, "r2": uncovered})
+        assert not net.igp_adjacencies
+
+    def test_eigrp_requires_matching_asn(self):
+        config = (
+            "interface Serial0\n ip address 10.0.0.{host} 255.255.255.252\n"
+            "!\nrouter eigrp {asn}\n network 10.0.0.0 0.0.0.3\n"
+        )
+        net = make_network(
+            {"r1": config.format(host=1, asn=100), "r2": config.format(host=2, asn=200)}
+        )
+        assert not net.igp_adjacencies
+        net2 = make_network(
+            {"r1": config.format(host=1, asn=100), "r2": config.format(host=2, asn=100)}
+        )
+        assert len(net2.igp_adjacencies) == 1
+
+    def test_passive_interface_blocks_adjacency(self):
+        active = (
+            "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+            "!\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+        )
+        passive = (
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+            " passive-interface Serial0\n"
+        )
+        net = make_network({"r1": active, "r2": passive})
+        assert not net.igp_adjacencies
+
+    def test_different_protocols_never_adjacent(self):
+        ospf = (
+            "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+            "!\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+        )
+        eigrp = (
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\nrouter eigrp 1\n network 10.0.0.0 0.0.0.3\n"
+        )
+        net = make_network({"r1": ospf, "r2": eigrp})
+        assert not net.igp_adjacencies
+
+
+class TestBgpSessions:
+    BASE = (
+        "interface Serial0\n ip address 10.0.0.{host} 255.255.255.252\n"
+        "!\nrouter bgp {asn}\n neighbor 10.0.0.{peer} remote-as {remote}\n"
+    )
+
+    def test_resolved_ibgp(self):
+        net = make_network(
+            {
+                "r1": self.BASE.format(host=1, peer=2, asn=65000, remote=65000),
+                "r2": self.BASE.format(host=2, peer=1, asn=65000, remote=65000),
+            }
+        )
+        sessions = net.bgp_sessions
+        assert len(sessions) == 2  # one configured statement per side
+        assert all(s.is_resolved and not s.is_ebgp for s in sessions)
+
+    def test_resolved_ebgp(self):
+        net = make_network(
+            {
+                "r1": self.BASE.format(host=1, peer=2, asn=65000, remote=65010),
+                "r2": self.BASE.format(host=2, peer=1, asn=65010, remote=65000),
+            }
+        )
+        assert all(s.is_ebgp and s.is_resolved for s in net.bgp_sessions)
+
+    def test_unresolved_external_session(self):
+        net = make_network(
+            {"r1": self.BASE.format(host=1, peer=2, asn=65000, remote=7018)}
+        )
+        (session,) = net.bgp_sessions
+        assert session.crosses_network_boundary
+        assert session.is_ebgp
+        assert session.remote_key is None
+
+    def test_asn_mismatch_does_not_resolve(self):
+        # r1 thinks the peer is AS 65010 but r2 actually runs 65020.
+        net = make_network(
+            {
+                "r1": self.BASE.format(host=1, peer=2, asn=65000, remote=65010),
+                "r2": self.BASE.format(host=2, peer=1, asn=65020, remote=65000),
+            }
+        )
+        r1_session = next(s for s in net.bgp_sessions if s.local[0] == "r1")
+        assert not r1_session.is_resolved
+
+
+class TestStatistics:
+    def test_interface_type_census(self, fig1):
+        net, _meta = fig1
+        census = net.interface_type_census()
+        assert census["Serial"] >= 2
+        assert census["Hssi"] >= 3
+
+    def test_config_sizes_positive(self, fig1):
+        net, _meta = fig1
+        assert all(size > 0 for size in net.config_sizes())
+
+    def test_len_and_repr(self, fig1):
+        net, _meta = fig1
+        assert len(net) == 6
+        assert "fig1" in repr(net)

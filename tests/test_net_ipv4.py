@@ -1,0 +1,143 @@
+"""Unit tests for IPv4 address parsing, formatting, and mask conversion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ipv4 import (
+    AddressError,
+    IPv4Address,
+    format_ipv4,
+    mask_to_prefix_len,
+    parse_ipv4,
+    prefix_len_to_mask,
+    wildcard_to_prefix_len,
+)
+
+
+class TestParseFormat:
+    def test_parse_simple(self):
+        assert parse_ipv4("10.0.0.1") == (10 << 24) + 1
+
+    def test_parse_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_parse_max(self):
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_format_simple(self):
+        assert format_ipv4((192 << 24) | (168 << 16) | 5) == "192.168.0.5"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "-1.0.0.0"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv4(1 << 32)
+        with pytest.raises(AddressError):
+            format_ipv4(-1)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+    def test_parse_strips_whitespace(self):
+        assert parse_ipv4(" 10.0.0.1 ") == parse_ipv4("10.0.0.1")
+
+
+class TestMasks:
+    def test_prefix_len_to_mask_30(self):
+        assert format_ipv4(prefix_len_to_mask(30)) == "255.255.255.252"
+
+    def test_prefix_len_to_mask_0(self):
+        assert prefix_len_to_mask(0) == 0
+
+    def test_prefix_len_to_mask_32(self):
+        assert prefix_len_to_mask(32) == 0xFFFFFFFF
+
+    def test_prefix_len_out_of_range(self):
+        with pytest.raises(AddressError):
+            prefix_len_to_mask(33)
+        with pytest.raises(AddressError):
+            prefix_len_to_mask(-1)
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_mask_roundtrip(self, length):
+        assert mask_to_prefix_len(prefix_len_to_mask(length)) == length
+
+    def test_noncontiguous_mask_rejected(self):
+        with pytest.raises(AddressError):
+            mask_to_prefix_len(parse_ipv4("255.0.255.0"))
+
+    def test_wildcard_to_prefix_len(self):
+        assert wildcard_to_prefix_len(parse_ipv4("0.0.0.3")) == 30
+        assert wildcard_to_prefix_len(parse_ipv4("0.0.255.255")) == 16
+
+    def test_wildcard_noncontiguous_rejected(self):
+        with pytest.raises(AddressError):
+            wildcard_to_prefix_len(parse_ipv4("0.255.0.255"))
+
+
+class TestIPv4Address:
+    def test_from_string(self):
+        assert IPv4Address("10.0.0.1").value == parse_ipv4("10.0.0.1")
+
+    def test_from_int(self):
+        assert str(IPv4Address(0)) == "0.0.0.0"
+
+    def test_copy_constructor(self):
+        a = IPv4Address("1.2.3.4")
+        assert IPv4Address(a) == a
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(AddressError):
+            IPv4Address(3.14)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+
+    def test_equality_with_int_and_str(self):
+        a = IPv4Address("10.0.0.1")
+        assert a == parse_ipv4("10.0.0.1")
+        assert a == "10.0.0.1"
+        assert a != "10.0.0.2"
+
+    def test_ordering(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+        assert IPv4Address("9.255.255.255") < IPv4Address("10.0.0.0")
+
+    def test_hashable(self):
+        assert len({IPv4Address("1.1.1.1"), IPv4Address("1.1.1.1")}) == 1
+
+    def test_add_offset(self):
+        assert IPv4Address("10.0.0.1") + 5 == IPv4Address("10.0.0.6")
+
+    def test_subtract_address_gives_distance(self):
+        assert IPv4Address("10.0.0.6") - IPv4Address("10.0.0.1") == 5
+
+    def test_subtract_int_gives_address(self):
+        assert IPv4Address("10.0.0.6") - 5 == IPv4Address("10.0.0.1")
+
+    def test_repr_contains_dotted_quad(self):
+        assert "10.0.0.1" in repr(IPv4Address("10.0.0.1"))
+
+    @pytest.mark.parametrize(
+        "address,private",
+        [
+            ("10.0.0.1", True),
+            ("172.16.0.1", True),
+            ("172.31.255.255", True),
+            ("172.32.0.0", False),
+            ("192.168.1.1", True),
+            ("192.169.0.0", False),
+            ("8.8.8.8", False),
+        ],
+    )
+    def test_is_private(self, address, private):
+        assert IPv4Address(address).is_private() is private

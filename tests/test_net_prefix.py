@@ -1,0 +1,163 @@
+"""Unit and property tests for Prefix arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import Prefix, classful_prefix, summarize_prefixes
+from repro.net.ipv4 import AddressError
+
+prefixes = st.builds(
+    Prefix,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestConstruction:
+    def test_slash_notation(self):
+        p = Prefix("10.0.0.0/8")
+        assert str(p) == "10.0.0.0/8"
+
+    def test_host_bits_cleared(self):
+        assert Prefix("10.0.0.1/24") == Prefix("10.0.0.0/24")
+
+    def test_from_netmask(self):
+        p = Prefix.from_netmask("66.253.32.85", "255.255.255.252")
+        assert str(p) == "66.253.32.84/30"
+
+    def test_from_wildcard(self):
+        p = Prefix.from_wildcard("66.251.75.128", "0.0.0.127")
+        assert str(p) == "66.251.75.128/25"
+
+    def test_requires_length(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0/33")
+
+    def test_netmask_and_wildcard_are_complements(self):
+        p = Prefix("10.0.0.0/26")
+        assert p.netmask.value ^ p.wildcard.value == 0xFFFFFFFF
+
+
+class TestRelations:
+    def test_contains_subnet(self):
+        assert Prefix("10.0.0.0/8").contains(Prefix("10.5.0.0/16"))
+
+    def test_contains_self(self):
+        p = Prefix("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_not_contains_supernet(self):
+        assert not Prefix("10.5.0.0/16").contains(Prefix("10.0.0.0/8"))
+
+    def test_disjoint(self):
+        assert not Prefix("10.0.0.0/8").overlaps(Prefix("11.0.0.0/8"))
+
+    def test_contains_address(self):
+        assert Prefix("10.0.0.0/30").contains_address("10.0.0.3")
+        assert not Prefix("10.0.0.0/30").contains_address("10.0.0.4")
+
+    @given(prefixes, prefixes)
+    def test_overlap_iff_nested(self, a, b):
+        # IPv4 prefixes form a tree: any two are nested or disjoint.
+        assert a.overlaps(b) == (a.contains(b) or b.contains(a))
+
+    @given(prefixes)
+    def test_supernet_contains(self, p):
+        if p.length > 0:
+            assert p.supernet().contains(p)
+
+    def test_ordering_by_network_then_length(self):
+        assert Prefix("10.0.0.0/8") < Prefix("10.0.0.0/16")
+        assert Prefix("10.0.0.0/16") < Prefix("11.0.0.0/8")
+
+
+class TestDerivation:
+    def test_subnets_split(self):
+        halves = list(Prefix("10.0.0.0/24").subnets())
+        assert halves == [Prefix("10.0.0.0/25"), Prefix("10.0.0.128/25")]
+
+    def test_subnets_deeper(self):
+        quarters = list(Prefix("10.0.0.0/24").subnets(26))
+        assert len(quarters) == 4
+        assert quarters[-1] == Prefix("10.0.0.192/26")
+
+    def test_nth_subnet(self):
+        assert Prefix("10.0.0.0/16").nth_subnet(24, 5) == Prefix("10.0.5.0/24")
+
+    def test_nth_subnet_out_of_range(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0/16").nth_subnet(24, 256)
+
+    def test_host_addresses_p2p(self):
+        hosts = list(Prefix("10.0.0.0/30").host_addresses())
+        assert [str(h) for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_host_addresses_slash31(self):
+        hosts = list(Prefix("10.0.0.0/31").host_addresses())
+        assert len(hosts) == 2  # RFC 3021
+
+    def test_host_addresses_slash32(self):
+        assert len(list(Prefix("10.0.0.1/32").host_addresses())) == 1
+
+    def test_num_addresses(self):
+        assert Prefix("0.0.0.0/0").num_addresses() == 1 << 32
+        assert Prefix("10.0.0.0/30").num_addresses() == 4
+
+
+class TestClassful:
+    @pytest.mark.parametrize(
+        "address,expected",
+        [
+            ("10.1.2.3", "10.0.0.0/8"),
+            ("127.0.0.1", "127.0.0.0/8"),
+            ("128.0.0.1", "128.0.0.0/16"),
+            ("172.16.5.4", "172.16.0.0/16"),
+            ("192.168.1.1", "192.168.1.0/24"),
+            ("223.10.20.30", "223.10.20.0/24"),
+        ],
+    )
+    def test_classes(self, address, expected):
+        assert str(classful_prefix(address)) == expected
+
+
+class TestSummarize:
+    def test_removes_contained(self):
+        result = summarize_prefixes([Prefix("10.0.0.0/8"), Prefix("10.1.0.0/16")])
+        assert result == [Prefix("10.0.0.0/8")]
+
+    def test_merges_siblings(self):
+        result = summarize_prefixes([Prefix("10.0.0.0/25"), Prefix("10.0.0.128/25")])
+        assert result == [Prefix("10.0.0.0/24")]
+
+    def test_merges_recursively(self):
+        quarters = list(Prefix("10.0.0.0/24").subnets(26))
+        assert summarize_prefixes(quarters) == [Prefix("10.0.0.0/24")]
+
+    def test_keeps_disjoint(self):
+        inputs = [Prefix("10.0.0.0/24"), Prefix("10.0.2.0/24")]
+        assert summarize_prefixes(inputs) == inputs
+
+    def test_no_merge_across_alignment(self):
+        # 10.0.1.0/24 and 10.0.2.0/24 are adjacent but not siblings.
+        inputs = [Prefix("10.0.1.0/24"), Prefix("10.0.2.0/24")]
+        assert summarize_prefixes(inputs) == inputs
+
+    def test_empty(self):
+        assert summarize_prefixes([]) == []
+
+    @given(st.lists(prefixes, max_size=30))
+    def test_cover_is_preserved_and_minimal(self, inputs):
+        result = summarize_prefixes(inputs)
+        # Every input is covered by some output.
+        for p in inputs:
+            assert any(r.contains(p) for r in result)
+        # Outputs are disjoint and sorted.
+        for i, a in enumerate(result):
+            for b in result[i + 1:]:
+                assert not a.overlaps(b)
+        assert result == sorted(result)

@@ -1,0 +1,181 @@
+"""Prefix-list tests: parsing, semantics, policy integration."""
+
+import pytest
+
+from repro.ios import parse_config, serialize_config
+from repro.ios.config import PrefixList, PrefixListEntry
+from repro.net import Prefix
+
+TEXT = (
+    "ip prefix-list CUSTOMERS seq 5 permit 10.0.0.0/8 le 24\n"
+    "ip prefix-list CUSTOMERS seq 10 deny 10.99.0.0/16 ge 17\n"
+    "ip prefix-list CUSTOMERS seq 15 permit 172.16.0.0/12\n"
+)
+
+
+class TestParsing:
+    def test_entries(self):
+        cfg = parse_config(TEXT)
+        plist = cfg.prefix_lists["CUSTOMERS"]
+        assert [e.sequence for e in plist.sorted_entries()] == [5, 10, 15]
+        assert plist.entries[0].le == 24
+        assert plist.entries[1].ge == 17
+        assert plist.entries[2].prefix == Prefix("172.16.0.0/12")
+
+    def test_implicit_sequence_numbers(self):
+        cfg = parse_config(
+            "ip prefix-list AUTO permit 10.0.0.0/8\n"
+            "ip prefix-list AUTO permit 11.0.0.0/8\n"
+        )
+        assert [e.sequence for e in cfg.prefix_lists["AUTO"].entries] == [5, 10]
+
+    def test_serializer_roundtrip(self):
+        first = parse_config(TEXT)
+        second = parse_config(serialize_config(first))
+        assert first.prefix_lists == second.prefix_lists
+
+    def test_neighbor_prefix_list(self):
+        cfg = parse_config(
+            "router bgp 65000\n"
+            " neighbor 10.0.0.2 remote-as 65001\n"
+            " neighbor 10.0.0.2 prefix-list CUSTOMERS in\n"
+            " neighbor 10.0.0.2 prefix-list ANNOUNCE out\n"
+        )
+        nbr = cfg.bgp_process.neighbor("10.0.0.2")
+        assert nbr.prefix_list_in == "CUSTOMERS"
+        assert nbr.prefix_list_out == "ANNOUNCE"
+
+    def test_route_map_match_prefix_list(self):
+        cfg = parse_config(
+            "route-map POL permit 10\n match ip address prefix-list CUSTOMERS\n"
+        )
+        clause = cfg.route_maps["POL"].clauses[0]
+        assert clause.match_prefix_lists == ["CUSTOMERS"]
+        assert clause.match_ip_address == []
+
+    def test_malformed_rejected(self):
+        from repro.ios.parser import ConfigParseError
+
+        with pytest.raises(ConfigParseError):
+            parse_config("ip prefix-list BAD permit 10.0.0.0\n")  # no /len
+
+
+class TestMatchingSemantics:
+    def entry(self, prefix, ge=None, le=None, action="permit", seq=5):
+        return PrefixListEntry(
+            sequence=seq, action=action, prefix=Prefix(prefix), ge=ge, le=le
+        )
+
+    def test_exact_match_without_bounds(self):
+        entry = self.entry("10.0.0.0/8")
+        assert entry.matches(Prefix("10.0.0.0/8"))
+        assert not entry.matches(Prefix("10.1.0.0/16"))
+
+    def test_le_bound(self):
+        entry = self.entry("10.0.0.0/8", le=24)
+        assert entry.matches(Prefix("10.1.0.0/16"))
+        assert entry.matches(Prefix("10.1.2.0/24"))
+        assert not entry.matches(Prefix("10.1.2.0/25"))
+
+    def test_ge_bound(self):
+        entry = self.entry("10.0.0.0/8", ge=24)
+        assert not entry.matches(Prefix("10.1.0.0/16"))
+        assert entry.matches(Prefix("10.1.2.0/24"))
+        assert entry.matches(Prefix("10.1.2.4/30"))
+
+    def test_ge_and_le(self):
+        entry = self.entry("10.0.0.0/8", ge=16, le=24)
+        assert entry.matches(Prefix("10.5.0.0/16"))
+        assert not entry.matches(Prefix("10.1.2.4/30"))
+
+    def test_containment_required(self):
+        entry = self.entry("10.0.0.0/8", le=32)
+        assert not entry.matches(Prefix("11.0.0.0/24"))
+
+    def test_first_match_and_implicit_deny(self):
+        plist = PrefixList(
+            name="T",
+            entries=[
+                self.entry("10.99.0.0/16", le=32, action="deny", seq=5),
+                self.entry("10.0.0.0/8", le=32, action="permit", seq=10),
+            ],
+        )
+        assert not plist.permits(Prefix("10.99.1.0/24"))
+        assert plist.permits(Prefix("10.1.0.0/24"))
+        assert not plist.permits(Prefix("192.168.0.0/24"))  # implicit deny
+
+
+class TestSimulatorIntegration:
+    BASE = {
+        "a": (
+            "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+            "!\nrouter bgp 65001\n"
+            " network 20.0.0.0 mask 255.0.0.0\n"
+            " network 30.0.0.0 mask 255.0.0.0\n"
+            " neighbor 10.0.0.2 remote-as 65002\n"
+        ),
+        "b": (
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\nrouter bgp 65002\n neighbor 10.0.0.1 remote-as 65001\n"
+            " neighbor 10.0.0.1 prefix-list ONLY20 in\n"
+            "!\nip prefix-list ONLY20 seq 5 permit 20.0.0.0/8\n"
+        ),
+    }
+
+    def test_neighbor_prefix_list_in_filters_routes(self):
+        from repro.model import Network
+        from repro.routing import RoutingSimulation
+
+        net = Network.from_configs(dict(self.BASE))
+        sim = RoutingSimulation(net).run()
+        assert sim.can_reach("b", "20.1.1.1")
+        assert not sim.can_reach("b", "30.1.1.1")
+
+    def test_route_map_prefix_list_match(self):
+        from repro.model import Network
+        from repro.routing import RoutingSimulation
+
+        configs = dict(self.BASE)
+        configs["b"] = (
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\nrouter bgp 65002\n neighbor 10.0.0.1 remote-as 65001\n"
+            " neighbor 10.0.0.1 route-map TAGIT in\n"
+            "!\nip prefix-list ONLY20 seq 5 permit 20.0.0.0/8\n"
+            "route-map TAGIT permit 10\n"
+            " match ip address prefix-list ONLY20\n"
+            " set tag 99\n"
+        )
+        net = Network.from_configs(configs)
+        sim = RoutingSimulation(net).run()
+        route = sim.lookup("b", "20.1.1.1")
+        assert route is not None and route.tag == 99
+        assert not sim.can_reach("b", "30.1.1.1")  # unmatched => denied
+
+
+class TestReachabilityIntegration:
+    def test_session_prefix_list_compiles(self):
+        from repro.core import ReachabilityAnalysis
+        from repro.model import Network
+
+        configs = {
+            "edge": (
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+                "!\ninterface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n"
+                "!\nrouter ospf 1\n network 10.1.0.0 0.0.0.255 area 0\n"
+                " redistribute bgp 65001 subnets\n"
+                "!\nrouter bgp 65001\n neighbor 10.0.0.2 remote-as 7018\n"
+                " neighbor 10.0.0.2 prefix-list IN4 in\n"
+                "!\nip prefix-list IN4 seq 5 permit 198.18.0.0/15 le 24\n"
+            ),
+            "lan": (
+                "interface Ethernet0\n ip address 10.1.0.2 255.255.255.0\n"
+                "!\nrouter ospf 1\n network 10.1.0.0 0.0.0.255 area 0\n"
+            ),
+        }
+        net = Network.from_configs(configs)
+        analysis = ReachabilityAnalysis(net)
+        ospf = next(i for i in analysis.instances if i.protocol == "ospf")
+        admitted = analysis.external_routes_into(ospf.instance_id)
+        assert admitted.covers(Prefix("198.18.0.0/15"))
+        assert not admitted.overlaps(Prefix("8.0.0.0/8"))
+        assert not analysis.default_route_admitted(ospf.instance_id)

@@ -1,0 +1,204 @@
+"""Property-based serialize/parse round trips over random configurations.
+
+Hypothesis builds arbitrary (valid) RouterConfig models; serializing and
+reparsing must reproduce an equivalent model.  This pins down the
+parser/serializer contract far beyond the hand-written cases.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ios import parse_config, serialize_config
+from repro.ios.config import (
+    AccessList,
+    AclRule,
+    BgpNeighbor,
+    BgpProcess,
+    DistributeList,
+    EigrpProcess,
+    InterfaceConfig,
+    NetworkStatement,
+    OspfProcess,
+    RedistributeConfig,
+    RouteMap,
+    RouteMapClause,
+    RouterConfig,
+    StaticRoute,
+)
+from repro.net import IPv4Address, Prefix
+from repro.net.ipv4 import prefix_len_to_mask
+
+# -- strategies -------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF).map(IPv4Address)
+masked_lengths = st.integers(min_value=1, max_value=30)
+names = st.text(
+    alphabet=st.sampled_from("ABCDEFGHIJKLMNOPQRSTUVWXYZ-0123456789"),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: not s[0].isdigit() and not s.startswith("-"))
+
+
+@st.composite
+def prefixed_interfaces(draw, index):
+    kind = draw(st.sampled_from(["Serial", "FastEthernet", "Ethernet", "POS", "Hssi"]))
+    name = f"{kind}{index}/0"
+    length = draw(masked_lengths)
+    address = draw(addresses)
+    iface = InterfaceConfig(
+        name=name,
+        address=address,
+        netmask=IPv4Address(prefix_len_to_mask(length)),
+        point_to_point=draw(st.booleans()),
+        shutdown=draw(st.booleans()),
+        bandwidth_kbit=draw(st.one_of(st.none(), st.integers(1, 10_000_000))),
+    )
+    return iface
+
+
+@st.composite
+def network_statements(draw, with_area=False):
+    length = draw(masked_lengths)
+    stmt = NetworkStatement(
+        address=Prefix(draw(addresses).value, length).network,
+        wildcard=IPv4Address((~prefix_len_to_mask(length)) & 0xFFFFFFFF),
+    )
+    if with_area:
+        stmt.area = str(draw(st.integers(0, 100)))
+    return stmt
+
+
+@st.composite
+def redistributes(draw):
+    protocol = draw(st.sampled_from(["connected", "static", "ospf", "bgp", "eigrp", "rip"]))
+    source_id = None
+    if protocol in ("ospf", "bgp", "eigrp"):
+        source_id = draw(st.integers(1, 65535))
+    return RedistributeConfig(
+        source_protocol=protocol,
+        source_id=source_id,
+        metric=draw(st.one_of(st.none(), st.integers(1, 1000))),
+        subnets=draw(st.booleans()),
+        tag=draw(st.one_of(st.none(), st.integers(1, 4000))),
+    )
+
+
+@st.composite
+def acl_rules(draw):
+    action = draw(st.sampled_from(["permit", "deny"]))
+    if draw(st.booleans()):
+        return AclRule(action=action, source_any=True)
+    length = draw(masked_lengths)
+    return AclRule(
+        action=action,
+        source=Prefix(draw(addresses).value, length).network,
+        source_wildcard=IPv4Address((~prefix_len_to_mask(length)) & 0xFFFFFFFF),
+    )
+
+
+@st.composite
+def router_configs(draw):
+    config = RouterConfig(hostname=draw(names))
+    n_ifaces = draw(st.integers(1, 5))
+    for index in range(n_ifaces):
+        iface = draw(prefixed_interfaces(index))
+        config.interfaces[iface.name] = iface
+
+    if draw(st.booleans()):
+        process = OspfProcess(process_id=draw(st.integers(1, 65535)))
+        process.networks.extend(
+            draw(st.lists(network_statements(with_area=True), max_size=3))
+        )
+        process.redistributes.extend(draw(st.lists(redistributes(), max_size=2)))
+        config.ospf_processes.append(process)
+    if draw(st.booleans()):
+        process = EigrpProcess(asn=draw(st.integers(1, 65535)))
+        process.networks.extend(draw(st.lists(network_statements(), max_size=3)))
+        config.eigrp_processes.append(process)
+    if draw(st.booleans()):
+        bgp = BgpProcess(asn=draw(st.integers(1, 65535)))
+        # Neighbor addresses must be distinct: IOS (and the parser) treats
+        # repeated "neighbor <addr>" statements as one peer's options.
+        neighbor_addresses = draw(
+            st.lists(addresses, max_size=3, unique_by=lambda a: a.value)
+        )
+        for address in neighbor_addresses:
+            bgp.neighbors.append(
+                BgpNeighbor(
+                    address=address,
+                    remote_as=draw(st.integers(1, 65535)),
+                    next_hop_self=draw(st.booleans()),
+                )
+            )
+        config.bgp_process = bgp
+    for number in range(draw(st.integers(0, 2))):
+        acl_name = str(10 + number)
+        config.access_lists[acl_name] = AccessList(
+            name=acl_name, rules=draw(st.lists(acl_rules(), min_size=1, max_size=4))
+        )
+    if draw(st.booleans()):
+        rm_name = draw(names)
+        config.route_maps[rm_name] = RouteMap(
+            name=rm_name,
+            clauses=[
+                RouteMapClause(
+                    action=draw(st.sampled_from(["permit", "deny"])),
+                    sequence=10 * (index + 1),
+                    set_tag=draw(st.one_of(st.none(), st.integers(1, 100))),
+                )
+                for index in range(draw(st.integers(1, 3)))
+            ],
+        )
+    for _ in range(draw(st.integers(0, 2))):
+        length = draw(masked_lengths)
+        config.static_routes.append(
+            StaticRoute(
+                prefix=Prefix(draw(addresses).value, length),
+                next_hop=draw(addresses),
+                tag=draw(st.one_of(st.none(), st.integers(1, 500))),
+            )
+        )
+    return config
+
+
+MODEL_FIELDS = (
+    "hostname",
+    "interfaces",
+    "ospf_processes",
+    "eigrp_processes",
+    "rip_process",
+    "bgp_process",
+    "access_lists",
+    "route_maps",
+    "static_routes",
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(router_configs())
+def test_serialize_parse_roundtrip(config):
+    reparsed = parse_config(serialize_config(config))
+    for field in MODEL_FIELDS:
+        assert getattr(reparsed, field) == getattr(config, field), field
+
+
+@settings(max_examples=60, deadline=None)
+@given(router_configs())
+def test_serialization_is_fixpoint(config):
+    once = serialize_config(config)
+    twice = serialize_config(parse_config(once))
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(router_configs())
+def test_anonymized_output_still_parses(config):
+    from repro.anonymize import Anonymizer
+
+    text = serialize_config(config)
+    anonymized = Anonymizer(key=b"prop").anonymize_config(text)
+    reparsed = parse_config(anonymized)
+    assert len(reparsed.interfaces) == len(config.interfaces)
+    assert len(reparsed.ospf_processes) == len(config.ospf_processes)
+    assert (reparsed.bgp_process is None) == (config.bgp_process is None)
+    assert len(reparsed.static_routes) == len(config.static_routes)

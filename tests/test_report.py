@@ -1,0 +1,43 @@
+"""Report formatting tests."""
+
+from repro.report import format_cdf, format_histogram, format_table
+from repro.report.tables import cdf_points, fraction_at_least
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        out = format_table(["name", "count"], [["ospf", 12], ["rip", 3]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "count" in lines[0]
+        assert "ospf" in lines[2]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_alignment_width(self):
+        out = format_table(["x"], [["longvalue"]])
+        header, rule, row = out.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+
+class TestHistogramAndCdf:
+    def test_histogram_bars(self):
+        out = format_histogram(["<10", "10+"], [0.25, 0.75], width=4)
+        assert "#" in out
+        assert "75.0%" in out
+
+    def test_cdf_points(self):
+        points = cdf_points([30.0, 10.0, 20.0])
+        assert points == [(10.0, 1 / 3), (20.0, 2 / 3), (30.0, 1.0)]
+
+    def test_format_cdf_empty(self):
+        assert "(empty)" in format_cdf([])
+
+    def test_format_cdf_monotone(self):
+        out = format_cdf([5.0, 1.0, 3.0])
+        assert out.index("x=    1.00") < out.index("x=    5.00")
+
+    def test_fraction_at_least(self):
+        assert fraction_at_least([10, 40, 50, 90], 40) == 0.75
+        assert fraction_at_least([], 40) == 0.0

@@ -1,0 +1,82 @@
+"""Direct tests for the report generators (DOT and markdown)."""
+
+import pytest
+
+from repro.report.design_report import generate_design_report
+from repro.report.dot import instance_graph_to_dot
+
+
+class TestDotExport:
+    def test_fig1_dot_structure(self, fig1):
+        network, _meta = fig1
+        dot = instance_graph_to_dot(network)
+        assert dot.startswith('digraph "fig1"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("inst") >= 5
+        assert "External World" in dot
+        # EBGP edges are heavy and bidirectional.
+        assert "style=bold" in dot
+        assert "dir=both" in dot
+
+    def test_redistribution_edges_carry_route_maps(self, fig1):
+        network, _meta = fig1
+        dot = instance_graph_to_dot(network)
+        assert 'label="EXT-SUMMARY"' in dot
+
+    def test_quoting_is_safe(self, fig1):
+        network, _meta = fig1
+        dot = instance_graph_to_dot(network)
+        # Every label is quoted; no bare spaces in node ids.
+        for line in dot.splitlines():
+            if "label=" in line:
+                assert 'label="' in line
+
+    def test_net5_dot_has_24_instances(self, net5_small):
+        network, _spec = net5_small
+        dot = instance_graph_to_dot(network)
+        import re
+
+        node_lines = [
+            line
+            for line in dot.splitlines()
+            if re.match(r"^\s*inst\d+ \[label=", line)
+        ]
+        assert len(node_lines) == 24
+
+
+class TestDesignReport:
+    @pytest.fixture(scope="class")
+    def report(self, net5_small):
+        network, _spec = net5_small
+        return generate_design_report(network)
+
+    def test_all_sections_present(self, report):
+        for section in (
+            "## Inventory",
+            "## Design classification",
+            "## Routing instances",
+            "## Protocol roles",
+            "## Address space structure",
+            "## Packet filtering",
+            "## Survivability",
+        ):
+            assert section in report
+
+    def test_instances_table_complete(self, report):
+        # 24 instance rows below the header.
+        table_lines = [l for l in report.splitlines() if l.startswith("| ")]
+        data_rows = [l for l in table_lines if not l.startswith("| id") and "---" not in l]
+        assert len(data_rows) == 24
+
+    def test_unconventional_usage_surfaces(self, report):
+        assert "intra-network" in report  # EBGP-as-intra-domain line
+        assert "**unclassifiable**" in report
+
+    def test_filters_section_quantified(self, report):
+        assert "filter rules" in report
+        assert "% of rules applied to" in report or "of rules applied to" in report
+
+    def test_report_is_valid_markdown_tables(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.count("|") >= 3

@@ -1,0 +1,84 @@
+"""Route policy evaluation tests (ACLs and route maps on routes)."""
+
+from repro.ios import parse_config
+from repro.net import Prefix
+from repro.routing.policy import acl_permits_route, apply_route_map
+from repro.routing.route import Route
+
+
+def build_tables(text):
+    cfg = parse_config(text)
+    return cfg.access_lists, cfg.route_maps
+
+
+class TestAclOnRoutes:
+    def test_permit_by_containment(self):
+        acls, _ = build_tables("access-list 1 permit 10.0.0.0 0.255.255.255\n")
+        route = Route(prefix=Prefix("10.5.0.0/16"), protocol="ospf")
+        assert acl_permits_route(acls["1"], route)
+
+    def test_implicit_deny(self):
+        acls, _ = build_tables("access-list 1 permit 10.0.0.0 0.255.255.255\n")
+        route = Route(prefix=Prefix("11.0.0.0/16"), protocol="ospf")
+        assert not acl_permits_route(acls["1"], route)
+
+    def test_first_match_deny(self):
+        acls, _ = build_tables(
+            "access-list 1 deny 10.1.0.0 0.0.255.255\n"
+            "access-list 1 permit 10.0.0.0 0.255.255.255\n"
+        )
+        denied = Route(prefix=Prefix("10.1.5.0/24"), protocol="ospf")
+        allowed = Route(prefix=Prefix("10.2.0.0/16"), protocol="ospf")
+        assert not acl_permits_route(acls["1"], denied)
+        assert acl_permits_route(acls["1"], allowed)
+
+
+class TestRouteMapOnRoutes:
+    TEXT = (
+        "access-list 1 permit 10.0.0.0 0.255.255.255\n"
+        "access-list 2 permit 172.16.0.0 0.15.255.255\n"
+        "route-map POL deny 10\n"
+        " match ip address 2\n"
+        "route-map POL permit 20\n"
+        " match ip address 1\n"
+        " set tag 777\n"
+        " set metric 5\n"
+    )
+
+    def test_matching_clause_transforms(self):
+        acls, maps = build_tables(self.TEXT)
+        route = Route(prefix=Prefix("10.3.0.0/16"), protocol="bgp")
+        result = apply_route_map(maps["POL"], acls, route)
+        assert result.tag == 777
+        assert result.metric == 5
+
+    def test_deny_clause_drops(self):
+        acls, maps = build_tables(self.TEXT)
+        route = Route(prefix=Prefix("172.16.5.0/24"), protocol="bgp")
+        assert apply_route_map(maps["POL"], acls, route) is None
+
+    def test_unmatched_route_denied(self):
+        acls, maps = build_tables(self.TEXT)
+        route = Route(prefix=Prefix("192.168.0.0/16"), protocol="bgp")
+        assert apply_route_map(maps["POL"], acls, route) is None
+
+    def test_clause_without_match_matches_all(self):
+        acls, maps = build_tables("route-map ALL permit 10\n set tag 5\n")
+        route = Route(prefix=Prefix("8.0.0.0/8"), protocol="bgp")
+        assert apply_route_map(maps["ALL"], acls, route).tag == 5
+
+    def test_match_tag(self):
+        acls, maps = build_tables("route-map TAGGED permit 10\n match tag 99\n")
+        tagged = Route(prefix=Prefix("10.0.0.0/8"), protocol="ospf", tag=99)
+        untagged = Route(prefix=Prefix("10.0.0.0/8"), protocol="ospf")
+        assert apply_route_map(maps["TAGGED"], acls, tagged) is not None
+        assert apply_route_map(maps["TAGGED"], acls, untagged) is None
+
+    def test_sequence_order_respected(self):
+        acls, maps = build_tables(
+            "route-map SEQ permit 20\n set tag 20\n"
+            "route-map SEQ deny 10\n"
+        )
+        route = Route(prefix=Prefix("10.0.0.0/8"), protocol="ospf")
+        # Clause 10 (deny-all) runs first despite being defined second.
+        assert apply_route_map(maps["SEQ"], acls, route) is None

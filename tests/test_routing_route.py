@@ -1,0 +1,68 @@
+"""Route preference and administrative distance tests."""
+
+from repro.routing import ADMIN_DISTANCE, Route
+from repro.net import Prefix
+
+
+class TestAdminDistance:
+    def test_cisco_values(self):
+        assert ADMIN_DISTANCE["connected"] == 0
+        assert ADMIN_DISTANCE["static"] == 1
+        assert ADMIN_DISTANCE["ebgp"] == 20
+        assert ADMIN_DISTANCE["eigrp"] == 90
+        assert ADMIN_DISTANCE["igrp"] == 100
+        assert ADMIN_DISTANCE["ospf"] == 110
+        assert ADMIN_DISTANCE["rip"] == 120
+        assert ADMIN_DISTANCE["ibgp"] == 200
+
+    def test_bgp_distance_depends_on_session_type(self):
+        p = Prefix("10.0.0.0/8")
+        ebgp = Route(prefix=p, protocol="bgp", via_ibgp=False)
+        ibgp = Route(prefix=p, protocol="bgp", via_ibgp=True)
+        assert ebgp.admin_distance == 20
+        assert ibgp.admin_distance == 200
+
+    def test_unknown_protocol_is_worst(self):
+        route = Route(prefix=Prefix("10.0.0.0/8"), protocol="martian")
+        assert route.admin_distance == 255
+
+
+class TestPreference:
+    def test_connected_beats_everything(self):
+        p = Prefix("10.0.0.0/24")
+        connected = Route(prefix=p, protocol="connected")
+        ospf = Route(prefix=p, protocol="ospf")
+        assert connected.better_than(ospf)
+        assert not ospf.better_than(connected)
+
+    def test_lower_metric_wins_within_protocol(self):
+        p = Prefix("10.0.0.0/24")
+        near = Route(prefix=p, protocol="ospf", metric=1)
+        far = Route(prefix=p, protocol="ospf", metric=5)
+        assert near.better_than(far)
+
+    def test_shorter_as_path_wins_for_bgp(self):
+        p = Prefix("10.0.0.0/24")
+        short = Route(prefix=p, protocol="bgp", as_path=(1,))
+        long = Route(prefix=p, protocol="bgp", as_path=(1, 2, 3))
+        assert short.better_than(long)
+
+    def test_better_than_none(self):
+        route = Route(prefix=Prefix("10.0.0.0/24"), protocol="rip")
+        assert route.better_than(None)
+
+    def test_advanced_increments_metric_and_sets_via(self):
+        route = Route(prefix=Prefix("10.0.0.0/24"), protocol="ospf", metric=3)
+        hop = route.advanced(via_router="r9")
+        assert hop.metric == 4
+        assert hop.via_router == "r9"
+        assert hop.prefix == route.prefix
+
+    def test_routes_are_immutable(self):
+        route = Route(prefix=Prefix("10.0.0.0/24"), protocol="ospf")
+        try:
+            route.metric = 9
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("Route should be frozen")

@@ -1,0 +1,75 @@
+"""Address pool and plan tests."""
+
+import pytest
+
+from repro.net import Prefix
+from repro.synth.addressing import AddressPool, NetworkAddressPlan, PoolExhausted
+
+
+class TestAddressPool:
+    def test_sequential_allocation(self):
+        pool = AddressPool(Prefix("10.0.0.0/24"))
+        assert pool.allocate(26) == Prefix("10.0.0.0/26")
+        assert pool.allocate(26) == Prefix("10.0.0.64/26")
+
+    def test_alignment(self):
+        pool = AddressPool(Prefix("10.0.0.0/24"))
+        pool.allocate(30)
+        # Next /26 must skip to an aligned boundary.
+        assert pool.allocate(26) == Prefix("10.0.0.64/26")
+
+    def test_exhaustion(self):
+        pool = AddressPool(Prefix("10.0.0.0/30"))
+        pool.allocate(30)
+        with pytest.raises(PoolExhausted):
+            pool.allocate(30)
+
+    def test_cannot_allocate_larger_than_pool(self):
+        pool = AddressPool(Prefix("10.0.0.0/24"))
+        with pytest.raises(ValueError):
+            pool.allocate(16)
+
+    def test_subpool_is_disjoint_from_rest(self):
+        pool = AddressPool(Prefix("10.0.0.0/16"))
+        sub = pool.subpool(20)
+        nxt = pool.allocate(20)
+        assert not sub.prefix.overlaps(nxt)
+
+    def test_allocations_are_disjoint(self):
+        pool = AddressPool(Prefix("10.0.0.0/20"))
+        seen = []
+        for length in (30, 24, 26, 30, 25, 28):
+            prefix = pool.allocate(length)
+            for other in seen:
+                assert not prefix.overlaps(other)
+            seen.append(prefix)
+
+    def test_string_prefix_accepted(self):
+        pool = AddressPool("10.0.0.0/24")
+        assert pool.allocate(25) == Prefix("10.0.0.0/25")
+
+
+class TestNetworkAddressPlan:
+    def test_standard_plans_are_disjoint_pools(self):
+        plan = NetworkAddressPlan.standard(3)
+        pools = [plan.loopbacks.prefix, plan.p2p.prefix, plan.lans.prefix, plan.spare.prefix]
+        for i, a in enumerate(pools):
+            for b in pools[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_internal_and_external_disjoint(self):
+        plan = NetworkAddressPlan.standard(3)
+        assert not plan.internal.overlaps(plan.external.prefix)
+
+    def test_different_indexes_do_not_collide(self):
+        a = NetworkAddressPlan.standard(1)
+        b = NetworkAddressPlan.standard(2)
+        assert not a.internal.overlaps(b.internal)
+
+    def test_allocation_helpers(self):
+        plan = NetworkAddressPlan.standard(4)
+        assert plan.loopback().length == 32
+        assert plan.p2p_subnet().length == 30
+        assert plan.lan_subnet().length == 24
+        assert plan.lan_subnet(26).length == 26
+        assert plan.external_subnet().length == 30

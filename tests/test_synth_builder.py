@@ -1,0 +1,123 @@
+"""NetworkBuilder invariants."""
+
+import random
+
+import pytest
+
+from repro.ios import parse_config
+from repro.model import Network
+from repro.net import Prefix
+from repro.synth.addressing import NetworkAddressPlan
+from repro.synth.builder import NetworkBuilder
+
+
+@pytest.fixture()
+def builder():
+    return NetworkBuilder(NetworkAddressPlan.standard(50), rng=random.Random(1))
+
+
+class TestRoutersAndInterfaces:
+    def test_duplicate_router_rejected(self, builder):
+        builder.add_router("a")
+        with pytest.raises(ValueError):
+            builder.add_router("a")
+
+    def test_interface_names_unique_and_sequential(self, builder):
+        builder.add_router("a")
+        names = [builder.add_lan("a").name for _ in range(10)]
+        assert len(set(names)) == 10
+        assert names[0] == "FastEthernet0/0"
+        assert names[8] == "FastEthernet1/0"  # 8 ports per slot
+
+    def test_connect_allocates_shared_slash30(self, builder):
+        builder.add_router("a")
+        builder.add_router("b")
+        end_a, end_b = builder.connect("a", "b")
+        assert end_a.prefix == end_b.prefix
+        assert end_a.prefix.length == 30
+        assert end_a.address != end_b.address
+
+    def test_loopback_is_host_route(self, builder):
+        builder.add_router("a")
+        loopback = builder.add_loopback("a")
+        assert loopback.prefix.length == 32
+        assert loopback.name == "Loopback0"
+
+    def test_external_link_recorded(self, builder):
+        builder.add_router("a")
+        iface = builder.add_external_link("a")
+        assert (iface.router, iface.name) in builder.external_interfaces
+
+    def test_external_neighbor_address_is_the_far_end(self, builder):
+        builder.add_router("a")
+        iface = builder.add_external_link("a")
+        far = builder.external_neighbor_address(iface)
+        assert far != iface.address
+        assert iface.prefix.contains_address(far)
+
+
+class TestProcesses:
+    def test_ensure_is_idempotent(self, builder):
+        builder.add_router("a")
+        assert builder.ensure_ospf("a", 1) is builder.ensure_ospf("a", 1)
+        assert builder.ensure_bgp("a", 65000) is builder.ensure_bgp("a", 65000)
+
+    def test_second_bgp_asn_rejected(self, builder):
+        builder.add_router("a")
+        builder.ensure_bgp("a", 65000)
+        with pytest.raises(ValueError):
+            builder.ensure_bgp("a", 65001)
+
+    def test_cover_ospf_emits_matching_statement(self, builder):
+        builder.add_router("a")
+        lan = builder.add_lan("a")
+        builder.cover_ospf(lan, 1)
+        stmt = builder.routers["a"].ospf(1).networks[0]
+        assert stmt.matches_interface(lan.address)
+
+    def test_ibgp_session_both_sides(self, builder):
+        builder.add_router("a")
+        builder.add_router("b")
+        lb_a, lb_b = builder.add_loopback("a"), builder.add_loopback("b")
+        builder.ibgp_session(lb_a, lb_b, 65000)
+        assert builder.routers["a"].bgp_process.neighbor(str(lb_b.address))
+        assert builder.routers["b"].bgp_process.neighbor(str(lb_a.address))
+
+
+class TestPoliciesAndOutput:
+    def test_prefix_acl_round_trip(self, builder):
+        builder.add_router("a")
+        number = builder.add_prefix_acl(
+            "a", permits=[Prefix("10.0.0.0/8")], denies=[Prefix("10.9.0.0/16")]
+        )
+        acl = builder.routers["a"].access_lists[number]
+        assert [r.action for r in acl.rules] == ["deny", "permit"]
+
+    def test_packet_filter_rule_count(self, builder):
+        builder.add_router("a")
+        lan = builder.add_lan("a")
+        builder.add_packet_filter(lan, 7, direction="in")
+        name = builder.routers["a"].interfaces[lan.name].access_group_in
+        assert len(builder.routers["a"].access_lists[name].rules) == 7
+
+    def test_acl_numbers_roll_into_expanded_ranges(self, builder):
+        builder.add_router("a")
+        lan = builder.add_lan("a")
+        numbers = {builder.add_packet_filter(lan, 2) for _ in range(150)}
+        assert len(numbers) == 150
+        assert any(int(n) >= 2000 for n in numbers)
+
+    def test_serialized_configs_parse_and_analyze(self, builder):
+        builder.add_router("a")
+        builder.add_router("b")
+        end_a, end_b = builder.connect("a", "b")
+        builder.cover_ospf(end_a, 1)
+        builder.cover_ospf(end_b, 1)
+        configs = builder.serialize()
+        net = Network.from_configs(configs)
+        assert len(net.igp_adjacencies) == 1
+
+    def test_serialized_hostname_matches_router_name(self, builder):
+        builder.add_router("core-1")
+        configs = builder.serialize()
+        assert parse_config(configs["core-1"]).hostname == "core-1"

@@ -1,0 +1,118 @@
+"""Corpus composition tests (§4.2)."""
+
+from repro.core.classify import DesignClass
+from repro.synth.corpus import build_corpus, paper_corpus, repository_sizes
+
+
+class TestComposition:
+    def test_thirty_one_networks(self, small_corpus):
+        assert len(small_corpus) == 31
+
+    def test_unique_names(self, small_corpus):
+        names = [cn.name for cn in small_corpus]
+        assert len(set(names)) == 31
+
+    def test_design_mix(self, small_corpus):
+        designs = [cn.spec.design for cn in small_corpus]
+        assert designs.count(DesignClass.BACKBONE) == 4
+        assert designs.count(DesignClass.ENTERPRISE) == 7
+        assert designs.count(DesignClass.UNCLASSIFIABLE) == 20
+
+    def test_three_networks_without_filters(self, small_corpus):
+        assert sum(1 for cn in small_corpus if not cn.spec.has_filters) == 3
+
+    def test_net5_and_net15_present(self, small_corpus):
+        names = {cn.name for cn in small_corpus}
+        assert {"net5", "net15"} <= names
+
+    def test_lazy_build_is_cached(self, small_corpus):
+        cn = small_corpus[0]
+        assert cn.configs is cn.configs
+        assert cn.network() is cn.network()
+
+    def test_memoization(self):
+        assert paper_corpus(scale=0.06) is paper_corpus(scale=0.06)
+
+    def test_full_scale_size_marginals(self):
+        # Check the declared sizes without generating anything.
+        corpus = build_corpus(scale=1.0)
+        from repro.synth.corpus import (
+            _BACKBONE_ROWS,
+            _ENTERPRISE_ROWS,
+            _HYBRID_ROWS,
+            _TIER2_ROWS,
+        )
+
+        backbone_sizes = [row[1] for row in _BACKBONE_ROWS]
+        assert all(400 <= size <= 600 for size in backbone_sizes)
+        enterprise_sizes = [row[1] for row in _ENTERPRISE_ROWS]
+        assert min(enterprise_sizes) == 19 and max(enterprise_sizes) == 101
+        unclass_sizes = sorted(
+            [row[1] for row in _HYBRID_ROWS]
+            + [row[1] for row in _TIER2_ROWS]
+            + [881, 79]
+        )
+        assert len(unclass_sizes) == 20
+        median = (unclass_sizes[9] + unclass_sizes[10]) / 2
+        assert median == 36  # §7.2
+        assert max(unclass_sizes) == 1750
+        assert min(unclass_sizes) == 4
+        # Four unclassifiable networks larger than the largest backbone.
+        assert sum(1 for size in unclass_sizes if size > 600) == 4
+
+    def test_total_file_count_near_8035(self):
+        corpus_rows = build_corpus(scale=1.0)
+        from repro.synth.corpus import (
+            _BACKBONE_ROWS,
+            _ENTERPRISE_ROWS,
+            _HYBRID_ROWS,
+            _TIER2_ROWS,
+        )
+
+        total = (
+            sum(row[1] for row in _BACKBONE_ROWS)
+            + sum(row[1] for row in _ENTERPRISE_ROWS)
+            + sum(row[1] for row in _HYBRID_ROWS)
+            + sum(row[1] for row in _TIER2_ROWS)
+            + 881
+            + 79
+        )
+        assert abs(total - 8035) / 8035 < 0.05
+
+
+class TestRepositorySizes:
+    def test_count(self):
+        assert len(repository_sizes(2400)) == 2400
+
+    def test_deterministic(self):
+        assert repository_sizes(100, seed=1) == repository_sizes(100, seed=1)
+
+    def test_skews_small(self):
+        sizes = repository_sizes(2400)
+        under_10 = sum(1 for size in sizes if size < 10)
+        assert under_10 / len(sizes) > 0.4
+
+    def test_bounds(self):
+        sizes = repository_sizes(500)
+        assert all(1 <= size <= 3000 for size in sizes)
+
+
+class TestDeterminism:
+    def test_corpus_configs_deterministic(self):
+        from repro.synth.corpus import build_corpus
+
+        a = build_corpus(scale=0.05)
+        b = build_corpus(scale=0.05)
+        # Compare a few networks' serialized text byte-for-byte.
+        for index in (0, 7, 14, 30):
+            assert a[index].configs == b[index].configs, a[index].name
+
+    def test_scale_changes_output(self):
+        from repro.synth.corpus import build_corpus
+
+        a = build_corpus(scale=0.05)
+        b = build_corpus(scale=0.08)
+        # Index 7 is a backbone (400 routers at full scale), so scaling
+        # visibly changes the router count; tiny networks clamp to their
+        # minimum size at both scales.
+        assert len(a[7].configs) != len(b[7].configs)

@@ -1,0 +1,91 @@
+"""Flavor interfaces and boilerplate: census mass that is analysis-inert."""
+
+import random
+
+from repro.ios import parse_config, serialize_config
+from repro.model import Network
+from repro.synth.addressing import NetworkAddressPlan
+from repro.synth.builder import NetworkBuilder
+from repro.synth.flavor import BASE_RATES, add_boilerplate, add_flavor_interfaces
+
+
+def make_builder():
+    builder = NetworkBuilder(NetworkAddressPlan.standard(60), rng=random.Random(7))
+    builder.add_router("a")
+    builder.add_router("b")
+    end_a, end_b = builder.connect("a", "b")
+    builder.cover_ospf(end_a, 1)
+    builder.cover_ospf(end_b, 1)
+    return builder
+
+
+class TestFlavorInterfaces:
+    def test_interfaces_are_inert_for_analysis(self):
+        builder = make_builder()
+        baseline = Network.from_configs(builder.serialize())
+        baseline_links = len(baseline.links)
+        baseline_external = set(baseline.external_interfaces)
+
+        add_flavor_interfaces(builder, random.Random(3))
+        flavored = Network.from_configs(builder.serialize())
+        assert len(flavored.links) == baseline_links
+        assert set(flavored.external_interfaces) == baseline_external
+        # ...but the census grew substantially.
+        assert sum(flavored.interface_type_census().values()) > sum(
+            baseline.interface_type_census().values()
+        )
+
+    def test_flavor_interfaces_are_shutdown_and_unnumbered(self):
+        builder = make_builder()
+        before = {
+            (router, name)
+            for router, config in builder.routers.items()
+            for name in config.interfaces
+        }
+        add_flavor_interfaces(builder, random.Random(3))
+        for router, config in builder.routers.items():
+            for name, iface in config.interfaces.items():
+                if (router, name) in before:
+                    continue
+                assert iface.shutdown
+                assert not iface.is_numbered
+
+    def test_rates_scale_population(self):
+        builder = make_builder()
+        add_flavor_interfaces(builder, random.Random(3))
+        census = Network.from_configs(builder.serialize()).interface_type_census()
+        assert census.get("Serial", 0) >= int(BASE_RATES["Serial"]) * 2  # 2 routers
+
+    def test_backbone_style_suppresses_legacy(self):
+        builder = make_builder()
+        add_flavor_interfaces(builder, random.Random(3), style="backbone")
+        census = Network.from_configs(builder.serialize()).interface_type_census()
+        assert census.get("TokenRing", 0) == 0
+        assert census.get("BRI", 0) == 0
+
+
+class TestBoilerplate:
+    def test_boilerplate_survives_roundtrip(self):
+        builder = make_builder()
+        add_boilerplate(builder, random.Random(3), min_lines=50, max_lines=60)
+        text = builder.serialize()["a"]
+        first = parse_config(text)
+        second = parse_config(serialize_config(first))
+        assert first.unmodeled_lines == second.unmodeled_lines
+        assert len(first.unmodeled_lines) >= 50
+
+    def test_boilerplate_within_budget(self):
+        builder = make_builder()
+        add_boilerplate(builder, random.Random(3), min_lines=80, max_lines=90)
+        for config in builder.routers.values():
+            assert 80 <= len(config.unmodeled_lines) <= 90
+
+    def test_boilerplate_is_analysis_inert(self):
+        builder = make_builder()
+        baseline = Network.from_configs(builder.serialize())
+        add_boilerplate(builder, random.Random(3))
+        enriched = Network.from_configs(builder.serialize())
+        assert len(enriched.links) == len(baseline.links)
+        from repro.core import compute_instances
+
+        assert len(compute_instances(enriched)) == len(compute_instances(baseline))
