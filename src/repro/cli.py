@@ -7,10 +7,17 @@ Subcommands::
     repro pathway <configdir> <router>   route pathway of one router
     repro anonymize <configdir> <out>    §4.1 anonymization
     repro survivability <configdir>      §8.1 what-if battery
+    repro lint <configdir>               ingestion diagnostics table
     repro diff <dir-t0> <dir-t1>         §8.2 longitudinal diff
     repro generate <template> <out>      emit a synthetic network
 
 The config directory layout is the paper's: one file per router.
+
+Commands that read an archive accept ``--strict`` (default: abort on the
+first malformed statement) or ``--lenient`` (skip damaged blocks, report
+them, analyze what remains).  Exit codes fold in the ingestion
+diagnostics: 0 clean, 1 warnings, 2 errors — combined with each command's
+own status via ``max``.
 """
 
 from __future__ import annotations
@@ -31,18 +38,39 @@ from repro.core import (
 )
 from repro.core.filters import analyze_filter_placement
 from repro.core.roles import classify_roles
+from repro.diag import EXIT_ERRORS, PHASE_ANALYSIS
 from repro.model import Network
-from repro.report import format_table
+from repro.report import format_diagnostics, format_table
 
 
-def _load(path: str) -> Network:
+def _load(args: argparse.Namespace, path: Optional[str] = None) -> Network:
+    """Load one archive under the command's --strict/--lenient policy.
+
+    Loaded networks are remembered on the namespace so :func:`main` can
+    fold their diagnostics into the final exit code.
+    """
+    path = path if path is not None else args.configdir
     if not os.path.isdir(path):
         raise SystemExit(f"error: {path} is not a directory of config files")
-    return Network.from_directory(path)
+    mode = getattr(args, "mode", None) or "strict"
+    on_error = "skip-block" if mode == "lenient" else "strict"
+    network = Network.from_directory(path, on_error=on_error)
+    loaded = getattr(args, "_loaded_networks", None)
+    if loaded is None:
+        loaded = args._loaded_networks = []
+    loaded.append(network)
+    if len(network.diagnostics) or network.quarantined:
+        print(
+            f"ingestion: {network.diagnostics.summary()}, "
+            f"{len(network.quarantined)} file(s) quarantined "
+            f"(run `repro lint` for details)",
+            file=sys.stderr,
+        )
+    return network
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    network = _load(args.configdir)
+    network = _load(args)
     instances = compute_instances(network)
     evidence = classify_design(network, instances)
     roles = classify_roles(network, instances)
@@ -73,7 +101,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_instances(args: argparse.Namespace) -> int:
-    network = _load(args.configdir)
+    network = _load(args)
     instances = compute_instances(network)
     rows = [
         (inst.instance_id, inst.protocol, inst.asn or "", inst.size)
@@ -84,7 +112,7 @@ def cmd_instances(args: argparse.Namespace) -> int:
 
 
 def cmd_pathway(args: argparse.Namespace) -> int:
-    network = _load(args.configdir)
+    network = _load(args)
     try:
         pathway = route_pathway(network, args.router)
     except KeyError:
@@ -122,7 +150,7 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
 
 
 def cmd_survivability(args: argparse.Namespace) -> int:
-    network = _load(args.configdir)
+    network = _load(args)
     report = analyze_survivability(network)
     print(f"articulation routers: {len(report.articulation_routers)}")
     for router in report.articulation_routers[:20]:
@@ -146,7 +174,7 @@ def cmd_survivability(args: argparse.Namespace) -> int:
 def cmd_audit(args: argparse.Namespace) -> int:
     from repro.core.consistency import audit_configuration
 
-    network = _load(args.configdir)
+    network = _load(args)
     report = audit_configuration(network)
     if report.is_clean:
         print("no findings: configuration is consistent")
@@ -160,7 +188,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
 def cmd_graph(args: argparse.Namespace) -> int:
     from repro.report.dot import instance_graph_to_dot
 
-    network = _load(args.configdir)
+    network = _load(args)
     dot = instance_graph_to_dot(network)
     if args.output:
         with open(args.output, "w") as handle:
@@ -174,7 +202,7 @@ def cmd_graph(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.report.design_report import generate_design_report
 
-    network = _load(args.configdir)
+    network = _load(args)
     report = generate_design_report(network)
     if args.output:
         with open(args.output, "w") as handle:
@@ -188,7 +216,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_flow(args: argparse.Namespace) -> int:
     from repro.core.packet_reach import Flow, PacketReachability
 
-    network = _load(args.configdir)
+    network = _load(args)
     reach = PacketReachability(network)
     flow = Flow.between(args.source, args.dest, protocol=args.protocol, port=args.port)
     verdict = reach.host_flow(flow)
@@ -208,12 +236,32 @@ def cmd_flow(args: argparse.Namespace) -> int:
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
-    before = _load(args.before)
-    after = _load(args.after)
+    before = _load(args, args.before)
+    after = _load(args, args.after)
     diff = diff_designs(before, after)
     for line in diff.summary_lines():
         print(line)
     return 0 if diff.is_empty else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.configdir):
+        raise SystemExit(f"error: {args.configdir} is not a directory of config files")
+    on_error = "strict" if args.mode == "strict" else "skip-block"
+    try:
+        network = Network.from_directory(args.configdir, on_error=on_error)
+    except Exception as exc:
+        print(f"error: {exc}")
+        return EXIT_ERRORS
+    try:
+        network.links
+        network.processes
+        network.bgp_sessions
+    except Exception as exc:
+        network.diagnostics.error(PHASE_ANALYSIS, f"analysis failed: {exc}")
+    print(f"archive: {args.configdir}   routers: {len(network)}")
+    print(format_diagnostics(network.diagnostics, network.quarantined))
+    return network.diagnostics.exit_code()
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -250,15 +298,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="routing design summary")
+    mode = argparse.ArgumentParser(add_help=False)
+    group = mode.add_mutually_exclusive_group()
+    group.add_argument(
+        "--strict",
+        dest="mode",
+        action="store_const",
+        const="strict",
+        help="abort on the first malformed statement",
+    )
+    group.add_argument(
+        "--lenient",
+        dest="mode",
+        action="store_const",
+        const="lenient",
+        help="skip damaged blocks, report them, analyze what remains",
+    )
+    # No set_defaults here: parent-parser actions are shared between the
+    # subparsers, so a per-command set_defaults(mode=...) would rewrite
+    # the action default for every command.  The unset flag stays None
+    # and each command resolves its own default (lint: lenient, rest:
+    # strict).
+
+    p = sub.add_parser("analyze", help="routing design summary", parents=[mode])
     p.add_argument("configdir")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("instances", help="routing instance listing")
+    p = sub.add_parser("instances", help="routing instance listing", parents=[mode])
     p.add_argument("configdir")
     p.set_defaults(func=cmd_instances)
 
-    p = sub.add_parser("pathway", help="route pathway of one router")
+    p = sub.add_parser("pathway", help="route pathway of one router", parents=[mode])
     p.add_argument("configdir")
     p.add_argument("router")
     p.set_defaults(func=cmd_pathway)
@@ -269,25 +339,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--key", default=None, help="deterministic anonymization key")
     p.set_defaults(func=cmd_anonymize)
 
-    p = sub.add_parser("survivability", help="single-failure what-ifs")
+    p = sub.add_parser("survivability", help="single-failure what-ifs", parents=[mode])
     p.add_argument("configdir")
     p.set_defaults(func=cmd_survivability)
 
-    p = sub.add_parser("audit", help="consistency/vulnerability audit")
+    p = sub.add_parser("audit", help="consistency/vulnerability audit", parents=[mode])
     p.add_argument("configdir")
     p.set_defaults(func=cmd_audit)
 
-    p = sub.add_parser("graph", help="instance graph as Graphviz DOT")
+    p = sub.add_parser("graph", help="instance graph as Graphviz DOT", parents=[mode])
     p.add_argument("configdir")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_graph)
 
-    p = sub.add_parser("report", help="full markdown design report")
+    p = sub.add_parser("report", help="full markdown design report", parents=[mode])
     p.add_argument("configdir")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("flow", help="trace a packet flow through filters")
+    p = sub.add_parser("flow", help="trace a packet flow through filters", parents=[mode])
     p.add_argument("configdir")
     p.add_argument("source", help="source host address")
     p.add_argument("dest", help="destination host address")
@@ -295,7 +365,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=None)
     p.set_defaults(func=cmd_flow)
 
-    p = sub.add_parser("diff", help="compare two snapshots")
+    p = sub.add_parser("lint", help="ingestion diagnostics table", parents=[mode])
+    p.add_argument("configdir")
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("diff", help="compare two snapshots", parents=[mode])
     p.add_argument("before")
     p.add_argument("after")
     p.set_defaults(func=cmd_diff)
@@ -312,7 +386,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    code = args.func(args)
+    if args.func is not cmd_lint:
+        for network in getattr(args, "_loaded_networks", []):
+            code = max(code, network.diagnostics.exit_code())
+    return code
 
 
 if __name__ == "__main__":

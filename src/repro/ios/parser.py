@@ -5,11 +5,23 @@ paper: interface stanzas, ``router ospf|eigrp|igrp|rip|bgp`` stanzas, numbered
 and named access lists, route maps, and static routes.  Anything else is
 retained verbatim in :attr:`RouterConfig.unmodeled_lines` so that nothing is
 silently dropped and source-level statistics stay exact.
+
+Two error-handling modes:
+
+* ``mode="strict"`` (the default) raises :class:`ConfigParseError` on the
+  first malformed statement inside the modeled subset — the historical
+  behavior, right for trusted/synthetic input;
+* ``mode="lenient"`` skips the offending top-level block, records a
+  :class:`repro.diag.Diagnostic` in the supplied sink, keeps the block's
+  text in ``unmodeled_lines``, and continues — right for real archives
+  where one mangled stanza must not sink the file.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
+
+from repro.diag import PHASE_PARSE, DiagnosticSink
 
 from repro.ios.blocks import ConfigBlock, split_blocks
 from repro.ios.config import (
@@ -45,12 +57,45 @@ class ConfigParseError(ValueError):
         self.line = line
 
 
-def parse_config(text: str) -> RouterConfig:
-    """Parse one router's configuration file."""
+def parse_config(
+    text: str,
+    *,
+    mode: str = "strict",
+    sink: Optional[DiagnosticSink] = None,
+    source: Optional[str] = None,
+) -> RouterConfig:
+    """Parse one router's configuration file.
+
+    ``mode`` selects error handling (see module docstring); in lenient mode
+    skipped blocks and unmodeled commands are reported into ``sink``, with
+    ``source`` as the diagnostics' file name.
+    """
+    if mode not in ("strict", "lenient"):
+        raise ValueError(f"unknown parse mode: {mode!r}")
+    lenient = mode == "lenient"
     blocks, line_count, command_count = split_blocks(text)
     config = RouterConfig(line_count=line_count, command_count=command_count)
     for block in blocks:
-        _dispatch_block(config, block)
+        if not lenient:
+            _dispatch_block(config, block, sink=sink, source=source)
+            continue
+        try:
+            _dispatch_block(config, block, sink=sink, source=source)
+        except (ValueError, IndexError, KeyError) as exc:
+            # ConfigParseError and AddressError both subclass ValueError;
+            # IndexError/KeyError from short or garbled lines are equally
+            # block-local — skip the stanza, keep the file.
+            line_number = getattr(exc, "line_number", 0) or block.line_number
+            line = getattr(exc, "line", "") or block.line
+            if sink is not None:
+                sink.error(
+                    PHASE_PARSE,
+                    f"skipped block: {exc}",
+                    file=source,
+                    line_number=line_number,
+                    line=line,
+                )
+            _retain_block(config, block)
     return config
 
 
@@ -58,7 +103,17 @@ def parse_config(text: str) -> RouterConfig:
 # dispatch
 
 
-def _dispatch_block(config: RouterConfig, block: ConfigBlock) -> None:
+def _retain_block(config: RouterConfig, block: ConfigBlock) -> None:
+    """Keep a skipped block's text so nothing is silently dropped."""
+    config.unmodeled_lines.extend(node.line for node in block.walk())
+
+
+def _dispatch_block(
+    config: RouterConfig,
+    block: ConfigBlock,
+    sink: Optional[DiagnosticSink] = None,
+    source: Optional[str] = None,
+) -> None:
     words = block.words
     head = words[0]
     if head == "hostname" and len(words) >= 2:
@@ -66,7 +121,7 @@ def _dispatch_block(config: RouterConfig, block: ConfigBlock) -> None:
     elif head == "interface":
         _parse_interface(config, block)
     elif head == "router":
-        _parse_router(config, block)
+        _parse_router(config, block, sink=sink, source=source)
     elif head == "access-list":
         _parse_access_list(config, block)
     elif head == "ip" and len(words) >= 2 and words[1] == "route":
@@ -80,6 +135,14 @@ def _dispatch_block(config: RouterConfig, block: ConfigBlock) -> None:
     elif head == "route-map":
         _parse_route_map(config, block)
     else:
+        if sink is not None:
+            sink.info(
+                PHASE_PARSE,
+                f"unmodeled command: {head}",
+                file=source,
+                line_number=block.line_number,
+                line=block.line,
+            )
         config.unmodeled_lines.append(block.line)
         for child in block.children:
             config.unmodeled_lines.extend(node.line for node in child.walk())
@@ -136,7 +199,12 @@ def _parse_interface_line(iface: InterfaceConfig, child: ConfigBlock) -> None:
 # routing processes
 
 
-def _parse_router(config: RouterConfig, block: ConfigBlock) -> None:
+def _parse_router(
+    config: RouterConfig,
+    block: ConfigBlock,
+    sink: Optional[DiagnosticSink] = None,
+    source: Optional[str] = None,
+) -> None:
     words = block.words
     if len(words) < 2:
         raise ConfigParseError("router without a protocol", block.line_number, block.line)
@@ -162,6 +230,14 @@ def _parse_router(config: RouterConfig, block: ConfigBlock) -> None:
             _parse_bgp_line(process, child)
         config.bgp_process = process
     else:
+        if sink is not None:
+            sink.info(
+                PHASE_PARSE,
+                f"unmodeled routing protocol: {protocol}",
+                file=source,
+                line_number=block.line_number,
+                line=block.line,
+            )
         config.unmodeled_lines.append(block.line)
         config.unmodeled_lines.extend(child.line for child in block.children)
 

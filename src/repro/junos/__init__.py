@@ -18,7 +18,7 @@ routes), ``protocols ospf`` (areas, interfaces, export policies),
 ``firewall family inet filter``.
 """
 
-from repro.junos.parser import parse_junos_config
+from repro.junos.parser import JunosParseError, parse_junos_config
 from repro.junos.serializer import serialize_junos_config
 
-__all__ = ["parse_junos_config", "serialize_junos_config"]
+__all__ = ["JunosParseError", "parse_junos_config", "serialize_junos_config"]

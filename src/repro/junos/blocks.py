@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 @dataclass
@@ -12,6 +12,7 @@ class JunosNode:
 
     words: List[str]
     children: List["JunosNode"] = field(default_factory=list)
+    line_number: int = 0
 
     @property
     def head(self) -> str:
@@ -38,53 +39,70 @@ class JunosNode:
 class JunosSyntaxError(ValueError):
     """Raised on malformed brace structure."""
 
+    def __init__(self, message: str, line_number: int = 0):
+        if line_number:
+            message = f"{message} (line {line_number})"
+        super().__init__(message)
+        self.line_number = line_number
+
 
 def parse_blocks(text: str) -> JunosNode:
     """Parse JunOS-style text into a root node.
 
     Grammar: statements are ``words ;`` (leaves) or ``words { ... }``
     (containers).  Comments (``#`` to end of line and ``/* */``) are
-    stripped.
+    stripped.  Each node remembers the line number of its first word so
+    diagnostics can point back into the source file.
     """
     cleaned = _strip_comments(text)
     tokens = _tokenize(cleaned)
     root = JunosNode(words=["<root>"])
     stack = [root]
     current: List[str] = []
-    for token in tokens:
+    current_line = 0
+    for token, line_number in tokens:
         if token == "{":
             if not current:
-                raise JunosSyntaxError("unexpected '{'")
-            node = JunosNode(words=current)
+                raise JunosSyntaxError("unexpected '{'", line_number)
+            node = JunosNode(words=current, line_number=current_line)
             stack[-1].children.append(node)
             stack.append(node)
             current = []
         elif token == "}":
             if current:
-                raise JunosSyntaxError("missing ';' before '}'")
+                raise JunosSyntaxError("missing ';' before '}'", line_number)
             if len(stack) == 1:
-                raise JunosSyntaxError("unbalanced '}'")
+                raise JunosSyntaxError("unbalanced '}'", line_number)
             stack.pop()
         elif token == ";":
             if current:
-                stack[-1].children.append(JunosNode(words=current))
+                stack[-1].children.append(
+                    JunosNode(words=current, line_number=current_line)
+                )
                 current = []
         else:
+            if not current:
+                current_line = line_number
             current.append(token)
     if len(stack) != 1:
-        raise JunosSyntaxError("unbalanced '{'")
+        raise JunosSyntaxError("unbalanced '{'", stack[-1].line_number)
     if current:
-        raise JunosSyntaxError(f"trailing tokens: {' '.join(current)}")
+        raise JunosSyntaxError(
+            f"trailing tokens: {' '.join(current)}", current_line
+        )
     return root
 
 
 def _strip_comments(text: str) -> str:
+    """Remove ``#`` and ``/* */`` comments, preserving line structure."""
     out = []
     index = 0
     length = len(text)
     while index < length:
         if text.startswith("/*", index):
             end = text.find("*/", index + 2)
+            span = text[index:] if end < 0 else text[index : end + 2]
+            out.append("\n" * span.count("\n"))
             index = length if end < 0 else end + 2
         elif text[index] == "#":
             end = text.find("\n", index)
@@ -95,36 +113,46 @@ def _strip_comments(text: str) -> str:
     return "".join(out)
 
 
-def _tokenize(text: str) -> List[str]:
-    tokens = []
-    current = []
+def _tokenize(text: str) -> List[Tuple[str, int]]:
+    """Split into ``(token, line number)`` pairs."""
+    tokens: List[Tuple[str, int]] = []
+    current: List[str] = []
+    current_line = 1
+    line = 1
     in_quote = False
+
+    def flush() -> None:
+        if current:
+            tokens.append(("".join(current), current_line))
+            current.clear()
+
     for char in text:
         if in_quote:
             if char == '"':
                 in_quote = False
-                tokens.append("".join(current))
-                current = []
+                tokens.append(("".join(current), current_line))
+                current.clear()
             else:
                 current.append(char)
-        elif char == '"':
-            if current:
-                tokens.append("".join(current))
-                current = []
+                if char == "\n":
+                    line += 1
+            continue
+        if char == '"':
+            flush()
             in_quote = True
+            current_line = line
         elif char in "{};":
-            if current:
-                tokens.append("".join(current))
-                current = []
-            tokens.append(char)
+            flush()
+            tokens.append((char, line))
         elif char.isspace():
-            if current:
-                tokens.append("".join(current))
-                current = []
+            flush()
+            if char == "\n":
+                line += 1
         else:
+            if not current:
+                current_line = line
             current.append(char)
     if in_quote:
-        raise JunosSyntaxError("unterminated string literal")
-    if current:
-        tokens.append("".join(current))
+        raise JunosSyntaxError("unterminated string literal", current_line)
+    flush()
     return tokens

@@ -11,11 +11,20 @@ does.  Constructs without a direct IOS equivalent are lowered:
   ``export`` on a protocol becomes a redistribution statement;
 * ``firewall family inet filter`` terms become extended ACL clauses, and
   unit-level ``filter input/output`` become access-group bindings.
+
+Like the IOS front end, the converter has a ``mode="lenient"`` that skips a
+malformed statement (one interface, one policy term, one BGP group, ...),
+records a :class:`repro.diag.Diagnostic`, and keeps converting the rest of
+the file.  Brace-structure errors are file-level — they still raise
+:class:`repro.junos.blocks.JunosSyntaxError` in either mode, and the
+directory loader quarantines such files.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
+
+from repro.diag import PHASE_PARSE, DiagnosticSink
 
 from repro.ios.config import (
     AccessList,
@@ -39,12 +48,83 @@ class JunosParseError(ValueError):
     """Raised when a statement inside the supported subset is malformed."""
 
 
-def parse_junos_config(text: str) -> RouterConfig:
-    """Parse one router's JunOS-style configuration."""
+class _Guard:
+    """Per-statement error policy: re-raise (strict) or skip + report."""
+
+    def __init__(
+        self,
+        lenient: bool,
+        sink: Optional[DiagnosticSink],
+        source: Optional[str],
+    ):
+        self.lenient = lenient
+        self.sink = sink
+        self.source = source
+
+    def run(self, node: JunosNode, what: str, fn: Callable[[], None]) -> None:
+        if not self.lenient:
+            fn()
+            return
+        try:
+            fn()
+        except (ValueError, IndexError, KeyError) as exc:
+            if self.sink is not None:
+                self.sink.error(
+                    PHASE_PARSE,
+                    f"skipped {what}: {exc}",
+                    file=self.source,
+                    line_number=node.line_number,
+                    line=" ".join(node.words),
+                )
+
+    def info(self, node: JunosNode, message: str) -> None:
+        if self.sink is not None:
+            self.sink.info(
+                PHASE_PARSE,
+                message,
+                file=self.source,
+                line_number=node.line_number,
+                line=" ".join(node.words),
+            )
+
+
+_KNOWN_TOP_LEVEL = {
+    "version",
+    "groups",
+    "apply-groups",
+    "system",
+    "chassis",
+    "interfaces",
+    "policy-options",
+    "firewall",
+    "routing-options",
+    "protocols",
+}
+
+
+def parse_junos_config(
+    text: str,
+    *,
+    mode: str = "strict",
+    sink: Optional[DiagnosticSink] = None,
+    source: Optional[str] = None,
+) -> RouterConfig:
+    """Parse one router's JunOS-style configuration.
+
+    ``mode="lenient"`` skips malformed statements with a diagnostic in
+    ``sink`` instead of raising; brace errors still raise in both modes.
+    """
+    if mode not in ("strict", "lenient"):
+        raise ValueError(f"unknown parse mode: {mode!r}")
+    guard = _Guard(mode == "lenient", sink, source)
     root = parse_blocks(text)
     config = RouterConfig()
     config.line_count = sum(1 for line in text.splitlines() if line.strip())
     config.command_count = _count_statements(root)
+
+    for node in root.children:
+        if node.head not in _KNOWN_TOP_LEVEL:
+            guard.info(node, f"unmodeled section: {node.head}")
 
     system = root.child("system")
     if system is not None:
@@ -52,7 +132,7 @@ def parse_junos_config(text: str) -> RouterConfig:
 
     interfaces = root.child("interfaces")
     if interfaces is not None:
-        _convert_interfaces(config, interfaces)
+        _convert_interfaces(config, interfaces, guard)
 
     policy_options = root.child("policy-options")
     policies: Dict[str, JunosNode] = {}
@@ -61,30 +141,51 @@ def parse_junos_config(text: str) -> RouterConfig:
             if len(statement.words) >= 2:
                 policies[statement.words[1]] = statement
     for name, statement in policies.items():
-        _convert_policy(config, name, statement)
+        guard.run(
+            statement,
+            f"policy-statement {name}",
+            lambda name=name, statement=statement: _convert_policy(
+                config, name, statement
+            ),
+        )
 
     firewall = root.child("firewall")
     if firewall is not None:
-        _convert_firewall(config, firewall)
+        _convert_firewall(config, firewall, guard)
 
     routing_options = root.child("routing-options")
     local_as = None
     if routing_options is not None:
         local_as_text = routing_options.leaf_value("autonomous-system")
         if local_as_text is not None:
-            local_as = int(local_as_text)
+            try:
+                local_as = int(local_as_text)
+            except ValueError as exc:
+                if not guard.lenient:
+                    raise JunosParseError(
+                        f"bad autonomous-system {local_as_text!r}"
+                    ) from exc
+                if sink is not None:
+                    sink.error(
+                        PHASE_PARSE,
+                        f"skipped autonomous-system: {local_as_text!r} is not a number",
+                        file=source,
+                        line_number=routing_options.line_number,
+                    )
         static = routing_options.child("static")
         if static is not None:
-            _convert_static(config, static)
+            _convert_static(config, static, guard)
 
     protocols = root.child("protocols")
     if protocols is not None:
         ospf = protocols.child("ospf")
         if ospf is not None:
-            _convert_ospf(config, ospf, policies)
+            guard.run(
+                ospf, "protocols ospf", lambda: _convert_ospf(config, ospf, policies)
+            )
         bgp = protocols.child("bgp")
         if bgp is not None:
-            _convert_bgp(config, bgp, local_as, policies)
+            _convert_bgp(config, bgp, local_as, policies, guard)
     return config
 
 
@@ -115,7 +216,9 @@ def _count_statements(node: JunosNode) -> int:
 # interfaces
 
 
-def _convert_interfaces(config: RouterConfig, interfaces: JunosNode) -> None:
+def _convert_interfaces(
+    config: RouterConfig, interfaces: JunosNode, guard: _Guard
+) -> None:
     for iface_node in interfaces.children:
         base_name = iface_node.head
         units = iface_node.children_named("unit")
@@ -124,35 +227,45 @@ def _convert_interfaces(config: RouterConfig, interfaces: JunosNode) -> None:
             config.interfaces[base_name] = InterfaceConfig(name=base_name)
             continue
         for unit in units:
-            unit_number = unit.words[1] if len(unit.words) > 1 else "0"
-            name = f"{base_name}.{unit_number}"
-            iface = InterfaceConfig(name=name)
-            description = unit.leaf_value("description")
-            if description:
-                iface.description = description
-            if unit.child("disable") is not None or iface_node.child("disable") is not None:
-                iface.shutdown = True
-            family = unit.child("family", "inet")
-            if family is not None:
-                for address_node in family.children_named("address"):
-                    if len(address_node.words) < 2:
-                        continue
-                    prefix = Prefix(address_node.words[1])
-                    host = IPv4Address(address_node.words[1].split("/", 1)[0])
-                    if iface.address is None:
-                        iface.address = host
-                        iface.netmask = prefix.netmask
-                    else:
-                        iface.secondary_addresses.append((host, prefix.netmask))
-                filter_node = family.child("filter")
-                if filter_node is not None:
-                    in_name = filter_node.leaf_value("input")
-                    out_name = filter_node.leaf_value("output")
-                    if in_name:
-                        iface.access_group_in = in_name
-                    if out_name:
-                        iface.access_group_out = out_name
-            config.interfaces[name] = iface
+            guard.run(
+                unit,
+                f"interface {base_name} unit",
+                lambda unit=unit: _convert_unit(config, iface_node, base_name, unit),
+            )
+
+
+def _convert_unit(
+    config: RouterConfig, iface_node: JunosNode, base_name: str, unit: JunosNode
+) -> None:
+    unit_number = unit.words[1] if len(unit.words) > 1 else "0"
+    name = f"{base_name}.{unit_number}"
+    iface = InterfaceConfig(name=name)
+    description = unit.leaf_value("description")
+    if description:
+        iface.description = description
+    if unit.child("disable") is not None or iface_node.child("disable") is not None:
+        iface.shutdown = True
+    family = unit.child("family", "inet")
+    if family is not None:
+        for address_node in family.children_named("address"):
+            if len(address_node.words) < 2:
+                continue
+            prefix = Prefix(address_node.words[1])
+            host = IPv4Address(address_node.words[1].split("/", 1)[0])
+            if iface.address is None:
+                iface.address = host
+                iface.netmask = prefix.netmask
+            else:
+                iface.secondary_addresses.append((host, prefix.netmask))
+        filter_node = family.child("filter")
+        if filter_node is not None:
+            in_name = filter_node.leaf_value("input")
+            out_name = filter_node.leaf_value("output")
+            if in_name:
+                iface.access_group_in = in_name
+            if out_name:
+                iface.access_group_out = out_name
+    config.interfaces[name] = iface
 
 
 # ---------------------------------------------------------------------------
@@ -224,59 +337,77 @@ def _policy_source_protocols(statement: JunosNode) -> List[str]:
 _PORT_NAMES = {"http": 80, "https": 443, "ssh": 22, "telnet": 23, "domain": 53}
 
 
-def _convert_firewall(config: RouterConfig, firewall: JunosNode) -> None:
+def _convert_firewall(
+    config: RouterConfig, firewall: JunosNode, guard: _Guard
+) -> None:
     family = firewall.child("family", "inet") or firewall
     for filter_node in family.children_named("filter"):
         if len(filter_node.words) < 2:
             continue
-        acl = AccessList(name=filter_node.words[1])
-        for term in filter_node.children_named("term"):
-            from_node = term.child("from")
-            then_node = term.child("then")
-            action = (
-                "deny"
-                if _then_has(then_node, "discard") or _then_has(then_node, "reject")
-                else "permit"
-            )
-            rule = AclRule(action=action, protocol="ip", source_any=True, dest_any=True)
-            if from_node is not None:
-                protocol = from_node.leaf_value("protocol")
-                if protocol:
-                    rule.protocol = protocol
-                source = from_node.leaf_value("source-address")
-                if source:
-                    prefix = Prefix(source)
-                    rule.source, rule.source_wildcard = prefix.network, prefix.wildcard
-                    rule.source_any = False
-                dest = from_node.leaf_value("destination-address")
-                if dest:
-                    prefix = Prefix(dest)
-                    rule.dest, rule.dest_wildcard = prefix.network, prefix.wildcard
-                    rule.dest_any = False
-                port = from_node.leaf_value("destination-port")
-                if port:
-                    rule.port_op = "eq"
-                    rule.port = str(_PORT_NAMES.get(port, port))
-            acl.rules.append(rule)
-        config.access_lists[acl.name] = acl
+        guard.run(
+            filter_node,
+            f"firewall filter {filter_node.words[1]}",
+            lambda filter_node=filter_node: _convert_filter(config, filter_node),
+        )
+
+
+def _convert_filter(config: RouterConfig, filter_node: JunosNode) -> None:
+    acl = AccessList(name=filter_node.words[1])
+    for term in filter_node.children_named("term"):
+        from_node = term.child("from")
+        then_node = term.child("then")
+        action = (
+            "deny"
+            if _then_has(then_node, "discard") or _then_has(then_node, "reject")
+            else "permit"
+        )
+        rule = AclRule(action=action, protocol="ip", source_any=True, dest_any=True)
+        if from_node is not None:
+            protocol = from_node.leaf_value("protocol")
+            if protocol:
+                rule.protocol = protocol
+            source = from_node.leaf_value("source-address")
+            if source:
+                prefix = Prefix(source)
+                rule.source, rule.source_wildcard = prefix.network, prefix.wildcard
+                rule.source_any = False
+            dest = from_node.leaf_value("destination-address")
+            if dest:
+                prefix = Prefix(dest)
+                rule.dest, rule.dest_wildcard = prefix.network, prefix.wildcard
+                rule.dest_any = False
+            port = from_node.leaf_value("destination-port")
+            if port:
+                rule.port_op = "eq"
+                rule.port = str(_PORT_NAMES.get(port, port))
+        acl.rules.append(rule)
+    config.access_lists[acl.name] = acl
 
 
 # ---------------------------------------------------------------------------
 # routing-options / protocols
 
 
-def _convert_static(config: RouterConfig, static: JunosNode) -> None:
+def _convert_static(config: RouterConfig, static: JunosNode, guard: _Guard) -> None:
     for route in static.children_named("route"):
         if len(route.words) < 2:
             continue
-        prefix = Prefix(route.words[1])
-        next_hop = route.leaf_value("next-hop") or _inline_value(route, "next-hop")
-        entry = StaticRoute(prefix=prefix)
-        if next_hop is not None:
-            entry.next_hop = IPv4Address(next_hop)
-        if route.child("discard") is not None or "discard" in route.words[2:]:
-            entry.interface = "Null0"
-        config.static_routes.append(entry)
+        guard.run(
+            route,
+            "static route",
+            lambda route=route: _convert_static_route(config, route),
+        )
+
+
+def _convert_static_route(config: RouterConfig, route: JunosNode) -> None:
+    prefix = Prefix(route.words[1])
+    next_hop = route.leaf_value("next-hop") or _inline_value(route, "next-hop")
+    entry = StaticRoute(prefix=prefix)
+    if next_hop is not None:
+        entry.next_hop = IPv4Address(next_hop)
+    if route.child("discard") is not None or "discard" in route.words[2:]:
+        entry.interface = "Null0"
+    config.static_routes.append(entry)
 
 
 def _convert_ospf(
@@ -334,41 +465,57 @@ def _convert_bgp(
     bgp: JunosNode,
     local_as: Optional[int],
     policies: Dict[str, JunosNode],
+    guard: _Guard,
 ) -> None:
     if local_as is None:
         local_as_text = bgp.leaf_value("local-as")
         local_as = int(local_as_text) if local_as_text else 0
     process = BgpProcess(asn=local_as)
     for group in bgp.children_named("group"):
-        group_peer_as = group.leaf_value("peer-as")
-        group_type = group.leaf_value("type")
-        import_policy = group.leaf_value("import")
-        export_policy = group.leaf_value("export")
-        for neighbor in group.children_named("neighbor"):
-            if len(neighbor.words) < 2:
-                continue
-            peer_as = neighbor.leaf_value("peer-as") or group_peer_as
-            if peer_as is None and group_type == "internal":
-                peer_as = str(local_as)
-            entry = BgpNeighbor(
-                address=IPv4Address(neighbor.words[1]),
-                remote_as=int(peer_as) if peer_as else None,
-                route_map_in=neighbor.leaf_value("import") or import_policy,
-                route_map_out=neighbor.leaf_value("export") or export_policy,
-            )
-            process.neighbors.append(entry)
-        group_export = group.leaf_value("export") or ""
-        statement = policies.get(group_export)
-        if statement is not None:
-            for source in _policy_source_protocols(statement):
-                mapped = _map_protocol(source)
-                if mapped not in ("bgp",) and not any(
-                    r.source_protocol == mapped and r.route_map == group_export
-                    for r in process.redistributes
-                ):
-                    process.redistributes.append(
-                        RedistributeConfig(
-                            source_protocol=mapped, route_map=group_export
-                        )
-                    )
+        guard.run(
+            group,
+            f"bgp group {' '.join(group.words[1:2])}",
+            lambda group=group: _convert_bgp_group(
+                process, group, local_as, policies
+            ),
+        )
     config.bgp_process = process
+
+
+def _convert_bgp_group(
+    process: BgpProcess,
+    group: JunosNode,
+    local_as: int,
+    policies: Dict[str, JunosNode],
+) -> None:
+    group_peer_as = group.leaf_value("peer-as")
+    group_type = group.leaf_value("type")
+    import_policy = group.leaf_value("import")
+    export_policy = group.leaf_value("export")
+    for neighbor in group.children_named("neighbor"):
+        if len(neighbor.words) < 2:
+            continue
+        peer_as = neighbor.leaf_value("peer-as") or group_peer_as
+        if peer_as is None and group_type == "internal":
+            peer_as = str(local_as)
+        entry = BgpNeighbor(
+            address=IPv4Address(neighbor.words[1]),
+            remote_as=int(peer_as) if peer_as else None,
+            route_map_in=neighbor.leaf_value("import") or import_policy,
+            route_map_out=neighbor.leaf_value("export") or export_policy,
+        )
+        process.neighbors.append(entry)
+    group_export = group.leaf_value("export") or ""
+    statement = policies.get(group_export)
+    if statement is not None:
+        for source in _policy_source_protocols(statement):
+            mapped = _map_protocol(source)
+            if mapped not in ("bgp",) and not any(
+                r.source_protocol == mapped and r.route_map == group_export
+                for r in process.redistributes
+            ):
+                process.redistributes.append(
+                    RedistributeConfig(
+                        source_protocol=mapped, route_map=group_export
+                    )
+                )

@@ -9,7 +9,9 @@ archives transparently.
 from __future__ import annotations
 
 import re
+from typing import Optional
 
+from repro.diag import DiagnosticSink
 from repro.ios.config import RouterConfig
 from repro.ios.parser import parse_config as parse_ios_config
 
@@ -26,10 +28,22 @@ def detect_dialect(text: str) -> str:
     return "ios"
 
 
-def parse_any_config(text: str) -> RouterConfig:
-    """Parse a configuration file in whichever dialect it is written."""
+def parse_any_config(
+    text: str,
+    *,
+    mode: str = "strict",
+    sink: Optional[DiagnosticSink] = None,
+    source: Optional[str] = None,
+) -> RouterConfig:
+    """Parse a configuration file in whichever dialect it is written.
+
+    ``mode``/``sink``/``source`` are forwarded to the dialect parser: in
+    ``"lenient"`` mode, malformed statements are skipped with a
+    :class:`repro.diag.Diagnostic` recorded against ``source``.  File-level
+    failures (e.g. unbalanced JunOS braces) still raise in either mode.
+    """
     if detect_dialect(text) == "junos":
         from repro.junos.parser import parse_junos_config  # noqa: PLC0415
 
-        return parse_junos_config(text)
-    return parse_ios_config(text)
+        return parse_junos_config(text, mode=mode, sink=sink, source=source)
+    return parse_ios_config(text, mode=mode, sink=sink, source=source)

@@ -15,6 +15,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
+from repro.diag import PHASE_BUILD, PHASE_PARSE, PHASE_READ, DiagnosticSink
 from repro.ios.config import InterfaceConfig, RouterConfig
 from repro.model.links import Link, infer_links
 from repro.model.processes import (
@@ -28,10 +29,15 @@ from repro.net import IPv4Address, Prefix, summarize_prefixes
 
 @dataclass
 class Router:
-    """One router: a name plus its parsed configuration."""
+    """One router: a name plus its parsed configuration.
+
+    ``source`` is the archive file the configuration came from, when known
+    — diagnostics use it to point back at the offending file.
+    """
 
     name: str
     config: RouterConfig
+    source: Optional[str] = None
 
     @property
     def interfaces(self) -> Dict[str, InterfaceConfig]:
@@ -72,20 +78,118 @@ class BgpSession:
         return self.remote_key is None
 
 
+#: Accepted ``on_error`` policies for the ingestion constructors.
+ON_ERROR_POLICIES = ("strict", "skip-block", "skip-file")
+
+
+def _parse_entry(
+    text: str, source: str, on_error: str, sink: DiagnosticSink
+) -> Optional[RouterConfig]:
+    """Parse one config file under the given fault policy.
+
+    Returns ``None`` when the file must be quarantined (unparseable under
+    the policy); strict mode propagates the parser's exception instead.
+    """
+    from repro.model.dialect import parse_any_config  # noqa: PLC0415
+
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(f"unknown on_error policy: {on_error!r}")
+    if on_error == "strict":
+        return parse_any_config(text, mode="strict", sink=sink, source=source)
+    mode = "lenient" if on_error == "skip-block" else "strict"
+    try:
+        return parse_any_config(text, mode=mode, sink=sink, source=source)
+    except Exception as exc:  # noqa: BLE001 — quarantine, never crash the run
+        sink.error(
+            PHASE_PARSE,
+            f"quarantined unparseable file: {exc}",
+            file=source,
+            line_number=getattr(exc, "line_number", 0),
+            line=getattr(exc, "line", ""),
+        )
+        return None
+
+
+def _read_config_text(
+    full_path: str, entry: str, sink: DiagnosticSink
+) -> Optional[str]:
+    """Read a config file, skipping binary/undecodable content.
+
+    Collection scripts leave tarballs, core dumps, and editor droppings in
+    real archives; those must not abort the run.  NUL bytes or a high
+    replacement-character ratio after a lossy decode mark a file as
+    non-text: it is skipped with a warning diagnostic.
+    """
+    with open(full_path, "rb") as handle:
+        raw = handle.read()
+    if b"\0" in raw[:8192]:
+        sink.warning(
+            PHASE_READ, "skipped binary file (NUL bytes)", file=entry
+        )
+        return None
+    text = raw.decode("utf-8", errors="replace")
+    if text:
+        bad = text.count("�")
+        if bad and bad / len(text) > 0.05:
+            sink.warning(
+                PHASE_READ,
+                f"skipped undecodable file ({bad} invalid byte(s))",
+                file=entry,
+            )
+            return None
+        if bad:
+            sink.info(
+                PHASE_READ,
+                f"replaced {bad} undecodable byte(s)",
+                file=entry,
+            )
+    return text
+
+
 class Network:
     """A set of routers forming one network, with derived routing structure.
 
     All derived structure is computed once on first access and cached; the
     model is treated as immutable after construction (matching the paper's
     setting of analyzing a static snapshot).
+
+    Networks built through :meth:`from_configs`/:meth:`from_directory`
+    carry the ingestion run's :class:`repro.diag.DiagnosticSink` as
+    ``diagnostics`` and the list of files that could not be ingested at
+    all as ``quarantined``.
     """
 
-    def __init__(self, routers: Iterable[Router], name: str = "network"):
+    def __init__(
+        self,
+        routers: Iterable[Router],
+        name: str = "network",
+        *,
+        diagnostics: Optional[DiagnosticSink] = None,
+        quarantined: Optional[Iterable[str]] = None,
+        on_duplicate: str = "error",
+    ):
+        if on_duplicate not in ("error", "rename"):
+            raise ValueError(f"unknown on_duplicate policy: {on_duplicate!r}")
         self.name = name
+        self.diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
+        self.quarantined: List[str] = list(quarantined or [])
         self.routers: Dict[str, Router] = {}
         for router in routers:
-            if router.name in self.routers:
-                raise ValueError(f"duplicate router name: {router.name}")
+            router_name = router.name
+            if router_name in self.routers:
+                if on_duplicate == "error":
+                    raise ValueError(f"duplicate router name: {router_name}")
+                suffix = 2
+                while f"{router_name}~{suffix}" in self.routers:
+                    suffix += 1
+                renamed = f"{router_name}~{suffix}"
+                self.diagnostics.warning(
+                    PHASE_BUILD,
+                    f"duplicate router name {router_name!r} renamed to {renamed!r}",
+                    file=router.source,
+                    router=renamed,
+                )
+                router = Router(name=renamed, config=router.config, source=router.source)
             self.routers[router.name] = router
         self._interface_index: Optional[Dict[Tuple[str, str], InterfaceConfig]] = None
         self._address_map: Optional[Dict[int, Tuple[str, str]]] = None
@@ -104,41 +208,89 @@ class Network:
         cls,
         configs: Mapping[str, Union[str, RouterConfig]],
         name: str = "network",
+        *,
+        on_error: str = "strict",
+        diagnostics: Optional[DiagnosticSink] = None,
     ) -> "Network":
         """Build a network from a mapping of router name → config text/model.
 
         Text configs may be Cisco IOS or JunOS dialect (auto-detected).
+        ``on_error`` selects the fault policy: ``"strict"`` raises on the
+        first malformed statement (historical behavior), ``"skip-block"``
+        skips malformed blocks, and ``"skip-file"`` quarantines whole
+        files on any parse error.  In the non-strict policies the returned
+        network's ``diagnostics``/``quarantined`` describe what was lost.
         """
-        from repro.model.dialect import parse_any_config  # noqa: PLC0415
-
+        sink = diagnostics if diagnostics is not None else DiagnosticSink()
         routers = []
+        quarantined: List[str] = []
         for router_name, config in configs.items():
             if isinstance(config, str):
-                config = parse_any_config(config)
-            routers.append(Router(name=router_name, config=config))
-        return cls(routers, name=name)
+                config = _parse_entry(config, router_name, on_error, sink)
+                if config is None:
+                    quarantined.append(router_name)
+                    continue
+            routers.append(Router(name=router_name, config=config, source=router_name))
+        return cls(
+            routers,
+            name=name,
+            diagnostics=sink,
+            quarantined=quarantined,
+            on_duplicate="error" if on_error == "strict" else "rename",
+        )
 
     @classmethod
-    def from_directory(cls, path: str, name: Optional[str] = None) -> "Network":
+    def from_directory(
+        cls,
+        path: str,
+        name: Optional[str] = None,
+        *,
+        on_error: str = "strict",
+    ) -> "Network":
         """Build a network from a directory of config files (``config1`` ...).
 
         This mirrors the paper's data layout: one directory per network,
         anonymous file names, no meta-data.  Dialects are auto-detected
-        per file (IOS or JunOS).
-        """
-        from repro.model.dialect import parse_any_config  # noqa: PLC0415
+        per file (IOS or JunOS) and each file is parsed exactly once.
 
-        configs: Dict[str, str] = {}
+        Binary or undecodable files are skipped with a diagnostic in every
+        ``on_error`` policy; duplicated hostnames raise in ``"strict"``
+        and are renamed with a ``~N`` suffix (plus a warning diagnostic)
+        otherwise.
+        """
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(f"unknown on_error policy: {on_error!r}")
+        sink = DiagnosticSink()
+        routers: List[Router] = []
+        quarantined: List[str] = []
         for entry in sorted(os.listdir(path)):
             full = os.path.join(path, entry)
             if not os.path.isfile(full):
                 continue
-            with open(full) as handle:
-                text = handle.read()
-            parsed = parse_any_config(text)
-            router_name = parsed.hostname or os.path.splitext(entry)[0]
-            configs[router_name] = text
-        return cls.from_configs(configs, name=name or os.path.basename(path))
+            text = _read_config_text(full, entry, sink)
+            if text is None:
+                quarantined.append(entry)
+                continue
+            config = _parse_entry(text, entry, on_error, sink)
+            if config is None:
+                quarantined.append(entry)
+                continue
+            router_name = config.hostname or os.path.splitext(entry)[0]
+            if not config.hostname:
+                sink.info(
+                    PHASE_BUILD,
+                    f"no hostname; router named after file {entry!r}",
+                    file=entry,
+                    router=router_name,
+                )
+            routers.append(Router(name=router_name, config=config, source=entry))
+        return cls(
+            routers,
+            name=name or os.path.basename(path),
+            diagnostics=sink,
+            quarantined=quarantined,
+            on_duplicate="error" if on_error == "strict" else "rename",
+        )
 
     # -- indexes -----------------------------------------------------------
 

@@ -1,10 +1,12 @@
 """Paper-style table and distribution formatting for benches and examples."""
 
 from repro.report.design_report import generate_design_report
+from repro.report.diagnostics import format_diagnostics
 from repro.report.tables import format_cdf, format_histogram, format_table
 
 __all__ = [
     "format_cdf",
+    "format_diagnostics",
     "format_histogram",
     "format_table",
     "generate_design_report",

@@ -1,0 +1,60 @@
+"""Rendering of ingestion diagnostics as paper-style text tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.diag import ERROR, INFO, WARNING, DiagnosticSink
+from repro.report.tables import format_table
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+def format_diagnostics(
+    sink: DiagnosticSink,
+    quarantined: Optional[Iterable[str]] = None,
+    max_message: int = 72,
+) -> str:
+    """Render a diagnostics sink as a table plus a severity-count footer.
+
+    Rows are ordered most severe first, then by file and line, so the
+    actionable problems lead.  ``quarantined`` (files dropped wholesale)
+    is appended as its own line when non-empty.
+    """
+    ordered = sorted(
+        sink,
+        key=lambda d: (
+            _SEVERITY_RANK[d.severity],
+            d.file or "",
+            d.line_number,
+        ),
+    )
+    rows = []
+    for diagnostic in ordered:
+        message = diagnostic.message
+        if len(message) > max_message:
+            message = message[: max_message - 1] + "…"
+        rows.append(
+            (
+                diagnostic.severity,
+                diagnostic.file or "-",
+                diagnostic.line_number or "-",
+                diagnostic.phase,
+                message,
+            )
+        )
+    lines = []
+    if rows:
+        lines.append(
+            format_table(["severity", "file", "line", "phase", "message"], rows)
+        )
+    else:
+        lines.append("no diagnostics: archive is clean")
+    quarantined = list(quarantined or [])
+    if quarantined:
+        lines.append(f"quarantined files: {', '.join(quarantined)}")
+    lines.append(sink.summary())
+    return "\n".join(lines)
+
+
+__all__ = ["format_diagnostics"]

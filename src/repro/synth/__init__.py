@@ -25,13 +25,17 @@ serialized text.  :mod:`repro.synth.corpus` assembles the paper's
 from repro.synth.addressing import AddressPool
 from repro.synth.builder import NetworkBuilder
 from repro.synth.corpus import CorpusNetwork, paper_corpus, repository_sizes
+from repro.synth.faults import InjectedFault, fault_kinds, inject_fault
 from repro.synth.spec import NetworkSpec
 
 __all__ = [
     "AddressPool",
     "CorpusNetwork",
+    "InjectedFault",
     "NetworkBuilder",
     "NetworkSpec",
+    "fault_kinds",
+    "inject_fault",
     "paper_corpus",
     "repository_sizes",
 ]

@@ -1,0 +1,453 @@
+"""Deterministic fault injection over serialized configuration archives.
+
+The lenient ingestion path (:meth:`Network.from_directory` with
+``on_error="skip-block"``) claims that a single damaged file never sinks a
+run and that every loss is reported.  This module makes that claim
+testable: it mutates a clean, serialized corpus the way real archives rot
+— truncated files, dropped lines, unknown commands, corrupt address
+tokens, duplicated hostnames, spliced files — and records exactly what it
+broke, so a test can assert the pipeline's diagnostics point back at the
+fault.
+
+Every mutator is a pure function ``(configs, rng) -> (mutated, fault)``
+over a ``{file name: config text}`` mapping, driven only by the supplied
+:class:`random.Random`, so a seed fully determines the outcome.  The
+returned :class:`InjectedFault` carries the touched files, the best-known
+line number, and whether strict-mode ingestion is guaranteed to raise on
+the result (a truncated JunOS file always raises; an injected unknown
+command is tolerated by design and only earns an info diagnostic).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.model.dialect import detect_dialect
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Ground truth about one injected fault."""
+
+    kind: str
+    files: Tuple[str, ...]
+    description: str
+    line_number: int = 0
+    strict_raises: bool = True
+
+    @property
+    def file(self) -> str:
+        """The primary faulted file (first of ``files``)."""
+        return self.files[0]
+
+
+Mutator = Callable[
+    [Dict[str, str], random.Random], Tuple[Dict[str, str], InjectedFault]
+]
+
+
+def _line_number_at(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def _is_junos(text: str) -> bool:
+    return detect_dialect(text) == "junos"
+
+
+def _pick(rng: random.Random, items: List[str]) -> str:
+    return items[rng.randrange(len(items))]
+
+
+_IOS_ADDRESS_LINE_RE = re.compile(
+    r"^[ \t]*ip address (\d+\.\d+\.\d+\.\d+) (\d+\.\d+\.\d+\.\d+)", re.MULTILINE
+)
+
+
+def _ios_files(configs: Dict[str, str]) -> List[str]:
+    return sorted(name for name, text in configs.items() if not _is_junos(text))
+
+
+def _junos_files(configs: Dict[str, str]) -> List[str]:
+    return sorted(name for name, text in configs.items() if _is_junos(text))
+
+
+# ---------------------------------------------------------------------------
+# mutators
+
+
+def truncate_file(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Cut a file short mid-statement, as a dying transfer would.
+
+    For IOS the cut lands inside the netmask of an ``ip address`` line, so
+    the stanza is provably malformed; for JunOS any mid-line cut leaves
+    the brace structure unbalanced.  Both raise in strict mode.
+    """
+    junos = _junos_files(configs)
+    candidates = [
+        name for name in _ios_files(configs) if _IOS_ADDRESS_LINE_RE.search(configs[name])
+    ]
+    mutated = dict(configs)
+    if candidates and (not junos or rng.random() < 0.7):
+        name = _pick(rng, candidates)
+        text = configs[name]
+        matches = list(_IOS_ADDRESS_LINE_RE.finditer(text))
+        match = matches[rng.randrange(len(matches))]
+        # Cut inside the netmask token, one character past its first dot.
+        mask_start = match.start(2)
+        cut = mask_start + text[mask_start:].index(".") + 1
+        mutated[name] = text[:cut]
+        line = _line_number_at(text, cut)
+        return mutated, InjectedFault(
+            kind="truncate-file",
+            files=(name,),
+            description=f"truncated {name} inside a netmask at line {line}",
+            line_number=line,
+            strict_raises=True,
+        )
+    name = _pick(rng, junos)
+    text = configs[name]
+    # Cut at the midpoint of a random non-blank statement line.
+    offsets = []
+    position = 0
+    for raw in text.splitlines(keepends=True):
+        stripped = raw.strip()
+        # Brace-only lines are no good: keeping their first character can
+        # leave a balanced, complete prefix.  Cut mid-token instead.
+        if stripped and not stripped.startswith("#") and stripped.strip("{};"):
+            offsets.append(position + len(raw) - len(raw.lstrip()) + max(1, len(stripped) // 2))
+        position += len(raw)
+    cut = offsets[rng.randrange(max(1, len(offsets) - 1))]
+    mutated[name] = text[:cut]
+    line = _line_number_at(text, cut)
+    return mutated, InjectedFault(
+        kind="truncate-file",
+        files=(name,),
+        description=f"truncated {name} mid-statement at line {line}",
+        line_number=line,
+        # A cut that removes every brace-hint line demotes the residue to
+        # the IOS parser, which tolerates it as unmodeled lines.
+        strict_raises=_is_junos(mutated[name]),
+    )
+
+
+def drop_lines(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Delete a structurally load-bearing line, as partial saves do.
+
+    JunOS: a brace-opening line vanishes and the file no longer balances
+    (strict raises, lenient quarantines).  IOS: a stanza header vanishes
+    and its orphaned sub-commands surface as unmodeled top-level lines
+    (tolerated, but reported); if no safe header exists the hostname line
+    is dropped instead, which the loader reports when it falls back to the
+    file name.
+    """
+    junos = _junos_files(configs)
+    ios = _ios_files(configs)
+    mutated = dict(configs)
+    if junos and (not ios or rng.random() < 0.5):
+        name = _pick(rng, junos)
+        lines = configs[name].splitlines()
+        brace_lines = [i for i, ln in enumerate(lines) if "{" in ln]
+        index = brace_lines[rng.randrange(len(brace_lines))]
+        dropped = lines.pop(index)
+        mutated[name] = "\n".join(lines) + "\n"
+        return mutated, InjectedFault(
+            kind="drop-lines",
+            files=(name,),
+            description=f"dropped {dropped.strip()!r} from {name}",
+            line_number=index + 1,
+            strict_raises=True,
+        )
+    # Stanza headers directly after a separator (or at file start) whose
+    # children will be orphaned to the top level when the header vanishes;
+    # files without one lose their hostname line instead, which the loader
+    # reports when it falls back to naming the router after the file.
+    candidates: List[Tuple[str, int]] = []
+    for name in ios:
+        lines = configs[name].splitlines()
+        headers = []
+        for i, ln in enumerate(lines):
+            if not ln or ln.startswith((" ", "\t", "!")):
+                continue
+            has_child = i + 1 < len(lines) and lines[i + 1].startswith((" ", "\t"))
+            after_break = (
+                i == 0
+                or lines[i - 1].strip().startswith("!")
+                or not lines[i - 1].strip()
+            )
+            if has_child and after_break:
+                headers.append(i)
+        if not headers:
+            headers = [
+                i for i, ln in enumerate(lines) if ln.split()[:1] == ["hostname"]
+            ]
+        candidates.extend((name, i) for i in headers)
+    if not candidates:
+        raise ValueError("no droppable line in any IOS config")
+    name, index = candidates[rng.randrange(len(candidates))]
+    lines = configs[name].splitlines()
+    dropped = lines.pop(index)
+    mutated[name] = "\n".join(lines) + "\n"
+    return mutated, InjectedFault(
+        kind="drop-lines",
+        files=(name,),
+        description=f"dropped {dropped.strip()!r} from {name}",
+        line_number=index + 1,
+        strict_raises=False,
+    )
+
+
+_UNKNOWN_IOS_LINES = (
+    "xyzzy frobnicate 42",
+    "mpls traffic-eng tunnels",
+    "snmp-server community zork RO",
+    "ntp server 203.0.113.7",
+)
+
+
+def inject_unknown_commands(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Insert commands outside the modeled subset, as vendor drift does.
+
+    Tolerated in both modes by design — the commands land in
+    ``unmodeled_lines`` — but lenient ingestion reports each one as an
+    info diagnostic, which is what the harness asserts on.
+    """
+    ios = _ios_files(configs)
+    junos = _junos_files(configs)
+    mutated = dict(configs)
+    if ios and (not junos or rng.random() < 0.7):
+        name = _pick(rng, ios)
+        lines = configs[name].splitlines()
+        # Top-level insertion points: after a separator or at the start.
+        points = [0] + [
+            i + 1 for i, ln in enumerate(lines) if ln.strip().startswith("!")
+        ]
+        index = points[rng.randrange(len(points))]
+        command = _UNKNOWN_IOS_LINES[rng.randrange(len(_UNKNOWN_IOS_LINES))]
+        lines.insert(index, command)
+        mutated[name] = "\n".join(lines) + "\n"
+        return mutated, InjectedFault(
+            kind="inject-unknown",
+            files=(name,),
+            description=f"injected {command!r} into {name}",
+            line_number=index + 1,
+            strict_raises=False,
+        )
+    name = _pick(rng, junos)
+    section = "xyzzy {\n    frobnicate 42;\n}\n"
+    mutated[name] = section + configs[name]
+    return mutated, InjectedFault(
+        kind="inject-unknown",
+        files=(name,),
+        description=f"injected unknown section 'xyzzy' into {name}",
+        line_number=1,
+        strict_raises=False,
+    )
+
+
+_IP_BEARING_RES = (
+    # IOS statements whose addresses the parser validates.
+    re.compile(
+        r"^[ \t]*(?:ip address|ip route|neighbor|network|summary-address)"
+        r"[^\n]*?(\d+\.\d+\.\d+\.\d+)",
+        re.MULTILINE,
+    ),
+    # JunOS: interface addresses, static routes, next hops, BGP neighbors.
+    re.compile(
+        r"^[ \t]*(?:address|route|next-hop|neighbor)[^\n;{]*?(\d+\.\d+\.\d+\.\d+)",
+        re.MULTILINE,
+    ),
+)
+
+
+def corrupt_ip_tokens(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Replace an octet of a validated address with 999, as bit rot does.
+
+    The damaged statement fails address validation: strict mode raises,
+    lenient mode skips exactly that block with an error diagnostic.
+    """
+    candidates: List[Tuple[str, re.Match]] = []
+    for name in sorted(configs):
+        pattern = _IP_BEARING_RES[1] if _is_junos(configs[name]) else _IP_BEARING_RES[0]
+        candidates.extend((name, m) for m in pattern.finditer(configs[name]))
+    name, match = candidates[rng.randrange(len(candidates))]
+    text = configs[name]
+    start, end = match.span(1)
+    octets = match.group(1).split(".")
+    octets[rng.randrange(4)] = "999"
+    corrupted = ".".join(octets)
+    mutated = dict(configs)
+    mutated[name] = text[:start] + corrupted + text[end:]
+    line = _line_number_at(text, start)
+    return mutated, InjectedFault(
+        kind="corrupt-ip",
+        files=(name,),
+        description=f"corrupted address {match.group(1)} -> {corrupted} in {name}",
+        line_number=line,
+        strict_raises=True,
+    )
+
+
+_HOSTNAME_RES = (
+    re.compile(r"^hostname[ \t]+(\S+)", re.MULTILINE),
+    re.compile(r"^([ \t]*)host-name[ \t]+([^;\s]+);", re.MULTILINE),
+)
+
+
+def duplicate_hostnames(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Give one router another router's hostname, as stale clones do.
+
+    Strict ingestion raises on the duplicate name; lenient ingestion
+    renames the second router with a ``~N`` suffix and emits a warning
+    diagnostic naming its file.
+    """
+    named = []
+    for name in sorted(configs):
+        text = configs[name]
+        pattern = _HOSTNAME_RES[1] if _is_junos(text) else _HOSTNAME_RES[0]
+        if pattern.search(text):
+            named.append(name)
+    victim, donor = rng.sample(named, 2)
+    donor_text = configs[donor]
+    donor_pattern = _HOSTNAME_RES[1] if _is_junos(donor_text) else _HOSTNAME_RES[0]
+    donor_name = donor_pattern.search(donor_text).group(donor_pattern.groups)
+    victim_text = configs[victim]
+    mutated = dict(configs)
+    if _is_junos(victim_text):
+        match = _HOSTNAME_RES[1].search(victim_text)
+        replacement = f"{match.group(1)}host-name {donor_name};"
+        line = _line_number_at(victim_text, match.start())
+        mutated[victim] = (
+            victim_text[: match.start()] + replacement + victim_text[match.end() :]
+        )
+    else:
+        match = _HOSTNAME_RES[0].search(victim_text)
+        line = _line_number_at(victim_text, match.start())
+        mutated[victim] = (
+            victim_text[: match.start()]
+            + f"hostname {donor_name}"
+            + victim_text[match.end() :]
+        )
+    return mutated, InjectedFault(
+        kind="duplicate-hostname",
+        files=(victim, donor),
+        description=f"renamed router in {victim} to {donor_name!r} (also in {donor})",
+        line_number=line,
+        strict_raises=True,
+    )
+
+
+_SPLICE_WORD_RE = re.compile(r"^[ \t]*([A-Za-z][A-Za-z-]{3,})[ \t]+\S+", re.MULTILINE)
+
+
+def splice_files(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Glue the head of one file onto the tail of another, as botched
+    concatenation in collection scripts does.
+
+    The seam merges two half-lines into one garbled statement.  For IOS
+    the seam is forced into an ``ip address`` stanza so the merged line is
+    malformed inside the modeled subset (strict raises); for JunOS the
+    result is brace-unbalanced.
+    """
+    names = sorted(configs)
+    mutated = dict(configs)
+    ios_heads = [
+        name for name in _ios_files(configs) if _IOS_ADDRESS_LINE_RE.search(configs[name])
+    ]
+    if ios_heads:
+        head_name = _pick(rng, ios_heads)
+        tail_name = _pick(rng, [n for n in names if n != head_name])
+        head_text = configs[head_name]
+        tail_text = configs[tail_name]
+        matches = list(_IOS_ADDRESS_LINE_RE.finditer(head_text))
+        match = matches[rng.randrange(len(matches))]
+        cut_head = match.start(1)  # keep "... ip address ", drop its operands
+        # Tail resumes mid-word on a keyword line, so the merged statement
+        # reads "ip address <word-tail> <arg>" — malformed by construction.
+        tail_matches = [
+            m for m in _SPLICE_WORD_RE.finditer(tail_text) if len(m.group(1)) >= 4
+        ]
+        tail_match = tail_matches[rng.randrange(len(tail_matches))]
+        cut_tail = tail_match.start(1) + len(tail_match.group(1)) // 2
+        mutated[head_name] = head_text[:cut_head] + tail_text[cut_tail:]
+        line = _line_number_at(head_text, cut_head)
+        return mutated, InjectedFault(
+            kind="splice-files",
+            files=(head_name, tail_name),
+            description=(
+                f"spliced {head_name} (through line {line}) onto the tail of {tail_name}"
+            ),
+            line_number=line,
+            strict_raises=True,
+        )
+    head_name, tail_name = rng.sample(names, 2)
+    head_text = configs[head_name]
+    tail_text = configs[tail_name]
+    spliced = head_text[: len(head_text) // 2] + tail_text[len(tail_text) // 2 :]
+    if spliced.count("{") == spliced.count("}"):
+        spliced += "}\n"  # force the imbalance a real tear leaves behind
+    mutated[head_name] = spliced
+    line = _line_number_at(head_text, len(head_text) // 2)
+    return mutated, InjectedFault(
+        kind="splice-files",
+        files=(head_name, tail_name),
+        description=f"spliced {head_name} onto the tail of {tail_name}",
+        line_number=line,
+        strict_raises=_is_junos(spliced),
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+MUTATORS: Dict[str, Mutator] = {
+    "truncate-file": truncate_file,
+    "drop-lines": drop_lines,
+    "inject-unknown": inject_unknown_commands,
+    "corrupt-ip": corrupt_ip_tokens,
+    "duplicate-hostname": duplicate_hostnames,
+    "splice-files": splice_files,
+}
+
+
+def fault_kinds() -> Tuple[str, ...]:
+    """All mutator kinds, in registry order."""
+    return tuple(MUTATORS)
+
+
+def inject_fault(
+    configs: Dict[str, str], kind: str, seed: int
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Apply one seeded mutator; the inputs fully determine the output."""
+    if kind not in MUTATORS:
+        raise ValueError(f"unknown fault kind: {kind!r} (choose from {fault_kinds()})")
+    return MUTATORS[kind](configs, random.Random(seed))
+
+
+__all__ = [
+    "InjectedFault",
+    "MUTATORS",
+    "fault_kinds",
+    "inject_fault",
+    "truncate_file",
+    "drop_lines",
+    "inject_unknown_commands",
+    "corrupt_ip_tokens",
+    "duplicate_hostnames",
+    "splice_files",
+]

@@ -185,3 +185,80 @@ class TestAudit:
         code = main(["audit", os.fspath(tmp_path)])
         assert code == 0
         assert "consistent" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_clean_archive_exits_zero(self, config_dir, capsys):
+        assert main(["lint", config_dir]) == 0
+        out = capsys.readouterr().out
+        assert "no diagnostics" in out
+
+    def test_warnings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "config1").write_text("hostname twin\n")
+        (tmp_path / "config2").write_text("hostname twin\n")
+        assert main(["lint", os.fspath(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "duplicate router name" in out
+
+    def test_errors_exit_two(self, config_dir, tmp_path, capsys):
+        from repro.synth import inject_fault
+
+        configs, _meta = build_example_networks()
+        mutated, fault = inject_fault(configs, "corrupt-ip", seed=1)
+        for name, text in mutated.items():
+            (tmp_path / name).write_text(text)
+        assert main(["lint", os.fspath(tmp_path)]) == 2
+        out = capsys.readouterr().out
+        assert fault.file in out
+        assert "error" in out
+
+    def test_strict_flag_reports_first_failure(self, tmp_path, capsys):
+        from repro.synth import inject_fault
+
+        configs, _meta = build_example_networks()
+        mutated, _fault = inject_fault(configs, "corrupt-ip", seed=1)
+        for name, text in mutated.items():
+            (tmp_path / name).write_text(text)
+        assert main(["lint", "--strict", os.fspath(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_rejects_missing_dir(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "/nonexistent/place"])
+
+
+class TestExitCodeFolding:
+    def test_lenient_analyze_folds_ingestion_errors(self, tmp_path, capsys):
+        from repro.synth import inject_fault
+
+        configs, _meta = build_example_networks()
+        mutated, _fault = inject_fault(configs, "corrupt-ip", seed=2)
+        for name, text in mutated.items():
+            (tmp_path / name).write_text(text)
+        code = main(["analyze", "--lenient", os.fspath(tmp_path)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "routers:" in captured.out  # analysis still ran
+        assert "ingestion:" in captured.err
+
+    def test_clean_archive_unaffected(self, config_dir, capsys):
+        assert main(["analyze", "--lenient", config_dir]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_strict_and_lenient_flags_conflict(self, config_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--strict", "--lenient", config_dir])
+        capsys.readouterr()
+
+    def test_analyze_defaults_to_strict(self, tmp_path):
+        # Regression: a shared parent-parser action once let lint's
+        # lenient default leak into every other command.
+        from repro.ios.parser import ConfigParseError
+        from repro.synth import inject_fault
+
+        configs, _meta = build_example_networks()
+        mutated, _fault = inject_fault(configs, "corrupt-ip", seed=2)
+        for name, text in mutated.items():
+            (tmp_path / name).write_text(text)
+        with pytest.raises(ConfigParseError):
+            main(["analyze", os.fspath(tmp_path)])

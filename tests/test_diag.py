@@ -1,0 +1,135 @@
+"""Structured diagnostics: records, sinks, severity math, exit codes."""
+
+import pytest
+
+from repro.diag import (
+    ERROR,
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    INFO,
+    PHASE_BUILD,
+    PHASE_PARSE,
+    PHASE_READ,
+    WARNING,
+    Diagnostic,
+    DiagnosticSink,
+)
+from repro.report import format_diagnostics
+
+
+class TestDiagnostic:
+    def test_fields(self):
+        diag = Diagnostic(
+            severity=ERROR,
+            phase=PHASE_PARSE,
+            message="skipped block",
+            file="R1",
+            router="r1",
+            line_number=12,
+            line="ip address 999.0.0.1",
+        )
+        assert diag.file == "R1"
+        assert diag.line_number == 12
+
+    def test_str_includes_location(self):
+        diag = Diagnostic(ERROR, PHASE_PARSE, "bad octet", file="R1", line_number=3)
+        text = str(diag)
+        assert "R1:3" in text
+        assert "bad octet" in text
+
+    def test_str_without_location(self):
+        diag = Diagnostic(INFO, PHASE_BUILD, "note")
+        assert "note" in str(diag)
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Diagnostic("fatal", PHASE_PARSE, "boom")
+
+    def test_frozen(self):
+        diag = Diagnostic(INFO, PHASE_PARSE, "x")
+        with pytest.raises(AttributeError):
+            diag.message = "y"
+
+
+class TestDiagnosticSink:
+    def test_empty_sink_is_clean(self):
+        sink = DiagnosticSink()
+        assert len(sink) == 0
+        assert not sink.has_errors
+        assert not sink.has_warnings
+        assert sink.exit_code() == EXIT_CLEAN
+
+    def test_sink_is_always_truthy(self):
+        # `if sink:` must mean "a sink was provided", not "it has entries".
+        assert bool(DiagnosticSink())
+
+    def test_emit_helpers_set_severity(self):
+        sink = DiagnosticSink()
+        sink.info(PHASE_PARSE, "i")
+        sink.warning(PHASE_READ, "w", file="R2")
+        sink.error(PHASE_PARSE, "e", file="R1", line_number=4)
+        assert [d.severity for d in sink] == [INFO, WARNING, ERROR]
+
+    def test_counts(self):
+        sink = DiagnosticSink()
+        sink.error(PHASE_PARSE, "a")
+        sink.error(PHASE_PARSE, "b")
+        sink.warning(PHASE_READ, "c")
+        assert sink.counts() == {ERROR: 2, WARNING: 1, INFO: 0}
+
+    def test_exit_code_ladder(self):
+        sink = DiagnosticSink()
+        assert sink.exit_code() == EXIT_CLEAN
+        sink.info(PHASE_PARSE, "note")
+        assert sink.exit_code() == EXIT_CLEAN  # info alone stays clean
+        sink.warning(PHASE_PARSE, "odd")
+        assert sink.exit_code() == EXIT_WARNINGS
+        sink.error(PHASE_PARSE, "bad")
+        assert sink.exit_code() == EXIT_ERRORS
+
+    def test_for_file(self):
+        sink = DiagnosticSink()
+        sink.error(PHASE_PARSE, "a", file="R1")
+        sink.error(PHASE_PARSE, "b", file="R2")
+        sink.warning(PHASE_READ, "c", file="R1")
+        assert len(sink.for_file("R1")) == 2
+
+    def test_extend(self):
+        a = DiagnosticSink()
+        a.error(PHASE_PARSE, "x")
+        b = DiagnosticSink()
+        b.extend(a)
+        assert b.has_errors
+
+    def test_summary_text(self):
+        sink = DiagnosticSink()
+        sink.error(PHASE_PARSE, "x")
+        sink.warning(PHASE_PARSE, "y")
+        assert sink.summary() == "1 error(s), 1 warning(s), 0 info"
+
+
+class TestFormatDiagnostics:
+    def test_clean_sink(self):
+        text = format_diagnostics(DiagnosticSink())
+        assert "no diagnostics" in text
+
+    def test_errors_sort_first(self):
+        sink = DiagnosticSink()
+        sink.info(PHASE_PARSE, "an info line", file="A", line_number=1)
+        sink.error(PHASE_PARSE, "an error line", file="Z", line_number=9)
+        text = format_diagnostics(sink)
+        assert text.index("an error line") < text.index("an info line")
+
+    def test_quarantined_listed(self):
+        sink = DiagnosticSink()
+        sink.error(PHASE_PARSE, "dead file", file="R9")
+        text = format_diagnostics(sink, quarantined=["R9"])
+        assert "quarantined files: R9" in text
+
+    def test_long_messages_truncated(self):
+        sink = DiagnosticSink()
+        sink.error(PHASE_PARSE, "x" * 500)
+        text = format_diagnostics(sink)
+        assert "x" * 500 not in text
+        assert "…" in text

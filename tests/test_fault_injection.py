@@ -1,0 +1,140 @@
+"""Fault-injection harness: every mutator, many seeds, lenient recovery.
+
+The acceptance bar: for any single injected fault, lenient ingestion must
+complete, analyze the surviving routers, and emit at least one diagnostic
+naming the damaged file — while strict mode still refuses archives whose
+fault is strict-detectable.
+"""
+
+import os
+
+import pytest
+
+from repro.model import Network
+from repro.synth import fault_kinds, inject_fault
+from repro.synth.templates.example_fig1 import build_example_networks
+
+SEEDS = range(20)
+
+JUNOS_PE9 = """\
+system {
+    host-name pe9;
+}
+interfaces {
+    so-0/0/0 {
+        unit 0 {
+            family inet {
+                address 10.200.0.1/30;
+            }
+        }
+    }
+    lo0 {
+        unit 0 {
+            family inet {
+                address 10.200.9.9/32;
+            }
+        }
+    }
+}
+routing-options {
+    autonomous-system 65010;
+    static {
+        route 172.30.0.0/16 next-hop 10.200.0.2;
+    }
+}
+protocols {
+    ospf {
+        area 0.0.0.0 {
+            interface so-0/0/0.0;
+        }
+    }
+}
+"""
+
+
+def base_corpus():
+    configs, _meta = build_example_networks()
+    configs = dict(configs)
+    configs["pe9"] = JUNOS_PE9
+    return configs
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return base_corpus()
+
+
+def write_archive(path, configs):
+    for name, text in configs.items():
+        (path / name).write_text(text)
+    return os.fspath(path)
+
+
+class TestHarnessBasics:
+    def test_all_kinds_registered(self):
+        assert set(fault_kinds()) == {
+            "truncate-file",
+            "drop-lines",
+            "inject-unknown",
+            "corrupt-ip",
+            "duplicate-hostname",
+            "splice-files",
+        }
+
+    def test_unknown_kind_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            inject_fault(corpus, "set-on-fire", seed=0)
+
+    def test_deterministic_per_seed(self, corpus):
+        first_configs, first_fault = inject_fault(corpus, "drop-lines", seed=11)
+        again_configs, again_fault = inject_fault(corpus, "drop-lines", seed=11)
+        assert first_configs == again_configs
+        assert first_fault == again_fault
+
+    def test_seeds_differ(self, corpus):
+        outcomes = {
+            inject_fault(corpus, "corrupt-ip", seed=s)[1].description
+            for s in range(10)
+        }
+        assert len(outcomes) > 1
+
+    def test_originals_untouched(self, corpus):
+        pristine = base_corpus()
+        inject_fault(corpus, "truncate-file", seed=0)
+        assert corpus == pristine
+
+    def test_fault_names_real_file(self, corpus):
+        for kind in fault_kinds():
+            _, fault = inject_fault(corpus, kind, seed=3)
+            assert fault.files
+            assert all(name in corpus for name in fault.files)
+
+
+@pytest.mark.parametrize("kind", sorted(fault_kinds()))
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSingleFaultRecovery:
+    def test_lenient_survives_and_diagnoses(self, corpus, tmp_path, kind, seed):
+        mutated, fault = inject_fault(corpus, kind, seed=seed)
+        archive = write_archive(tmp_path, mutated)
+
+        network = Network.from_directory(archive, on_error="skip-block")
+
+        # Ingestion completed and kept every router outside the blast radius.
+        assert len(network.routers) >= len(corpus) - len(fault.files)
+        # The damage is reported, not silently absorbed.
+        assert any(d.file in fault.files for d in network.diagnostics), fault
+        # The surviving model still supports the paper's analyses.
+        network.links
+        network.processes
+        network.bgp_sessions
+
+    def test_strict_raises_when_fault_is_detectable(
+        self, corpus, tmp_path, kind, seed
+    ):
+        mutated, fault = inject_fault(corpus, kind, seed=seed)
+        archive = write_archive(tmp_path, mutated)
+        if not fault.strict_raises:
+            Network.from_directory(archive, on_error="strict")
+        else:
+            with pytest.raises(Exception):
+                Network.from_directory(archive, on_error="strict")

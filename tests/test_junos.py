@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import compute_instances
-from repro.junos import parse_junos_config
+from repro.junos import JunosParseError, parse_junos_config
 from repro.junos.blocks import JunosSyntaxError, parse_blocks
 from repro.model import Network
 from repro.model.network import Router
@@ -363,3 +363,47 @@ class TestJunosRobustness:
         cfg = parse_junos_config(SAMPLE)
         assert cfg.line_count > 0
         assert cfg.command_count > 0
+
+
+class TestJunosErrorPaths:
+    """Strict-mode failures mirror the IOS parser's ConfigParseError tests."""
+
+    def test_malformed_address_raises(self):
+        with pytest.raises(ValueError):
+            parse_junos_config(
+                "interfaces { ge-0/0/0 { unit 0 { family inet { "
+                "address 999.0.0.1/24; } } } }"
+            )
+
+    def test_bad_prefix_length_raises(self):
+        with pytest.raises(ValueError):
+            parse_junos_config(
+                "interfaces { ge-0/0/0 { unit 0 { family inet { "
+                "address 10.0.0.1/99; } } } }"
+            )
+
+    def test_bad_peer_as_raises(self):
+        with pytest.raises(ValueError):
+            parse_junos_config(
+                "protocols { bgp { group x { peer-as banana; "
+                "neighbor 10.0.0.2; } } }"
+            )
+
+    def test_bad_static_route_raises(self):
+        with pytest.raises(ValueError):
+            parse_junos_config(
+                "routing-options { static { route nonsense next-hop 10.0.0.2; } }"
+            )
+
+    def test_bad_autonomous_system_raises(self):
+        with pytest.raises(JunosParseError):
+            parse_junos_config("routing-options { autonomous-system banana; }")
+
+    def test_syntax_error_reports_line_number(self):
+        with pytest.raises(JunosSyntaxError) as excinfo:
+            parse_blocks("system {\n    host-name x;\n")
+        assert "line" in str(excinfo.value)
+
+    def test_missing_hostname_yields_none(self):
+        cfg = parse_junos_config("interfaces { lo0 { unit 0 { } } }")
+        assert cfg.hostname is None

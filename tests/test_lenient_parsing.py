@@ -1,0 +1,241 @@
+"""Lenient ingestion: skip-and-diagnose parsing, fault policies, recovery."""
+
+import pytest
+
+import repro.model.dialect as dialect_module
+from repro.diag import DiagnosticSink, ERROR, INFO, WARNING
+from repro.ios.parser import ConfigParseError, parse_config
+from repro.junos import parse_junos_config
+from repro.junos.blocks import JunosSyntaxError
+from repro.model import Network
+
+IOS_ONE_BAD_BLOCK = """\
+hostname r1
+!
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+!
+interface Ethernet1
+ ip address 999.0.0.1 255.255.255.0
+!
+interface Ethernet2
+ ip address 10.0.2.1 255.255.255.0
+"""
+
+JUNOS_ONE_BAD_UNIT = """\
+system {
+    host-name pe1;
+}
+interfaces {
+    so-0/0/0 {
+        unit 0 {
+            family inet {
+                address 10.0.0.1/30;
+            }
+        }
+    }
+    ge-0/1/0 {
+        unit 0 {
+            family inet {
+                address 999.0.0.1/24;
+            }
+        }
+    }
+}
+"""
+
+
+class TestIosLenient:
+    def test_strict_still_raises(self):
+        with pytest.raises(ConfigParseError):
+            parse_config(IOS_ONE_BAD_BLOCK)
+
+    def test_lenient_skips_bad_block(self):
+        sink = DiagnosticSink()
+        cfg = parse_config(IOS_ONE_BAD_BLOCK, mode="lenient", sink=sink, source="R1")
+        assert list(cfg.interfaces) == ["Ethernet0", "Ethernet2"]
+        assert sink.has_errors
+
+    def test_diagnostic_names_the_file_and_line(self):
+        sink = DiagnosticSink()
+        parse_config(IOS_ONE_BAD_BLOCK, mode="lenient", sink=sink, source="R1")
+        errors = sink.by_severity(ERROR)
+        assert errors[0].file == "R1"
+        assert errors[0].line_number > 0
+        assert "skipped block" in errors[0].message
+
+    def test_skipped_block_counted_as_unmodeled(self):
+        cfg = parse_config(IOS_ONE_BAD_BLOCK, mode="lenient", sink=DiagnosticSink())
+        assert any("Ethernet1" in line for line in cfg.unmodeled_lines)
+
+    def test_unmodeled_command_gets_info_diag(self):
+        sink = DiagnosticSink()
+        parse_config("hostname r1\nscheduler allocate 4000 400\n",
+                     mode="lenient", sink=sink, source="R1")
+        infos = sink.by_severity(INFO)
+        assert any("unmodeled command" in d.message for d in infos)
+
+    def test_lenient_without_sink(self):
+        cfg = parse_config(IOS_ONE_BAD_BLOCK, mode="lenient")
+        assert len(cfg.interfaces) == 2
+
+
+class TestJunosLenient:
+    def test_strict_still_raises(self):
+        with pytest.raises(ValueError):
+            parse_junos_config(JUNOS_ONE_BAD_UNIT)
+
+    def test_lenient_skips_bad_unit(self):
+        sink = DiagnosticSink()
+        cfg = parse_junos_config(
+            JUNOS_ONE_BAD_UNIT, mode="lenient", sink=sink, source="pe1"
+        )
+        assert "so-0/0/0.0" in cfg.interfaces
+        assert "ge-0/1/0.0" not in cfg.interfaces
+        errors = sink.by_severity(ERROR)
+        assert errors and errors[0].file == "pe1"
+        assert errors[0].line_number > 0
+
+    def test_brace_imbalance_raises_even_lenient(self):
+        # File-level structural damage cannot be skipped block-wise.
+        with pytest.raises(JunosSyntaxError):
+            parse_junos_config(
+                "system {\n    host-name x;\n", mode="lenient", sink=DiagnosticSink()
+            )
+
+    def test_bad_autonomous_system(self):
+        text = "system {\n    host-name x;\n}\nrouting-options {\n    autonomous-system banana;\n}\n"
+        with pytest.raises(ValueError):
+            parse_junos_config(text)
+        sink = DiagnosticSink()
+        cfg = parse_junos_config(text, mode="lenient", sink=sink, source="pe1")
+        assert cfg.hostname == "x"
+        assert sink.has_errors
+
+    def test_unknown_section_gets_info_diag(self):
+        sink = DiagnosticSink()
+        parse_junos_config(
+            "system {\n    host-name x;\n}\nsnmp {\n    community public;\n}\n",
+            mode="lenient",
+            sink=sink,
+        )
+        assert any("unmodeled section" in d.message for d in sink.by_severity(INFO))
+
+
+class TestFromConfigsPolicies:
+    def test_strict_raises(self):
+        with pytest.raises(ConfigParseError):
+            Network.from_configs({"R1": IOS_ONE_BAD_BLOCK})
+
+    def test_skip_block_recovers(self):
+        network = Network.from_configs({"R1": IOS_ONE_BAD_BLOCK}, on_error="skip-block")
+        assert "R1" in network.routers
+        assert network.diagnostics.has_errors
+        assert network.quarantined == []
+
+    def test_skip_file_quarantines(self):
+        network = Network.from_configs(
+            {"R1": IOS_ONE_BAD_BLOCK, "R2": "hostname r2\n"}, on_error="skip-file"
+        )
+        assert network.quarantined == ["R1"]
+        assert list(network.routers) == ["R2"]
+        assert any(
+            "quarantined" in d.message for d in network.diagnostics.by_severity(ERROR)
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Network.from_configs({"R1": "hostname r1\n"}, on_error="ignore")
+
+    def test_junos_file_level_fault_quarantined_in_skip_block(self):
+        # skip-block degrades to quarantine when the fault is file-level.
+        network = Network.from_configs(
+            {"pe1": "system {\n    host-name pe1;\n"}, on_error="skip-block"
+        )
+        assert network.quarantined == ["pe1"]
+        assert len(network.routers) == 0
+
+    def test_from_configs_keys_networks_by_mapping_name(self):
+        network = Network.from_configs({"A": "hostname other\n"})
+        assert list(network.routers) == ["A"]
+
+
+class TestDuplicateHostnames:
+    def _write(self, path, entries):
+        for name, text in entries.items():
+            (path / name).write_text(text)
+
+    def test_strict_raises(self, tmp_path):
+        self._write(
+            tmp_path,
+            {"config1": "hostname twin\n", "config2": "hostname twin\n"},
+        )
+        with pytest.raises(ValueError, match="duplicate router name"):
+            Network.from_directory(str(tmp_path))
+
+    def test_lenient_renames_with_suffix(self, tmp_path):
+        self._write(
+            tmp_path,
+            {
+                "config1": "hostname twin\n",
+                "config2": "hostname twin\n",
+                "config3": "hostname twin\n",
+            },
+        )
+        network = Network.from_directory(str(tmp_path), on_error="skip-block")
+        assert sorted(network.routers) == ["twin", "twin~2", "twin~3"]
+        warnings = network.diagnostics.by_severity(WARNING)
+        assert any("duplicate router name" in d.message for d in warnings)
+
+    def test_rename_diag_names_the_file(self, tmp_path):
+        self._write(
+            tmp_path,
+            {"config1": "hostname twin\n", "config2": "hostname twin\n"},
+        )
+        network = Network.from_directory(str(tmp_path), on_error="skip-block")
+        warning = network.diagnostics.by_severity(WARNING)[0]
+        assert warning.file == "config2"
+
+
+class TestDirectoryHardening:
+    def test_binary_file_skipped_with_warning(self, tmp_path):
+        (tmp_path / "config1").write_text("hostname r1\n")
+        (tmp_path / "core.bin").write_bytes(b"\x7fELF\x00\x00\x00garbage")
+        network = Network.from_directory(str(tmp_path))
+        assert list(network.routers) == ["r1"]
+        assert network.quarantined == ["core.bin"]
+        warnings = network.diagnostics.by_severity(WARNING)
+        assert any("binary" in d.message for d in warnings)
+
+    def test_binary_skip_applies_even_in_strict(self, tmp_path):
+        (tmp_path / "blob").write_bytes(b"\x00" * 64)
+        network = Network.from_directory(str(tmp_path), on_error="strict")
+        assert network.quarantined == ["blob"]
+
+    def test_undecodable_file_skipped(self, tmp_path):
+        (tmp_path / "config1").write_text("hostname r1\n")
+        (tmp_path / "junk").write_bytes(bytes(range(128, 256)) * 8)
+        network = Network.from_directory(str(tmp_path))
+        assert list(network.routers) == ["r1"]
+        assert "junk" in network.quarantined
+
+    def test_missing_hostname_falls_back_to_filename(self, tmp_path):
+        (tmp_path / "edge7.conf").write_text("interface Ethernet0\n shutdown\n")
+        network = Network.from_directory(str(tmp_path))
+        assert list(network.routers) == ["edge7"]
+        infos = network.diagnostics.by_severity(INFO)
+        assert any("no hostname" in d.message for d in infos)
+
+    def test_each_file_parsed_exactly_once(self, tmp_path, monkeypatch):
+        for i in range(3):
+            (tmp_path / f"config{i}").write_text(f"hostname r{i}\n")
+        calls = []
+        real = dialect_module.parse_any_config
+
+        def counting(text, **kwargs):
+            calls.append(kwargs.get("source"))
+            return real(text, **kwargs)
+
+        monkeypatch.setattr(dialect_module, "parse_any_config", counting)
+        Network.from_directory(str(tmp_path))
+        assert sorted(calls) == ["config0", "config1", "config2"]
