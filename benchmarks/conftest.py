@@ -8,6 +8,7 @@ cited in EXPERIMENTS.md are regenerable.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -24,6 +25,21 @@ def record(name: str, text: str) -> None:
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
     print(f"\n{text}\n")
+
+
+def record_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result under benchmarks/results/.
+
+    Timing benchmarks record JSON alongside their tables so future PRs
+    have a trajectory to compare against (files/s, lines/s, per-stage
+    seconds) instead of re-deriving numbers from prose.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    enriched = dict(payload)
+    enriched.setdefault("bench_scale", BENCH_SCALE)
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as handle:
+        json.dump(enriched, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,7 @@ Subcommands::
     repro anonymize <configdir> <out>    §4.1 anonymization
     repro survivability <configdir>      §8.1 what-if battery
     repro lint <configdir>               ingestion diagnostics table
+    repro corpus <dir-of-archives>       batch analysis with per-stage timing
     repro diff <dir-t0> <dir-t1>         §8.2 longitudinal diff
     repro generate <template> <out>      emit a synthetic network
 
@@ -18,11 +19,17 @@ first malformed statement) or ``--lenient`` (skip damaged blocks, report
 them, analyze what remains).  Exit codes fold in the ingestion
 diagnostics: 0 clean, 1 warnings, 2 errors — combined with each command's
 own status via ``max``.
+
+Archive-reading commands also accept ``--jobs N`` (parse with N worker
+processes; 0 auto-detects), ``--cache-dir PATH`` (persistent parse cache,
+default ``~/.cache/repro``), and ``--no-cache``.  Results are identical
+whatever the jobs/cache settings — only the wall time changes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -39,11 +46,33 @@ from repro.core import (
 from repro.core.filters import analyze_filter_placement
 from repro.core.roles import classify_roles
 from repro.diag import EXIT_ERRORS, PHASE_ANALYSIS
+from repro.ingest import ParseCache, StageTimer
 from repro.model import Network
 from repro.report import format_diagnostics, format_table
 
 
-def _load(args: argparse.Namespace, path: Optional[str] = None) -> Network:
+def _cache_from_args(args: argparse.Namespace) -> Optional[ParseCache]:
+    """The persistent parse cache the command asked for, or ``None``.
+
+    One instance per invocation, shared by every archive the command
+    loads, so hit/miss statistics aggregate across archives.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    existing = getattr(args, "_parse_cache", None)
+    if existing is not None:
+        return existing
+    cache = ParseCache.coerce(getattr(args, "cache_dir", None) or ParseCache())
+    args._parse_cache = cache
+    return cache
+
+
+def _load(
+    args: argparse.Namespace,
+    path: Optional[str] = None,
+    timer: Optional[StageTimer] = None,
+    default_mode: str = "strict",
+) -> Network:
     """Load one archive under the command's --strict/--lenient policy.
 
     Loaded networks are remembered on the namespace so :func:`main` can
@@ -52,9 +81,15 @@ def _load(args: argparse.Namespace, path: Optional[str] = None) -> Network:
     path = path if path is not None else args.configdir
     if not os.path.isdir(path):
         raise SystemExit(f"error: {path} is not a directory of config files")
-    mode = getattr(args, "mode", None) or "strict"
+    mode = getattr(args, "mode", None) or default_mode
     on_error = "skip-block" if mode == "lenient" else "strict"
-    network = Network.from_directory(path, on_error=on_error)
+    network = Network.from_directory(
+        path,
+        on_error=on_error,
+        jobs=getattr(args, "jobs", None),
+        cache=_cache_from_args(args),
+        timer=timer,
+    )
     loaded = getattr(args, "_loaded_networks", None)
     if loaded is None:
         loaded = args._loaded_networks = []
@@ -249,7 +284,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {args.configdir} is not a directory of config files")
     on_error = "strict" if args.mode == "strict" else "skip-block"
     try:
-        network = Network.from_directory(args.configdir, on_error=on_error)
+        network = Network.from_directory(
+            args.configdir,
+            on_error=on_error,
+            jobs=getattr(args, "jobs", None),
+            cache=_cache_from_args(args),
+        )
     except Exception as exc:
         print(f"error: {exc}")
         return EXIT_ERRORS
@@ -262,6 +302,152 @@ def cmd_lint(args: argparse.Namespace) -> int:
     print(f"archive: {args.configdir}   routers: {len(network)}")
     print(format_diagnostics(network.diagnostics, network.quarantined))
     return network.diagnostics.exit_code()
+
+
+def _corpus_archives(root: str) -> List[str]:
+    """The archives under ``root``: its subdirectories, else ``root`` itself."""
+    subdirs = sorted(
+        os.path.join(root, entry)
+        for entry in os.listdir(root)
+        if os.path.isdir(os.path.join(root, entry))
+    )
+    return subdirs or [root]
+
+
+def _analyze_archive_timed(
+    args: argparse.Namespace, path: str
+) -> "tuple[Network, StageTimer]":
+    """Run one archive through parse → links → instances → pathways, timed."""
+    from repro.core.instances import build_instance_graph  # noqa: PLC0415
+    from repro.core.pathways import route_pathway  # noqa: PLC0415
+
+    timer = StageTimer()
+    network = _load(args, path, timer=timer, default_mode="lenient")
+    with timer.stage("links") as record:
+        record.items = len(network.links)
+    with timer.stage("instances") as record:
+        instances = compute_instances(network)
+        record.items = len(instances)
+    with timer.stage("pathways") as record:
+        graph = build_instance_graph(network, instances)
+        for router in network.routers:
+            route_pathway(network, router, instances=instances, instance_graph=graph)
+        record.items = len(network.routers)
+    return network, timer
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """Batch-analyze a directory of archives with per-stage timing.
+
+    This is the paper's own workload — 31 networks, 8,035 files — run as
+    one command: every subdirectory of ``corpusdir`` is ingested (parallel,
+    cached), link inference / instance computation / pathway search are
+    timed per stage, and the result is a per-network throughput table (or
+    ``--json`` for trend tracking).
+    """
+    if not os.path.isdir(args.corpusdir):
+        raise SystemExit(f"error: {args.corpusdir} is not a directory")
+    report: List[dict] = []
+    for path in _corpus_archives(args.corpusdir):
+        network, timer = _analyze_archive_timed(args, path)
+        stats = timer.as_dict()
+        parse_seconds = timer.seconds("parse")
+        entry = {
+            "archive": os.path.basename(path.rstrip(os.sep)) or path,
+            "routers": len(network),
+            "files": timer.items("read"),
+            "parsed": timer.counter("parse", "parsed"),
+            "cached": timer.counter("parse", "cached"),
+            "quarantined": len(network.quarantined),
+            "exit_code": network.diagnostics.exit_code(),
+            "stages": stats["stages"],
+            "total_seconds": stats["total_seconds"],
+            "files_per_second": (
+                round(timer.items("parse") / parse_seconds, 1)
+                if parse_seconds > 0 and timer.items("parse")
+                else None
+            ),
+        }
+        report.append(entry)
+
+    cache = _cache_from_args(args)
+    payload = {
+        "corpus": args.corpusdir,
+        "jobs": getattr(args, "jobs", None),
+        "cache": cache.stats.as_dict() if cache is not None else None,
+        "archives": report,
+        "totals": {
+            "archives": len(report),
+            "routers": sum(e["routers"] for e in report),
+            "files": sum(e["files"] for e in report),
+            "parsed": sum(e["parsed"] for e in report),
+            "cached": sum(e["cached"] for e in report),
+            "seconds": round(sum(e["total_seconds"] for e in report), 6),
+        },
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    def stage_seconds(entry: dict, name: str) -> str:
+        for stage in entry["stages"]:
+            if stage["name"] == name:
+                return f"{stage['seconds']:.3f}"
+        return "-"
+
+    rows = [
+        (
+            entry["archive"],
+            entry["routers"],
+            entry["files"],
+            entry["parsed"],
+            entry["cached"],
+            stage_seconds(entry, "parse"),
+            stage_seconds(entry, "links"),
+            stage_seconds(entry, "instances"),
+            stage_seconds(entry, "pathways"),
+            entry["files_per_second"] or "-",
+        )
+        for entry in report
+    ]
+    totals = payload["totals"]
+
+    def total_stage(name: str) -> str:
+        return f"{sum(s['seconds'] for e in report for s in e['stages'] if s['name'] == name):.3f}"
+
+    rows.append(
+        (
+            "TOTAL",
+            totals["routers"],
+            totals["files"],
+            totals["parsed"],
+            totals["cached"],
+            total_stage("parse"),
+            total_stage("links"),
+            total_stage("instances"),
+            total_stage("pathways"),
+            "",
+        )
+    )
+    print(
+        format_table(
+            [
+                "archive",
+                "routers",
+                "files",
+                "parsed",
+                "cached",
+                "parse s",
+                "links s",
+                "inst s",
+                "path s",
+                "files/s",
+            ],
+            rows,
+            title=f"corpus timing — {len(report)} archive(s)",
+        )
+    )
+    return 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -320,15 +506,36 @@ def build_parser() -> argparse.ArgumentParser:
     # and each command resolves its own default (lint: lenient, rest:
     # strict).
 
-    p = sub.add_parser("analyze", help="routing design summary", parents=[mode])
+    ingest = argparse.ArgumentParser(add_help=False)
+    ingest.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parse with N worker processes (0 = auto-detect, 1 = serial)",
+    )
+    ingest.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="parse-cache directory (default: ~/.cache/repro)",
+    )
+    ingest.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent parse cache",
+    )
+    archive = [mode, ingest]
+
+    p = sub.add_parser("analyze", help="routing design summary", parents=archive)
     p.add_argument("configdir")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("instances", help="routing instance listing", parents=[mode])
+    p = sub.add_parser("instances", help="routing instance listing", parents=archive)
     p.add_argument("configdir")
     p.set_defaults(func=cmd_instances)
 
-    p = sub.add_parser("pathway", help="route pathway of one router", parents=[mode])
+    p = sub.add_parser("pathway", help="route pathway of one router", parents=archive)
     p.add_argument("configdir")
     p.add_argument("router")
     p.set_defaults(func=cmd_pathway)
@@ -339,25 +546,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--key", default=None, help="deterministic anonymization key")
     p.set_defaults(func=cmd_anonymize)
 
-    p = sub.add_parser("survivability", help="single-failure what-ifs", parents=[mode])
+    p = sub.add_parser("survivability", help="single-failure what-ifs", parents=archive)
     p.add_argument("configdir")
     p.set_defaults(func=cmd_survivability)
 
-    p = sub.add_parser("audit", help="consistency/vulnerability audit", parents=[mode])
+    p = sub.add_parser("audit", help="consistency/vulnerability audit", parents=archive)
     p.add_argument("configdir")
     p.set_defaults(func=cmd_audit)
 
-    p = sub.add_parser("graph", help="instance graph as Graphviz DOT", parents=[mode])
+    p = sub.add_parser("graph", help="instance graph as Graphviz DOT", parents=archive)
     p.add_argument("configdir")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_graph)
 
-    p = sub.add_parser("report", help="full markdown design report", parents=[mode])
+    p = sub.add_parser("report", help="full markdown design report", parents=archive)
     p.add_argument("configdir")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("flow", help="trace a packet flow through filters", parents=[mode])
+    p = sub.add_parser("flow", help="trace a packet flow through filters", parents=archive)
     p.add_argument("configdir")
     p.add_argument("source", help="source host address")
     p.add_argument("dest", help="destination host address")
@@ -365,11 +572,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=None)
     p.set_defaults(func=cmd_flow)
 
-    p = sub.add_parser("lint", help="ingestion diagnostics table", parents=[mode])
+    p = sub.add_parser("lint", help="ingestion diagnostics table", parents=archive)
     p.add_argument("configdir")
     p.set_defaults(func=cmd_lint)
 
-    p = sub.add_parser("diff", help="compare two snapshots", parents=[mode])
+    p = sub.add_parser(
+        "corpus",
+        help="batch-analyze a directory of archives with per-stage timing",
+        parents=archive,
+    )
+    p.add_argument("corpusdir", help="directory whose subdirectories are archives")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable per-network timing output",
+    )
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("diff", help="compare two snapshots", parents=archive)
     p.add_argument("before")
     p.add_argument("after")
     p.set_defaults(func=cmd_diff)

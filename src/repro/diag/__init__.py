@@ -21,7 +21,7 @@ rug on the way in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 # Severity levels, mildest first.  ``info`` records tolerated oddities
 # (e.g. unmodeled commands), ``warning`` recoverable problems the pipeline
@@ -94,6 +94,26 @@ class DiagnosticSink:
 
     def extend(self, other: "DiagnosticSink") -> None:
         self.diagnostics.extend(other.diagnostics)
+
+    def merge(self, other: Union["DiagnosticSink", Iterable[Diagnostic]]) -> "DiagnosticSink":
+        """Fold another sink's (or iterable's) diagnostics into this one.
+
+        Appends in the other collection's order and returns ``self`` so
+        per-worker sinks can be chained back together in submission
+        order: merging N sinks one after another yields exactly the
+        diagnostic stream — and therefore the same severity counts and
+        :meth:`exit_code` — a single shared sink would have collected.
+        """
+        if isinstance(other, DiagnosticSink):
+            self.diagnostics.extend(other.diagnostics)
+        else:
+            for diagnostic in other:
+                if not isinstance(diagnostic, Diagnostic):
+                    raise TypeError(
+                        f"cannot merge non-Diagnostic value: {diagnostic!r}"
+                    )
+                self.diagnostics.append(diagnostic)
+        return self
 
     # -- queries -----------------------------------------------------------
 

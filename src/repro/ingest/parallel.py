@@ -1,0 +1,268 @@
+"""Parallel, cache-aware configuration parsing.
+
+Parsing dominates ingestion cost and is embarrassingly parallel: every
+file is independent, and the strict/lenient fault policy is applied *per
+file*.  This module fans parsing out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping the
+sequential contract exact:
+
+* each file is parsed against a **fresh, private** `DiagnosticSink`
+  inside the worker; the parent merges per-file diagnostics in
+  **submission order**, so the diagnostic stream is byte-identical no
+  matter how many workers raced or which finished first;
+* a strict-mode parse failure is carried back as a picklable exception
+  and re-raised by the caller at the position the serial loop would have
+  raised it — files earlier in the order contribute their diagnostics,
+  files later contribute nothing;
+* with a :class:`~repro.ingest.cache.ParseCache`, files whose bytes were
+  parsed before are *replayed* (config + diagnostics + quarantine
+  decision) without hitting the pool at all.
+
+The worker entry point :func:`parse_one` is a module-level function so it
+pickles under every multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.diag import PHASE_PARSE, Diagnostic, DiagnosticSink
+from repro.ingest.cache import CacheEntry, ParseCache
+from repro.ingest.timer import StageTimer
+from repro.ios.config import RouterConfig
+
+#: Accepted ``on_error`` fault policies (also re-exported by
+#: :mod:`repro.model.network`, their historical home).
+ON_ERROR_POLICIES = ("strict", "skip-block", "skip-file")
+
+#: Below this many to-be-parsed files, auto job selection stays serial:
+#: pool startup costs more than the parse itself.
+PARALLEL_THRESHOLD = 24
+
+#: Auto-detected worker ceiling — parsing is memory-light but IPC-heavy,
+#: and returns diminish well before the core counts of large hosts.
+MAX_AUTO_JOBS = 16
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware where possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int], n_items: int) -> int:
+    """Turn a user ``jobs`` request into a concrete worker count.
+
+    ``None``/``0`` auto-detects: serial below :data:`PARALLEL_THRESHOLD`
+    items, else one worker per CPU capped at :data:`MAX_AUTO_JOBS`.
+    Explicit requests are honored but never exceed the item count.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if n_items <= 0:
+        return 1
+    if not jobs:  # None or 0 → auto
+        if n_items < PARALLEL_THRESHOLD:
+            return 1
+        return max(1, min(available_cpus(), MAX_AUTO_JOBS, n_items))
+    return min(jobs, n_items)
+
+
+@dataclass(frozen=True)
+class ParseTask:
+    """One file to parse: source name, decoded text, fault policy.
+
+    ``data`` is the file's raw bytes when known (directory ingestion) —
+    the cache key hashes bytes, not the lossily-decoded text, so a file
+    whose decode behavior changes still re-keys correctly.
+    """
+
+    source: str
+    text: str
+    on_error: str = "strict"
+    data: Optional[bytes] = field(default=None, repr=False)
+
+    def cache_data(self) -> bytes:
+        return self.data if self.data is not None else self.text.encode("utf-8")
+
+
+@dataclass
+class ParseOutcome:
+    """The result of parsing one file, whatever happened.
+
+    Exactly one of these holds per task:
+
+    * ``config`` set — a successful parse (``diagnostics`` may still
+      carry lenient-mode skips);
+    * ``quarantined`` — the file was dropped under ``skip-file``/
+      ``skip-block`` policy (``diagnostics`` names the reason);
+    * ``error`` set — a strict-mode failure for the caller to re-raise.
+    """
+
+    source: str
+    config: Optional[RouterConfig] = None
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    quarantined: bool = False
+    error: Optional[BaseException] = None
+    cached: bool = False
+
+
+def _parse_with_policy(
+    text: str, source: str, on_error: str, sink: DiagnosticSink
+) -> Optional[RouterConfig]:
+    """Parse one config under the given fault policy.
+
+    Returns ``None`` when the file must be quarantined; strict mode lets
+    the parser's exception propagate.
+    """
+    from repro.model.dialect import parse_any_config  # noqa: PLC0415 — cycle
+
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(f"unknown on_error policy: {on_error!r}")
+    if on_error == "strict":
+        return parse_any_config(text, mode="strict", sink=sink, source=source)
+    mode = "lenient" if on_error == "skip-block" else "strict"
+    try:
+        return parse_any_config(text, mode=mode, sink=sink, source=source)
+    except Exception as exc:  # noqa: BLE001 — quarantine, never crash the run
+        sink.error(
+            PHASE_PARSE,
+            f"quarantined unparseable file: {exc}",
+            file=source,
+            line_number=getattr(exc, "line_number", 0),
+            line=getattr(exc, "line", ""),
+        )
+        return None
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round trip, else a faithful surrogate.
+
+    Worker exceptions must cross the process boundary; an exception class
+    whose constructor defeats pickling would otherwise poison the pool.
+    """
+    try:
+        roundtripped = pickle.loads(pickle.dumps(exc))
+        if isinstance(roundtripped, BaseException):
+            return exc
+    except Exception:  # noqa: BLE001 — fall through to the surrogate
+        pass
+    surrogate = ValueError(str(exc))
+    surrogate.line_number = getattr(exc, "line_number", 0)  # type: ignore[attr-defined]
+    surrogate.line = getattr(exc, "line", "")  # type: ignore[attr-defined]
+    return surrogate
+
+
+def parse_one(task: ParseTask) -> ParseOutcome:
+    """Parse one task against a fresh sink (the pool worker entry point)."""
+    sink = DiagnosticSink()
+    try:
+        config = _parse_with_policy(task.text, task.source, task.on_error, sink)
+    except Exception as exc:  # noqa: BLE001 — carried home and re-raised
+        return ParseOutcome(
+            source=task.source,
+            diagnostics=tuple(sink.diagnostics),
+            error=_picklable_exception(exc),
+        )
+    return ParseOutcome(
+        source=task.source,
+        config=config,
+        diagnostics=tuple(sink.diagnostics),
+        quarantined=config is None,
+    )
+
+
+def parse_many(
+    tasks: Sequence[ParseTask],
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[ParseCache, str, None] = None,
+    timer: Optional[StageTimer] = None,
+) -> List[ParseOutcome]:
+    """Parse all tasks, in parallel where it pays, through the cache.
+
+    Returns one :class:`ParseOutcome` per task **in task order** — the
+    caller folds diagnostics and raises strict-mode errors in that order,
+    which is what makes ``jobs=8`` indistinguishable from ``jobs=1``.
+    """
+    cache = ParseCache.coerce(cache)
+    start = time.perf_counter()
+    outcomes: List[Optional[ParseOutcome]] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            key = cache.key(task.cache_data(), task.on_error)
+            keys[index] = key
+            entry = cache.get(key)
+            if entry is not None:
+                outcomes[index] = ParseOutcome(
+                    source=task.source,
+                    config=entry.config,
+                    diagnostics=tuple(entry.diagnostics),
+                    quarantined=entry.quarantined,
+                    cached=True,
+                )
+                continue
+        pending.append(index)
+
+    worker_count = resolve_jobs(jobs, len(pending))
+    if worker_count <= 1:
+        for index in pending:
+            outcomes[index] = parse_one(tasks[index])
+    else:
+        # chunksize amortizes IPC over many small configs; submission
+        # order is preserved by executor.map regardless of completion.
+        chunksize = max(1, len(pending) // (worker_count * 4))
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            results = pool.map(
+                parse_one, [tasks[i] for i in pending], chunksize=chunksize
+            )
+            for index, outcome in zip(pending, results):
+                outcomes[index] = outcome
+
+    if cache is not None:
+        for index in pending:
+            outcome = outcomes[index]
+            if outcome is not None and outcome.error is None:
+                cache.put(
+                    keys[index],
+                    CacheEntry(
+                        config=outcome.config,
+                        diagnostics=outcome.diagnostics,
+                        quarantined=outcome.quarantined,
+                    ),
+                )
+
+    if timer is not None:
+        timer.record(
+            "parse",
+            time.perf_counter() - start,
+            items=len(tasks),
+            counters={
+                "parsed": len(pending),
+                "cached": len(tasks) - len(pending),
+                "workers": worker_count if pending else 0,
+            },
+        )
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+__all__ = [
+    "MAX_AUTO_JOBS",
+    "ON_ERROR_POLICIES",
+    "PARALLEL_THRESHOLD",
+    "ParseOutcome",
+    "ParseTask",
+    "available_cpus",
+    "parse_many",
+    "parse_one",
+    "resolve_jobs",
+]

@@ -1,0 +1,150 @@
+"""Per-stage wall-clock instrumentation for the ingestion pipeline.
+
+The paper's method was run over archives of thousands of routers; knowing
+*which* stage dominates (parsing, link inference, instance computation,
+pathway search) is the difference between guessing and optimizing.  A
+:class:`StageTimer` is threaded through a pipeline run and collects one
+:class:`StageRecord` per stage: name, wall seconds, item count, and
+free-form counters (e.g. cache hits).
+
+Usage::
+
+    timer = StageTimer()
+    with timer.stage("parse") as record:
+        configs = parse_all(files)
+        record.items = len(configs)
+    timer.seconds("parse")          # wall time of the stage
+    timer.as_dict()                 # JSON-ready summary with rates
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class StageRecord:
+    """One timed stage: wall seconds, item count, extra counters."""
+
+    name: str
+    seconds: float = 0.0
+    items: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Items per second, or ``None`` when the stage was instantaneous."""
+        if self.items and self.seconds > 0:
+            return self.items / self.seconds
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "items": self.items,
+        }
+        if self.rate is not None:
+            data["items_per_second"] = round(self.rate, 1)
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        return data
+
+
+class StageTimer:
+    """Collects :class:`StageRecord` entries for one pipeline run.
+
+    Stage names may repeat (e.g. the parse stage of several archives);
+    queries aggregate over all records with the same name.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[StageRecord] = []
+
+    @contextmanager
+    def stage(self, name: str, items: int = 0) -> Iterator[StageRecord]:
+        """Time a ``with`` block as one stage.
+
+        The yielded record is live: set ``record.items`` or update
+        ``record.counters`` inside the block and the final record keeps
+        them.  Wall time is recorded even when the block raises.
+        """
+        record = StageRecord(name=name, items=items)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - start
+            self.records.append(record)
+
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        items: int = 0,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> StageRecord:
+        """Append a pre-measured stage record."""
+        rec = StageRecord(name=name, seconds=seconds, items=items, counters=dict(counters or {}))
+        self.records.append(rec)
+        return rec
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def stage_names(self) -> List[str]:
+        """Distinct stage names, in first-appearance order."""
+        seen: List[str] = []
+        for rec in self.records:
+            if rec.name not in seen:
+                seen.append(rec.name)
+        return seen
+
+    def seconds(self, name: str) -> float:
+        return sum(rec.seconds for rec in self.records if rec.name == name)
+
+    def items(self, name: str) -> int:
+        return sum(rec.items for rec in self.records if rec.name == name)
+
+    def counter(self, name: str, key: str) -> int:
+        return sum(rec.counters.get(key, 0) for rec in self.records if rec.name == name)
+
+    def total_seconds(self) -> float:
+        return sum(rec.seconds for rec in self.records)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary: per-name aggregates in first-appearance order."""
+        stages = []
+        for name in self.stage_names():
+            seconds = self.seconds(name)
+            items = self.items(name)
+            counters: Dict[str, int] = {}
+            for rec in self.records:
+                if rec.name == name:
+                    for key, value in rec.counters.items():
+                        counters[key] = counters.get(key, 0) + value
+            entry: Dict[str, object] = {
+                "name": name,
+                "seconds": round(seconds, 6),
+                "items": items,
+            }
+            if items and seconds > 0:
+                entry["items_per_second"] = round(items / seconds, 1)
+            if counters:
+                entry["counters"] = counters
+            stages.append(entry)
+        return {"stages": stages, "total_seconds": round(self.total_seconds(), 6)}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={self.seconds(name):.3f}s" for name in self.stage_names()
+        )
+        return f"StageTimer({parts})"
+
+
+__all__ = ["StageRecord", "StageTimer"]

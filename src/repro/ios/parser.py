@@ -53,8 +53,16 @@ class ConfigParseError(ValueError):
         if line:
             detail = f"{message} (line {line_number}: {line!r})"
         super().__init__(detail)
+        self.message = message
         self.line_number = line_number
         self.line = line
+
+    def __reduce__(self):
+        # Default exception pickling would re-invoke __init__ with the
+        # already-formatted detail string, duplicating the location suffix
+        # and dropping line_number/line.  Parallel ingestion ships these
+        # across process boundaries, so reconstruct from the raw fields.
+        return (type(self), (self.message, self.line_number, self.line))
 
 
 def parse_config(

@@ -40,10 +40,17 @@ class JunosSyntaxError(ValueError):
     """Raised on malformed brace structure."""
 
     def __init__(self, message: str, line_number: int = 0):
+        self.message = message
         if line_number:
             message = f"{message} (line {line_number})"
         super().__init__(message)
         self.line_number = line_number
+
+    def __reduce__(self):
+        # Reconstruct from the raw fields: default exception pickling
+        # would re-run __init__ on the formatted string, doubling the
+        # "(line N)" suffix when the error crosses a process boundary.
+        return (type(self), (self.message, self.line_number))
 
 
 def parse_blocks(text: str) -> JunosNode:

@@ -15,6 +15,14 @@ from repro.diag import DiagnosticSink
 from repro.ios.config import RouterConfig
 from repro.ios.parser import parse_config as parse_ios_config
 
+#: Version of the parsing pipeline as a whole (dialect detection plus both
+#: dialect front ends).  The content-addressed parse cache
+#: (:mod:`repro.ingest.cache`) folds this into every key, so cached
+#: results are only ever replayed against the parser that produced them.
+#: **Bump this string whenever any parser's observable behavior changes** —
+#: new commands modeled, different diagnostics, changed lenient recovery.
+PARSER_VERSION = "2004.1"
+
 _JUNOS_HINT_RE = re.compile(
     r"^\s*(system|interfaces|protocols|routing-options|policy-options|firewall)\s*\{",
     re.MULTILINE,

@@ -12,10 +12,14 @@ mapping of router name → configuration (text or parsed), and lazily derives:
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
-from repro.diag import PHASE_BUILD, PHASE_PARSE, PHASE_READ, DiagnosticSink
+from repro.diag import PHASE_BUILD, PHASE_READ, DiagnosticSink
+from repro.ingest.cache import ParseCache
+from repro.ingest.parallel import ON_ERROR_POLICIES, ParseTask, parse_many
+from repro.ingest.timer import StageRecord, StageTimer
 from repro.ios.config import InterfaceConfig, RouterConfig
 from repro.model.links import Link, infer_links
 from repro.model.processes import (
@@ -78,47 +82,18 @@ class BgpSession:
         return self.remote_key is None
 
 
-#: Accepted ``on_error`` policies for the ingestion constructors.
-ON_ERROR_POLICIES = ("strict", "skip-block", "skip-file")
-
-
-def _parse_entry(
-    text: str, source: str, on_error: str, sink: DiagnosticSink
-) -> Optional[RouterConfig]:
-    """Parse one config file under the given fault policy.
-
-    Returns ``None`` when the file must be quarantined (unparseable under
-    the policy); strict mode propagates the parser's exception instead.
-    """
-    from repro.model.dialect import parse_any_config  # noqa: PLC0415
-
-    if on_error not in ON_ERROR_POLICIES:
-        raise ValueError(f"unknown on_error policy: {on_error!r}")
-    if on_error == "strict":
-        return parse_any_config(text, mode="strict", sink=sink, source=source)
-    mode = "lenient" if on_error == "skip-block" else "strict"
-    try:
-        return parse_any_config(text, mode=mode, sink=sink, source=source)
-    except Exception as exc:  # noqa: BLE001 — quarantine, never crash the run
-        sink.error(
-            PHASE_PARSE,
-            f"quarantined unparseable file: {exc}",
-            file=source,
-            line_number=getattr(exc, "line_number", 0),
-            line=getattr(exc, "line", ""),
-        )
-        return None
-
-
 def _read_config_text(
     full_path: str, entry: str, sink: DiagnosticSink
-) -> Optional[str]:
+) -> Tuple[Optional[str], bytes]:
     """Read a config file, skipping binary/undecodable content.
 
     Collection scripts leave tarballs, core dumps, and editor droppings in
     real archives; those must not abort the run.  NUL bytes or a high
     replacement-character ratio after a lossy decode mark a file as
     non-text: it is skipped with a warning diagnostic.
+
+    Returns ``(text, raw_bytes)``; text is ``None`` for non-text files.
+    The raw bytes feed the parse cache's content hash.
     """
     with open(full_path, "rb") as handle:
         raw = handle.read()
@@ -126,7 +101,7 @@ def _read_config_text(
         sink.warning(
             PHASE_READ, "skipped binary file (NUL bytes)", file=entry
         )
-        return None
+        return None, raw
     text = raw.decode("utf-8", errors="replace")
     if text:
         bad = text.count("�")
@@ -136,14 +111,14 @@ def _read_config_text(
                 f"skipped undecodable file ({bad} invalid byte(s))",
                 file=entry,
             )
-            return None
+            return None, raw
         if bad:
             sink.info(
                 PHASE_READ,
                 f"replaced {bad} undecodable byte(s)",
                 file=entry,
             )
-    return text
+    return text, raw
 
 
 class Network:
@@ -211,6 +186,9 @@ class Network:
         *,
         on_error: str = "strict",
         diagnostics: Optional[DiagnosticSink] = None,
+        jobs: Optional[int] = None,
+        cache: Union[ParseCache, str, None] = None,
+        timer: Optional[StageTimer] = None,
     ) -> "Network":
         """Build a network from a mapping of router name → config text/model.
 
@@ -220,16 +198,37 @@ class Network:
         skips malformed blocks, and ``"skip-file"`` quarantines whole
         files on any parse error.  In the non-strict policies the returned
         network's ``diagnostics``/``quarantined`` describe what was lost.
+
+        ``jobs`` fans parsing out over worker processes (``None``/``0``
+        auto-detects, ``1`` forces serial); ``cache`` is a
+        :class:`repro.ingest.ParseCache` (or directory path) that replays
+        previously-parsed files; ``timer`` is a
+        :class:`repro.ingest.StageTimer` that receives the parse-stage
+        timing.  Whatever the ``jobs``/``cache`` setting, the resulting
+        routers, diagnostics, and quarantine list are identical.
         """
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(f"unknown on_error policy: {on_error!r}")
         sink = diagnostics if diagnostics is not None else DiagnosticSink()
+        entries = list(configs.items())
+        tasks = [
+            ParseTask(source=router_name, text=config, on_error=on_error)
+            for router_name, config in entries
+            if isinstance(config, str)
+        ]
+        outcomes = iter(parse_many(tasks, jobs=jobs, cache=cache, timer=timer))
         routers = []
         quarantined: List[str] = []
-        for router_name, config in configs.items():
+        for router_name, config in entries:
             if isinstance(config, str):
-                config = _parse_entry(config, router_name, on_error, sink)
-                if config is None:
+                outcome = next(outcomes)
+                sink.merge(outcome.diagnostics)
+                if outcome.error is not None:
+                    raise outcome.error
+                if outcome.config is None:
                     quarantined.append(router_name)
                     continue
+                config = outcome.config
             routers.append(Router(name=router_name, config=config, source=router_name))
         return cls(
             routers,
@@ -246,6 +245,9 @@ class Network:
         name: Optional[str] = None,
         *,
         on_error: str = "strict",
+        jobs: Optional[int] = None,
+        cache: Union[ParseCache, str, None] = None,
+        timer: Optional[StageTimer] = None,
     ) -> "Network":
         """Build a network from a directory of config files (``config1`` ...).
 
@@ -257,24 +259,53 @@ class Network:
         ``on_error`` policy; duplicated hostnames raise in ``"strict"``
         and are renamed with a ``~N`` suffix (plus a warning diagnostic)
         otherwise.
+
+        ``jobs``, ``cache``, and ``timer`` behave as in
+        :meth:`from_configs`; file reads and the binary-content sniff
+        always happen in this process, and per-file parse diagnostics are
+        folded back in directory order, so the diagnostic stream does not
+        depend on worker scheduling or cache hits.
         """
         if on_error not in ON_ERROR_POLICIES:
             raise ValueError(f"unknown on_error policy: {on_error!r}")
         sink = DiagnosticSink()
         routers: List[Router] = []
         quarantined: List[str] = []
-        for entry in sorted(os.listdir(path)):
-            full = os.path.join(path, entry)
-            if not os.path.isfile(full):
-                continue
-            text = _read_config_text(full, entry, sink)
+        # Read phase: pull every file into memory, sniffing out binary
+        # droppings.  Read diagnostics are buffered per file so the final
+        # merge loop can interleave them exactly as the serial path did.
+        files: List[Tuple[str, DiagnosticSink, Optional[str], bytes]] = []
+        read_ctx = (
+            timer.stage("read") if timer is not None else nullcontext(StageRecord("read"))
+        )
+        with read_ctx as read_record:
+            for entry in sorted(os.listdir(path)):
+                full = os.path.join(path, entry)
+                if not os.path.isfile(full):
+                    continue
+                file_sink = DiagnosticSink()
+                text, raw = _read_config_text(full, entry, file_sink)
+                files.append((entry, file_sink, text, raw))
+            read_record.items = len(files)
+        tasks = [
+            ParseTask(source=entry, text=text, on_error=on_error, data=raw)
+            for entry, _sink, text, raw in files
+            if text is not None
+        ]
+        outcomes = iter(parse_many(tasks, jobs=jobs, cache=cache, timer=timer))
+        for entry, file_sink, text, _raw in files:
+            sink.merge(file_sink)
             if text is None:
                 quarantined.append(entry)
                 continue
-            config = _parse_entry(text, entry, on_error, sink)
-            if config is None:
+            outcome = next(outcomes)
+            sink.merge(outcome.diagnostics)
+            if outcome.error is not None:
+                raise outcome.error
+            if outcome.config is None:
                 quarantined.append(entry)
                 continue
+            config = outcome.config
             router_name = config.hostname or os.path.splitext(entry)[0]
             if not config.hostname:
                 sink.info(

@@ -17,6 +17,14 @@ from repro.synth.templates.tier2 import build_tier2
 TEST_SCALE = 0.06
 
 
+@pytest.fixture(autouse=True)
+def _isolated_parse_cache(tmp_path_factory, monkeypatch):
+    """Keep the CLI's default parse cache away from the user's ~/.cache."""
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.getbasetemp() / "parse-cache")
+    )
+
+
 @pytest.fixture(scope="session")
 def fig1():
     """The paper's running example: ``(network, meta)``."""

@@ -262,3 +262,98 @@ class TestExitCodeFolding:
             (tmp_path / name).write_text(text)
         with pytest.raises(ConfigParseError):
             main(["analyze", os.fspath(tmp_path)])
+
+
+class TestIngestFlags:
+    def test_jobs_flag_matches_serial_output(self, config_dir, capsys):
+        assert main(["analyze", "--no-cache", config_dir]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["analyze", "--no-cache", "--jobs", "4", config_dir]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_cache_dir_warm_run_matches(self, config_dir, tmp_path, capsys):
+        cache = os.fspath(tmp_path / "cache")
+        assert main(["analyze", "--cache-dir", cache, config_dir]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(["analyze", "--cache-dir", cache, config_dir]) == 0
+        assert capsys.readouterr().out == cold_out
+        assert os.path.isdir(os.path.join(cache, "objects"))
+
+    def test_negative_jobs_rejected(self, config_dir, capsys):
+        with pytest.raises(ValueError):
+            main(["analyze", "--no-cache", "--jobs", "-2", config_dir])
+        capsys.readouterr()
+
+
+class TestCorpus:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path):
+        configs, _meta = build_example_networks()
+        for archive in ("alpha", "beta"):
+            d = tmp_path / "corpus" / archive
+            d.mkdir(parents=True)
+            for name, text in configs.items():
+                (d / name).write_text(text)
+        return os.fspath(tmp_path / "corpus")
+
+    def test_table_lists_every_archive(self, corpus_dir, capsys):
+        assert main(["corpus", "--no-cache", corpus_dir]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "beta" in out
+        assert "TOTAL" in out
+        for column in ("parse s", "links s", "inst s", "path s", "files/s"):
+            assert column in out
+
+    def test_json_payload_shape(self, corpus_dir, capsys):
+        import json as json_mod
+
+        assert main(["corpus", "--no-cache", "--json", corpus_dir]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["totals"]["archives"] == 2
+        assert payload["totals"]["parsed"] == payload["totals"]["files"] == 12
+        names = [e["archive"] for e in payload["archives"]]
+        assert names == ["alpha", "beta"]
+        stage_names = [s["name"] for s in payload["archives"][0]["stages"]]
+        assert stage_names == ["read", "parse", "links", "instances", "pathways"]
+
+    def test_warm_cache_parses_zero_files(self, corpus_dir, tmp_path, capsys):
+        import json as json_mod
+
+        cache = os.fspath(tmp_path / "cache")
+        assert main(["corpus", "--json", "--cache-dir", cache, corpus_dir]) == 0
+        cold = json_mod.loads(capsys.readouterr().out)
+        # alpha and beta hold identical bytes: the content-addressed cache
+        # dedupes across archives even within the cold run.
+        assert cold["totals"]["parsed"] == 6
+        assert cold["totals"]["cached"] == 6
+        assert main(["corpus", "--json", "--cache-dir", cache, corpus_dir]) == 0
+        warm = json_mod.loads(capsys.readouterr().out)
+        assert warm["totals"]["parsed"] == 0
+        assert warm["totals"]["cached"] == 12
+        # Timing aside, the warm payload describes the same corpus.
+        for cold_e, warm_e in zip(cold["archives"], warm["archives"]):
+            assert cold_e["routers"] == warm_e["routers"]
+            assert cold_e["exit_code"] == warm_e["exit_code"]
+            assert cold_e["quarantined"] == warm_e["quarantined"]
+
+    def test_flat_directory_is_one_archive(self, config_dir, capsys):
+        assert main(["corpus", "--no-cache", config_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 archive(s)" in out
+
+    def test_rejects_missing_dir(self):
+        with pytest.raises(SystemExit):
+            main(["corpus", "/nonexistent/place"])
+
+    def test_faulted_archive_folds_exit_code(self, tmp_path, capsys):
+        from repro.synth import inject_fault
+
+        configs, _meta = build_example_networks()
+        mutated, _fault = inject_fault(configs, "corrupt-ip", seed=2)
+        d = tmp_path / "corpus" / "damaged"
+        d.mkdir(parents=True)
+        for name, text in mutated.items():
+            (d / name).write_text(text)
+        code = main(["corpus", "--no-cache", os.fspath(tmp_path / "corpus")])
+        assert code == 2
+        capsys.readouterr()

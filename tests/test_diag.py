@@ -109,6 +109,102 @@ class TestDiagnosticSink:
         assert sink.summary() == "1 error(s), 1 warning(s), 0 info"
 
 
+class TestMerge:
+    """merge(): the primitive that reassembles per-worker sinks."""
+
+    def _worker_sinks(self):
+        """Three sinks as parallel workers would produce them."""
+        a = DiagnosticSink()
+        a.info(PHASE_PARSE, "unmodeled command", file="config1")
+        a.error(PHASE_PARSE, "skipped block", file="config1", line_number=7)
+        b = DiagnosticSink()
+        b.warning(PHASE_READ, "binary file", file="config2")
+        c = DiagnosticSink()
+        c.info(PHASE_BUILD, "no hostname", file="config3")
+        return a, b, c
+
+    def test_merge_returns_self(self):
+        target, other = DiagnosticSink(), DiagnosticSink()
+        assert target.merge(other) is target
+
+    def test_merge_preserves_submission_order(self):
+        a, b, c = self._worker_sinks()
+        merged = DiagnosticSink()
+        merged.merge(a).merge(b).merge(c)
+        messages = [d.message for d in merged]
+        assert messages == [
+            "unmodeled command",
+            "skipped block",
+            "binary file",
+            "no hostname",
+        ]
+
+    def test_merge_order_is_caller_controlled(self):
+        # Completion order must not matter: the caller decides by merge order.
+        a, b, c = self._worker_sinks()
+        forward = DiagnosticSink().merge(a).merge(b).merge(c)
+        backward = DiagnosticSink().merge(c).merge(b).merge(a)
+        # Sink-internal order is preserved; only the sink order flips.
+        assert [d.message for d in backward] == [
+            "no hostname",
+            "binary file",
+            "unmodeled command",
+            "skipped block",
+        ]
+        assert [d.message for d in backward] != [d.message for d in forward]
+
+    def test_merge_folds_severity_counts(self):
+        a, b, c = self._worker_sinks()
+        merged = DiagnosticSink().merge(a).merge(b).merge(c)
+        assert merged.counts() == {ERROR: 1, WARNING: 1, INFO: 2}
+        assert merged.has_errors
+        assert merged.has_warnings
+
+    def test_merged_exit_code_equals_shared_sink(self):
+        # One sink merged from N workers ≡ one sink shared by N phases.
+        a, b, c = self._worker_sinks()
+        merged = DiagnosticSink().merge(a).merge(b).merge(c)
+        shared = DiagnosticSink()
+        for sink in (a, b, c):
+            for diag in sink:
+                shared.emit(diag)
+        assert merged.exit_code() == shared.exit_code() == EXIT_ERRORS
+        assert merged.summary() == shared.summary()
+        assert [str(d) for d in merged] == [str(d) for d in shared]
+
+    def test_merged_exit_code_is_max_of_parts(self):
+        a, b, c = self._worker_sinks()
+        parts = [a.exit_code(), b.exit_code(), c.exit_code()]
+        merged = DiagnosticSink().merge(a).merge(b).merge(c)
+        assert merged.exit_code() == max(parts)
+
+    def test_merge_accepts_plain_iterables(self):
+        diags = (
+            Diagnostic(WARNING, PHASE_READ, "w", file="f1"),
+            Diagnostic(ERROR, PHASE_PARSE, "e", file="f2"),
+        )
+        sink = DiagnosticSink().merge(diags)
+        assert sink.exit_code() == EXIT_ERRORS
+        assert [d.message for d in sink] == ["w", "e"]
+
+    def test_merge_rejects_non_diagnostics(self):
+        with pytest.raises(TypeError):
+            DiagnosticSink().merge(["not a diagnostic"])
+
+    def test_merge_empty_is_noop(self):
+        sink = DiagnosticSink()
+        sink.warning(PHASE_PARSE, "w")
+        sink.merge(DiagnosticSink()).merge(())
+        assert len(sink) == 1
+        assert sink.exit_code() == EXIT_WARNINGS
+
+    def test_merge_does_not_mutate_source(self):
+        a, _, _ = self._worker_sinks()
+        before = list(a.diagnostics)
+        DiagnosticSink().merge(a)
+        assert a.diagnostics == before
+
+
 class TestFormatDiagnostics:
     def test_clean_sink(self):
         text = format_diagnostics(DiagnosticSink())

@@ -1,0 +1,310 @@
+"""The ingestion engine: stage timing, parse cache, parallel workers."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.diag import ERROR, PHASE_PARSE, DiagnosticSink
+from repro.ingest import (
+    CacheEntry,
+    ParseCache,
+    ParseTask,
+    StageTimer,
+    parse_many,
+    parse_one,
+    resolve_jobs,
+)
+from repro.ingest.parallel import MAX_AUTO_JOBS, PARALLEL_THRESHOLD
+from repro.ios.parser import ConfigParseError
+from repro.junos.blocks import JunosSyntaxError
+
+IOS_OK = """\
+hostname r1
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+"""
+
+IOS_BAD = """\
+hostname r2
+interface Ethernet0
+ ip address 999.0.0.1 255.255.255.0
+"""
+
+JUNOS_UNBALANCED = """\
+system {
+    host-name j1;
+"""
+
+
+class TestStageTimer:
+    def test_stage_records_time_and_items(self):
+        timer = StageTimer()
+        with timer.stage("parse") as record:
+            record.items = 42
+        assert timer.items("parse") == 42
+        assert timer.seconds("parse") >= 0
+        assert len(timer) == 1
+
+    def test_stage_records_on_exception(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("parse"):
+                raise RuntimeError("boom")
+        assert len(timer) == 1  # the stage is still on the books
+
+    def test_repeated_stage_names_aggregate(self):
+        timer = StageTimer()
+        timer.record("parse", 1.0, items=10)
+        timer.record("parse", 2.0, items=5)
+        timer.record("links", 0.5, items=3)
+        assert timer.seconds("parse") == pytest.approx(3.0)
+        assert timer.items("parse") == 15
+        assert timer.stage_names() == ["parse", "links"]
+
+    def test_counters_aggregate(self):
+        timer = StageTimer()
+        timer.record("parse", 1.0, counters={"cached": 3})
+        timer.record("parse", 1.0, counters={"cached": 4, "parsed": 1})
+        assert timer.counter("parse", "cached") == 7
+        assert timer.counter("parse", "parsed") == 1
+        assert timer.counter("parse", "missing") == 0
+
+    def test_as_dict_shape(self):
+        timer = StageTimer()
+        timer.record("parse", 2.0, items=10, counters={"cached": 2})
+        data = timer.as_dict()
+        assert data["total_seconds"] == pytest.approx(2.0)
+        (stage,) = data["stages"]
+        assert stage["name"] == "parse"
+        assert stage["items"] == 10
+        assert stage["items_per_second"] == pytest.approx(5.0)
+        assert stage["counters"] == {"cached": 2}
+
+
+class TestResolveJobs:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1, 10)
+
+    def test_zero_items_is_serial(self):
+        assert resolve_jobs(8, 0) == 1
+        assert resolve_jobs(None, 0) == 1
+
+    def test_auto_stays_serial_below_threshold(self):
+        assert resolve_jobs(None, PARALLEL_THRESHOLD - 1) == 1
+        assert resolve_jobs(0, PARALLEL_THRESHOLD - 1) == 1
+
+    def test_auto_parallelizes_large_batches(self):
+        jobs = resolve_jobs(None, 10_000)
+        assert 1 <= jobs <= MAX_AUTO_JOBS
+
+    def test_explicit_request_capped_by_items(self):
+        assert resolve_jobs(8, 3) == 3
+        assert resolve_jobs(2, 100) == 2
+        assert resolve_jobs(1, 100) == 1
+
+
+class TestParseOne:
+    def test_success_carries_diagnostics(self):
+        outcome = parse_one(ParseTask("f1", IOS_OK, "skip-block"))
+        assert outcome.config is not None
+        assert outcome.config.hostname == "r1"
+        assert not outcome.quarantined
+        assert outcome.error is None
+
+    def test_strict_failure_returns_error(self):
+        outcome = parse_one(ParseTask("f1", IOS_BAD, "strict"))
+        assert outcome.config is None
+        assert isinstance(outcome.error, ValueError)
+
+    def test_skip_file_quarantines(self):
+        outcome = parse_one(ParseTask("f1", IOS_BAD, "skip-file"))
+        assert outcome.config is None
+        assert outcome.quarantined
+        assert outcome.error is None
+        assert any(d.severity == ERROR for d in outcome.diagnostics)
+
+    def test_unknown_policy_is_an_error_outcome(self):
+        outcome = parse_one(ParseTask("f1", IOS_OK, "bogus"))
+        assert isinstance(outcome.error, ValueError)
+
+
+class TestExceptionPickling:
+    """Strict-mode errors must cross the process boundary intact."""
+
+    def test_config_parse_error_roundtrip(self):
+        exc = ConfigParseError("bad mask", line_number=12, line="ip address x")
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is ConfigParseError
+        assert str(clone) == str(exc)
+        assert clone.line_number == 12
+        assert clone.line == "ip address x"
+
+    def test_junos_syntax_error_roundtrip(self):
+        exc = JunosSyntaxError("unbalanced braces", line_number=3)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is JunosSyntaxError
+        assert str(clone) == str(exc)  # "(line 3)" suffix not doubled
+        assert clone.line_number == 3
+
+
+class TestParseCache:
+    def test_roundtrip_replays_config_and_diagnostics(self, tmp_path):
+        cache = ParseCache(root=str(tmp_path))
+        outcome = parse_one(ParseTask("f1", IOS_OK, "skip-block"))
+        key = cache.key(IOS_OK.encode(), "skip-block")
+        assert cache.get(key) is None  # cold
+        cache.put(
+            key,
+            CacheEntry(outcome.config, outcome.diagnostics, outcome.quarantined),
+        )
+        entry = cache.get(key)
+        assert entry is not None
+        assert entry.config.hostname == "r1"
+        assert entry.diagnostics == outcome.diagnostics
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_key_depends_on_content_and_mode(self, tmp_path):
+        cache = ParseCache(root=str(tmp_path))
+        base = cache.key(b"abc", "strict")
+        assert cache.key(b"abd", "strict") != base
+        assert cache.key(b"abc", "skip-block") != base
+        assert cache.key(b"abc", "strict") == base  # stable
+
+    def test_key_depends_on_parser_version(self, tmp_path, monkeypatch):
+        import repro.model.dialect as dialect
+
+        cache = ParseCache(root=str(tmp_path))
+        before = cache.key(b"abc", "strict")
+        monkeypatch.setattr(dialect, "PARSER_VERSION", "next-version")
+        assert cache.key(b"abc", "strict") != before
+
+    def test_corrupt_entry_degrades_to_miss_and_evicts(self, tmp_path):
+        cache = ParseCache(root=str(tmp_path))
+        key = cache.key(b"abc", "strict")
+        cache.put(key, CacheEntry(None, (), True))
+        path = cache._path(key)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get(key) is None
+        assert cache.stats.evictions == 1
+        assert not os.path.exists(path)
+
+    def test_non_entry_pickle_is_rejected(self, tmp_path):
+        cache = ParseCache(root=str(tmp_path))
+        key = cache.key(b"abc", "strict")
+        os.makedirs(os.path.dirname(cache._path(key)), exist_ok=True)
+        with open(cache._path(key), "wb") as handle:
+            pickle.dump({"not": "an entry"}, handle)
+        assert cache.get(key) is None
+        assert cache.stats.evictions == 1
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        # A root that cannot be a directory (it's under a regular file):
+        # put() must fail soft, never raise into the pipeline.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        cache = ParseCache(root=str(blocker / "cache"))
+        key = cache.key(b"abc", "strict")
+        assert cache.put(key, CacheEntry(None, (), True)) is False
+        assert cache.stats.stores == 0
+        assert cache.get(key) is None
+
+    def test_coerce(self, tmp_path):
+        assert ParseCache.coerce(None) is None
+        cache = ParseCache(root=str(tmp_path))
+        assert ParseCache.coerce(cache) is cache
+        coerced = ParseCache.coerce(str(tmp_path))
+        assert isinstance(coerced, ParseCache)
+        assert coerced.root == str(tmp_path)
+
+
+class TestParseMany:
+    def _tasks(self, n=4, on_error="skip-block"):
+        texts = [IOS_OK.replace("r1", f"r{i}") for i in range(n)]
+        return [ParseTask(f"f{i}", text, on_error) for i, text in enumerate(texts)]
+
+    def test_outcomes_in_task_order(self):
+        outcomes = parse_many(self._tasks(6), jobs=1)
+        assert [o.source for o in outcomes] == [f"f{i}" for i in range(6)]
+        assert [o.config.hostname for o in outcomes] == [f"r{i}" for i in range(6)]
+
+    def test_parallel_outcomes_match_serial(self):
+        tasks = self._tasks(8)
+        serial = parse_many(tasks, jobs=1)
+        parallel = parse_many(tasks, jobs=4)
+        assert [o.config.hostname for o in serial] == [
+            o.config.hostname for o in parallel
+        ]
+        assert [o.diagnostics for o in serial] == [o.diagnostics for o in parallel]
+
+    def test_cache_hits_skip_parsing(self, tmp_path):
+        cache = ParseCache(root=str(tmp_path))
+        tasks = self._tasks(4)
+        timer_cold, timer_warm = StageTimer(), StageTimer()
+        cold = parse_many(tasks, jobs=1, cache=cache, timer=timer_cold)
+        warm = parse_many(tasks, jobs=1, cache=cache, timer=timer_warm)
+        assert timer_cold.counter("parse", "parsed") == 4
+        assert timer_warm.counter("parse", "parsed") == 0
+        assert timer_warm.counter("parse", "cached") == 4
+        assert all(o.cached for o in warm)
+        assert [o.config.hostname for o in cold] == [
+            o.config.hostname for o in warm
+        ]
+        assert [o.diagnostics for o in cold] == [o.diagnostics for o in warm]
+
+    def test_strict_errors_are_not_cached(self, tmp_path):
+        cache = ParseCache(root=str(tmp_path))
+        tasks = [ParseTask("bad", IOS_BAD, "strict")]
+        first = parse_many(tasks, jobs=1, cache=cache)
+        second = parse_many(tasks, jobs=1, cache=cache)
+        assert first[0].error is not None
+        assert second[0].error is not None
+        assert not second[0].cached
+
+    def test_quarantine_decision_is_cached(self, tmp_path):
+        cache = ParseCache(root=str(tmp_path))
+        tasks = [ParseTask("bad", JUNOS_UNBALANCED, "skip-file")]
+        cold = parse_many(tasks, jobs=1, cache=cache)
+        warm = parse_many(tasks, jobs=1, cache=cache)
+        assert cold[0].quarantined and warm[0].quarantined
+        assert warm[0].cached
+        assert [str(d) for d in cold[0].diagnostics] == [
+            str(d) for d in warm[0].diagnostics
+        ]
+
+    def test_timer_counts_workers(self):
+        timer = StageTimer()
+        parse_many(self._tasks(4), jobs=3, timer=timer)
+        assert timer.counter("parse", "workers") == 3
+
+
+class TestWorkerSinkIsolation:
+    def test_worker_sink_never_leaks_between_tasks(self):
+        # Each outcome carries only its own file's diagnostics.
+        tasks = [
+            ParseTask("good", IOS_OK, "skip-block"),
+            ParseTask("bad", IOS_BAD, "skip-block"),
+        ]
+        good, bad = parse_many(tasks, jobs=1)
+        assert all(d.file in (None, "good") for d in good.diagnostics)
+        assert any(d.file == "bad" for d in bad.diagnostics)
+
+    def test_merge_reconstructs_shared_sink_stream(self):
+        tasks = [
+            ParseTask("a", IOS_BAD, "skip-file"),
+            ParseTask("b", IOS_OK, "skip-block"),
+        ]
+        merged = DiagnosticSink()
+        for outcome in parse_many(tasks, jobs=1):
+            merged.merge(outcome.diagnostics)
+        shared = DiagnosticSink()
+        from repro.ingest.parallel import _parse_with_policy
+
+        _parse_with_policy(IOS_BAD, "a", "skip-file", shared)
+        _parse_with_policy(IOS_OK, "b", "skip-block", shared)
+        assert [str(d) for d in merged] == [str(d) for d in shared]
+        assert merged.exit_code() == shared.exit_code()

@@ -1,0 +1,170 @@
+"""Parallel-vs-serial ingestion equivalence.
+
+The ingestion contract of PR 2: whatever the ``jobs`` setting and cache
+state, ``Network.from_directory``/``from_configs`` produce identical
+routers, links, diagnostics, and quarantine lists.  This suite pins that
+down on clean archives and on archives damaged by every fault kind of
+``repro.synth.faults``.
+"""
+
+import os
+
+import pytest
+
+from repro.ingest import ParseCache
+from repro.model import Network
+from repro.synth import fault_kinds, inject_fault
+from repro.synth.templates.example_fig1 import build_example_networks
+
+PARALLEL_JOBS = 4
+
+
+@pytest.fixture(scope="module")
+def clean_configs():
+    configs, _meta = build_example_networks()
+    return configs
+
+
+def write_archive(configs, path):
+    os.makedirs(path, exist_ok=True)
+    for name, text in configs.items():
+        with open(os.path.join(path, name), "w") as handle:
+            handle.write(text)
+    return os.fspath(path)
+
+
+def fingerprint(network: Network):
+    """Everything the equivalence contract covers, in comparable form."""
+    return {
+        "routers": sorted(network.routers),
+        "sources": {r.name: r.source for r in network.routers.values()},
+        "interfaces": {
+            name: sorted(router.interfaces) for name, router in network.routers.items()
+        },
+        "links": sorted(repr(link) for link in network.links),
+        "processes": sorted(map(repr, network.processes)),
+        "diagnostics": [str(d) for d in network.diagnostics],
+        "quarantined": network.quarantined,
+        "exit_code": network.diagnostics.exit_code(),
+    }
+
+
+class TestCleanArchive:
+    @pytest.mark.parametrize("on_error", ["strict", "skip-block", "skip-file"])
+    def test_jobs4_matches_jobs1(self, clean_configs, tmp_path, on_error):
+        archive = write_archive(clean_configs, tmp_path / "arch")
+        serial = Network.from_directory(archive, on_error=on_error, jobs=1)
+        parallel = Network.from_directory(
+            archive, on_error=on_error, jobs=PARALLEL_JOBS
+        )
+        assert fingerprint(serial) == fingerprint(parallel)
+
+    def test_from_configs_jobs4_matches_jobs1(self, clean_configs):
+        serial = Network.from_configs(clean_configs, on_error="skip-block", jobs=1)
+        parallel = Network.from_configs(
+            clean_configs, on_error="skip-block", jobs=PARALLEL_JOBS
+        )
+        assert fingerprint(serial) == fingerprint(parallel)
+
+    def test_auto_jobs_matches_serial(self, clean_configs, tmp_path):
+        archive = write_archive(clean_configs, tmp_path / "arch")
+        serial = Network.from_directory(archive, on_error="skip-block", jobs=1)
+        auto = Network.from_directory(archive, on_error="skip-block", jobs=0)
+        assert fingerprint(serial) == fingerprint(auto)
+
+
+class TestFaultedArchives:
+    """Every mutator, two seeds: lenient parallel == lenient serial."""
+
+    @pytest.mark.parametrize("kind", sorted(fault_kinds()))
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_lenient_equivalence(self, clean_configs, tmp_path, kind, seed):
+        mutated, fault = inject_fault(dict(clean_configs), kind, seed=seed)
+        archive = write_archive(mutated, tmp_path / f"{kind}-{seed}")
+        serial = Network.from_directory(archive, on_error="skip-block", jobs=1)
+        parallel = Network.from_directory(
+            archive, on_error="skip-block", jobs=PARALLEL_JOBS
+        )
+        assert fingerprint(serial) == fingerprint(parallel)
+        # The fault is diagnosed identically on both paths.
+        if fault.files:
+            assert any(
+                d.file in fault.files for d in parallel.diagnostics
+            ) or any(q in fault.files for q in parallel.quarantined)
+
+    @pytest.mark.parametrize("kind", sorted(fault_kinds()))
+    def test_skip_file_equivalence(self, clean_configs, tmp_path, kind):
+        mutated, _fault = inject_fault(dict(clean_configs), kind, seed=3)
+        archive = write_archive(mutated, tmp_path / f"{kind}-sf")
+        serial = Network.from_directory(archive, on_error="skip-file", jobs=1)
+        parallel = Network.from_directory(
+            archive, on_error="skip-file", jobs=PARALLEL_JOBS
+        )
+        assert fingerprint(serial) == fingerprint(parallel)
+
+    @pytest.mark.parametrize("kind", sorted(fault_kinds()))
+    def test_strict_failures_agree(self, clean_configs, tmp_path, kind):
+        """When strict serial raises, strict parallel raises the same way."""
+        mutated, _fault = inject_fault(dict(clean_configs), kind, seed=1)
+        archive = write_archive(mutated, tmp_path / f"{kind}-strict")
+        serial_exc = parallel_exc = None
+        serial_net = parallel_net = None
+        try:
+            serial_net = Network.from_directory(archive, on_error="strict", jobs=1)
+        except Exception as exc:  # noqa: BLE001 — comparing behavior
+            serial_exc = exc
+        try:
+            parallel_net = Network.from_directory(
+                archive, on_error="strict", jobs=PARALLEL_JOBS
+            )
+        except Exception as exc:  # noqa: BLE001
+            parallel_exc = exc
+        if serial_exc is None:
+            assert parallel_exc is None
+            assert fingerprint(serial_net) == fingerprint(parallel_net)
+        else:
+            assert parallel_exc is not None
+            assert type(parallel_exc) is type(serial_exc)
+            assert str(parallel_exc) == str(serial_exc)
+
+
+class TestCacheEquivalence:
+    """Cold cache, warm cache, no cache: identical results."""
+
+    def test_clean_archive_cold_then_warm(self, clean_configs, tmp_path):
+        archive = write_archive(clean_configs, tmp_path / "arch")
+        cache = ParseCache(root=str(tmp_path / "cache"))
+        plain = Network.from_directory(archive, on_error="skip-block", jobs=1)
+        cold = Network.from_directory(
+            archive, on_error="skip-block", jobs=1, cache=cache
+        )
+        warm = Network.from_directory(
+            archive, on_error="skip-block", jobs=1, cache=cache
+        )
+        assert fingerprint(plain) == fingerprint(cold) == fingerprint(warm)
+        assert cache.stats.hits == len(warm.routers)
+
+    @pytest.mark.parametrize("kind", sorted(fault_kinds()))
+    def test_faulted_archive_warm_cache_replays(self, clean_configs, tmp_path, kind):
+        mutated, _fault = inject_fault(dict(clean_configs), kind, seed=5)
+        archive = write_archive(mutated, tmp_path / "arch")
+        cache = ParseCache(root=str(tmp_path / "cache"))
+        cold = Network.from_directory(
+            archive, on_error="skip-block", jobs=1, cache=cache
+        )
+        warm = Network.from_directory(
+            archive, on_error="skip-block", jobs=PARALLEL_JOBS, cache=cache
+        )
+        assert fingerprint(cold) == fingerprint(warm)
+
+    def test_cache_shared_across_jobs_settings(self, clean_configs, tmp_path):
+        archive = write_archive(clean_configs, tmp_path / "arch")
+        cache = ParseCache(root=str(tmp_path / "cache"))
+        cold = Network.from_directory(
+            archive, on_error="skip-block", jobs=PARALLEL_JOBS, cache=cache
+        )
+        warm = Network.from_directory(
+            archive, on_error="skip-block", jobs=1, cache=cache
+        )
+        assert fingerprint(cold) == fingerprint(warm)
+        assert cache.stats.hits == len(warm.routers)
