@@ -8,7 +8,7 @@
    (join-bits × utilization) grid; the paper's (2, ½) sits at the knee.
 """
 
-from repro.core import compute_instances, extract_address_space
+from repro.core import compute_instances
 from repro.core.address_space import join_blocks, mentioned_subnets
 from repro.model import Network
 from repro.report import format_table

@@ -24,6 +24,13 @@ Archive-reading commands also accept ``--jobs N`` (parse with N worker
 processes; 0 auto-detects), ``--cache-dir PATH`` (persistent parse cache,
 default ``~/.cache/repro``), and ``--no-cache``.  Results are identical
 whatever the jobs/cache settings — only the wall time changes.
+
+Observability (every command): ``--log-level debug|info|warning|error``
+and ``--log-json`` control structured logging on stderr.  Archive
+commands additionally accept ``--trace out.json`` (Chrome-trace timeline
+of every pipeline stage and analysis pass) and ``--run-report r.json``
+(a manifest accounting for every input file: path, size, SHA-256, cache
+disposition — plus metrics, spans, diagnostics, and the exit code).
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.anonymize import Anonymizer
@@ -48,6 +56,17 @@ from repro.core.roles import classify_roles
 from repro.diag import EXIT_ERRORS, PHASE_ANALYSIS
 from repro.ingest import ParseCache, StageTimer
 from repro.model import Network
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    activate_tracer,
+    archive_entry,
+    build_manifest,
+    configure_logging,
+    use_registry,
+    write_manifest,
+)
+from repro.obs.logging import LEVELS
 from repro.report import format_diagnostics, format_table
 
 
@@ -93,7 +112,7 @@ def _load(
     loaded = getattr(args, "_loaded_networks", None)
     if loaded is None:
         loaded = args._loaded_networks = []
-    loaded.append(network)
+    loaded.append((path, network))
     if len(network.diagnostics) or network.quarantined:
         print(
             f"ingestion: {network.diagnostics.summary()}, "
@@ -293,6 +312,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except Exception as exc:
         print(f"error: {exc}")
         return EXIT_ERRORS
+    loaded = getattr(args, "_loaded_networks", None)
+    if loaded is None:
+        loaded = args._loaded_networks = []
+    loaded.append((args.configdir, network))
     try:
         network.links
         network.processes
@@ -506,6 +529,19 @@ def build_parser() -> argparse.ArgumentParser:
     # and each command resolves its own default (lint: lenient, rest:
     # strict).
 
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument(
+        "--log-level",
+        choices=sorted(LEVELS),
+        default="warning",
+        help="structured-log verbosity on stderr (default: warning)",
+    )
+    obs.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as one JSON object per line",
+    )
+
     ingest = argparse.ArgumentParser(add_help=False)
     ingest.add_argument(
         "--jobs",
@@ -525,7 +561,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent parse cache",
     )
-    archive = [mode, ingest]
+    ingest.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace timeline of the run to PATH",
+    )
+    ingest.add_argument(
+        "--run-report",
+        default=None,
+        metavar="PATH",
+        help="write a run manifest (file inventory, metrics, spans) to PATH",
+    )
+    archive = [mode, ingest, obs]
 
     p = sub.add_parser("analyze", help="routing design summary", parents=archive)
     p.add_argument("configdir")
@@ -540,7 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("router")
     p.set_defaults(func=cmd_pathway)
 
-    p = sub.add_parser("anonymize", help="anonymize a config archive")
+    p = sub.add_parser("anonymize", help="anonymize a config archive", parents=[obs])
     p.add_argument("configdir")
     p.add_argument("outdir")
     p.add_argument("--key", default=None, help="deterministic anonymization key")
@@ -594,7 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("after")
     p.set_defaults(func=cmd_diff)
 
-    p = sub.add_parser("generate", help="emit a synthetic network")
+    p = sub.add_parser("generate", help="emit a synthetic network", parents=[obs])
     p.add_argument("template", help="enterprise|backbone|net5|net15|fig1")
     p.add_argument("outdir")
     p.add_argument("--routers", type=int, default=20)
@@ -603,13 +651,72 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit_run_report(
+    args: argparse.Namespace,
+    argv: Optional[List[str]],
+    code: int,
+    registry: MetricsRegistry,
+    tracer: Optional[Tracer],
+    total_seconds: float,
+) -> None:
+    """Write the ``--run-report`` manifest for a finished invocation."""
+    from repro.model.dialect import PARSER_VERSION  # noqa: PLC0415 — cycle
+
+    archives = [
+        archive_entry(network, path=path)
+        for path, network in getattr(args, "_loaded_networks", [])
+    ]
+    cache = getattr(args, "_parse_cache", None)
+    manifest = build_manifest(
+        command=args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        archives=archives,
+        exit_code=code,
+        registry=registry,
+        tracer=tracer,
+        environment={
+            "parser_version": PARSER_VERSION,
+            "jobs": getattr(args, "jobs", None),
+            "mode": getattr(args, "mode", None),
+            "cache": cache.stats.as_dict() if cache is not None else None,
+        },
+        total_seconds=total_seconds,
+    )
+    write_manifest(manifest, args.run_report)
+    print(f"wrote run report to {args.run_report}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    code = args.func(args)
+    configure_logging(
+        level=getattr(args, "log_level", "warning"),
+        json_mode=getattr(args, "log_json", False),
+    )
+    trace_path = getattr(args, "trace", None)
+    report_path = getattr(args, "run_report", None)
+    # A fresh registry per invocation keeps repeated in-process main()
+    # calls (tests, embedding) from bleeding counters into each other.
+    registry = MetricsRegistry()
+    tracer = Tracer() if (trace_path or report_path) else None
+    start = time.perf_counter()
+    with use_registry(registry), activate_tracer(tracer):
+        if tracer is not None:
+            with tracer.span("run", command=args.command):
+                code = args.func(args)
+        else:
+            code = args.func(args)
     if args.func is not cmd_lint:
-        for network in getattr(args, "_loaded_networks", []):
+        for _path, network in getattr(args, "_loaded_networks", []):
             code = max(code, network.diagnostics.exit_code())
+    total_seconds = time.perf_counter() - start
+    if trace_path:
+        with open(trace_path, "w") as handle:
+            json.dump(tracer.chrome_trace(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote trace to {trace_path}", file=sys.stderr)
+    if report_path:
+        _emit_run_report(args, argv, code, registry, tracer, total_seconds)
     return code
 
 

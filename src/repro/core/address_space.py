@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from repro.model.network import Network
 from repro.net import Prefix, summarize_prefixes
+from repro.obs.trace import traced
 
 
 @dataclass
@@ -29,7 +30,11 @@ class AddressBlock:
 
     @property
     def used_addresses(self) -> int:
-        return sum(subnet.num_addresses() for subnet in self.subnets)
+        """Distinct used addresses: duplicates and nested subnets collapse
+        before counting, so utilization can never exceed 1.0."""
+        return sum(
+            subnet.num_addresses() for subnet in summarize_prefixes(self.subnets)
+        )
 
     @property
     def utilization(self) -> float:
@@ -81,41 +86,50 @@ def join_blocks(
     for subnet in summarize_prefixes(subnets):
         blocks[subnet] = AddressBlock(prefix=subnet, subnets=[subnet])
 
+    # The paper joins "any two" subnets, not just sort-order neighbors, so
+    # every pair must be considered.  Blocks stay pairwise disjoint
+    # throughout (a successful join absorbs every block its supernet
+    # contains), which gives the sweep its structure: for a fixed block
+    # ``a``, the common supernet of ``a`` and later blocks only grows as
+    # the candidates get further away, so once it exceeds the bit bound
+    # relative to ``a`` no later candidate can satisfy it either.
     changed = True
     while changed:
         changed = False
         ordered = sorted(blocks)
-        for i in range(len(ordered) - 1):
-            a, b = ordered[i], ordered[i + 1]
-            merged = _try_join(blocks[a], blocks[b], max_join_bits, min_utilization)
-            if merged is None:
-                continue
-            del blocks[a]
-            del blocks[b]
-            # The merged block may itself be joinable with a block it now
-            # overlaps; absorb any contained blocks defensively.
-            absorbed = [p for p in blocks if merged.prefix.contains(p)]
-            for p in absorbed:
-                merged.subnets.extend(blocks.pop(p).subnets)
-            blocks[merged.prefix] = merged
-            changed = True
-            break
+        for i in range(len(ordered)):
+            a = ordered[i]
+            if a not in blocks:
+                continue  # absorbed earlier in this sweep
+            for j in range(i + 1, len(ordered)):
+                b = ordered[j]
+                if b not in blocks:
+                    continue
+                supernet = _common_supernet(a, b)
+                if supernet is None or supernet.length < a.length - max_join_bits:
+                    break  # supernets only get shorter for later candidates
+                if supernet.length < max(a.length, b.length) - max_join_bits:
+                    continue  # b is longer than a; a later, shorter b may fit
+                # Utilization is judged over everything the supernet would
+                # swallow — disjoint blocks sorted between a and b are all
+                # contained in their common supernet.
+                members = [p for p in blocks if supernet.contains(p)]
+                merged_subnets = summarize_prefixes(
+                    subnet for p in members for subnet in blocks[p].subnets
+                )
+                used = sum(s.num_addresses() for s in merged_subnets)
+                if used < supernet.num_addresses() * min_utilization:
+                    continue
+                for p in members:
+                    del blocks[p]
+                blocks[supernet] = AddressBlock(
+                    prefix=supernet, subnets=merged_subnets
+                )
+                changed = True
+                # Keep sweeping from the merged block: it may now join
+                # with candidates the original ``a`` could not reach.
+                a = supernet
     return [blocks[prefix] for prefix in sorted(blocks)]
-
-
-def _try_join(
-    a: AddressBlock, b: AddressBlock, max_join_bits: int, min_utilization: float
-) -> Optional[AddressBlock]:
-    supernet = _common_supernet(a.prefix, b.prefix)
-    if supernet is None:
-        return None
-    longest = max(a.prefix.length, b.prefix.length)
-    if supernet.length < longest - max_join_bits:
-        return None
-    used = a.used_addresses + b.used_addresses
-    if used < supernet.num_addresses() * min_utilization:
-        return None
-    return AddressBlock(prefix=supernet, subnets=a.subnets + b.subnets)
 
 
 def _common_supernet(a: Prefix, b: Prefix) -> Optional[Prefix]:
@@ -130,6 +144,7 @@ def _common_supernet(a: Prefix, b: Prefix) -> Optional[Prefix]:
     return candidate if candidate.contains(a) and candidate.contains(b) else None
 
 
+@traced("address_space")
 def extract_address_space(
     network: Network,
     max_join_bits: int = 2,

@@ -83,31 +83,55 @@ def unprotected_edges(network: Network) -> List[ConsistencyFinding]:
 
 
 def incomplete_adjacencies(network: Network) -> List[ConsistencyFinding]:
-    """Internal links where only one side's IGP covers the link — routes
-    will never flow, usually a forgotten ``network`` statement."""
-    covering: Set[Tuple[str, str]] = set()
+    """Internal links where only one side's IGP can form an adjacency —
+    routes will never flow, usually a forgotten ``network`` statement or a
+    stray ``passive-interface``.
+
+    Adjacency capability is judged on :meth:`active_interfaces` — the same
+    set instance computation uses — not on coverage alone: a passive
+    interface advertises its subnet but can never bring up an adjacency,
+    so it counts as covered-but-not-adjacent and is flagged with its own
+    wording.
+    """
+    active: Set[Tuple[str, str]] = set()
+    passive: Set[Tuple[str, str]] = set()
     for proc in network.processes.values():
         if proc.is_bgp:
             continue
+        proc_active = set(proc.active_interfaces())
+        for name in proc_active:
+            active.add((proc.router, name))
         for name in proc.covered_interfaces:
-            covering.add((proc.router, name))
+            if name not in proc_active:
+                passive.add((proc.router, name))
+    # An interface active under any process on its router can adjacency.
+    passive -= active
     findings = []
     for link in network.links:
         ends = [(end.router, end.interface) for end in link.ends]
-        covered = [end for end in ends if end in covering]
-        if covered and len(covered) < len(ends):
+        adjacent = [end for end in ends if end in active]
+        if adjacent and len(adjacent) < len(ends):
             for router, iface_name in ends:
-                if (router, iface_name) not in covering:
-                    findings.append(
-                        ConsistencyFinding(
-                            category="incomplete-adjacency",
-                            router=router,
-                            detail=(
-                                f"{iface_name} on shared subnet {link.subnet} is "
-                                "not covered by any IGP process while a neighbor's is"
-                            ),
-                        )
+                if (router, iface_name) in active:
+                    continue
+                if (router, iface_name) in passive:
+                    detail = (
+                        f"{iface_name} on shared subnet {link.subnet} is "
+                        "covered only passively while a neighbor's is active "
+                        "(no adjacency can form)"
                     )
+                else:
+                    detail = (
+                        f"{iface_name} on shared subnet {link.subnet} is "
+                        "not covered by any IGP process while a neighbor's is"
+                    )
+                findings.append(
+                    ConsistencyFinding(
+                        category="incomplete-adjacency",
+                        router=router,
+                        detail=detail,
+                    )
+                )
     return findings
 
 

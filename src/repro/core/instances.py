@@ -21,6 +21,7 @@ import networkx as nx
 from repro.core.process_graph import EXTERNAL_NODE
 from repro.model.network import Network
 from repro.model.processes import ProcessKey
+from repro.obs.trace import traced
 
 
 @dataclass
@@ -86,6 +87,7 @@ def _adjacency_lists(
     return neighbors
 
 
+@traced("instances")
 def compute_instances(
     network: Network, merge_ebgp: bool = False
 ) -> List[RoutingInstance]:

@@ -17,6 +17,7 @@ import networkx as nx
 from repro.core.instances import RoutingInstance, compute_instances, instance_of
 from repro.core.process_graph import EXTERNAL_NODE
 from repro.model.network import Network
+from repro.obs.trace import traced
 
 #: Pathway nodes are instance ids, the external-world sentinel, or the
 #: router RIB sentinel string.
@@ -63,6 +64,7 @@ class RoutePathway:
         return self.layers.get(EXTERNAL_NODE)
 
 
+@traced("pathways")
 def route_pathway(
     network: Network,
     router: str,

@@ -29,6 +29,7 @@ from repro.core.process_graph import EXTERNAL_NODE, _resolve_redistribute_source
 from repro.model.network import Network
 from repro.model.processes import ProcessKey
 from repro.net import Prefix
+from repro.obs.trace import traced
 
 #: Propagation-graph nodes: instance ids or the external-world sentinel.
 ReachNode = Union[int, Tuple[str, str, Optional[int]]]
@@ -265,6 +266,7 @@ class ReachabilityAnalysis:
 
     # -- construction --------------------------------------------------------
 
+    @traced("reachability", metric="analysis.reachability")
     def _build(self) -> None:
         self._build_origins()
         self._build_redistribution_edges()

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import networkx as nx
 
 from repro.core.instances import RoutingInstance, compute_instances, instance_of
+from repro.obs.trace import traced
 from repro.core.process_graph import _resolve_redistribute_source
 from repro.model.network import Network
 from repro.net import Prefix
@@ -166,6 +167,7 @@ def static_route_conflicts(
     }
 
 
+@traced("survivability")
 def analyze_survivability(
     network: Network, instances: Optional[List[RoutingInstance]] = None
 ) -> SurvivabilityReport:

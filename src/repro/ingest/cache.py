@@ -36,6 +36,7 @@ from typing import Optional, Tuple, Union
 
 from repro.diag import Diagnostic
 from repro.ios.config import RouterConfig
+from repro.obs.metrics import get_registry
 
 #: Bump when the on-disk entry layout changes (independent of the parser).
 CACHE_FORMAT = 1
@@ -120,30 +121,33 @@ class ParseCache:
     def get(self, key: str) -> Optional[CacheEntry]:
         """The entry for ``key``, or ``None`` (corrupt entries are evicted)."""
         path = self._path(key)
+        metrics = get_registry()
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            metrics.counter("cache.misses").inc()
             return None
         except Exception:  # noqa: BLE001 — any damage degrades to a miss
-            self.stats.misses += 1
-            self.stats.evictions += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._evict_corrupt(path, metrics)
             return None
         if not isinstance(entry, CacheEntry):
-            self.stats.misses += 1
-            self.stats.evictions += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._evict_corrupt(path, metrics)
             return None
         self.stats.hits += 1
+        metrics.counter("cache.hits").inc()
         return entry
+
+    def _evict_corrupt(self, path: str, metrics) -> None:
+        self.stats.misses += 1
+        self.stats.evictions += 1
+        metrics.counter("cache.misses").inc()
+        metrics.counter("cache.corrupt").inc()
+        try:
+            os.remove(path)
+        except OSError:
+            pass
 
     def put(self, key: str, entry: CacheEntry) -> bool:
         """Store ``entry`` atomically; ``False`` when the write failed."""
@@ -166,6 +170,7 @@ class ParseCache:
         except Exception:  # noqa: BLE001 — a read-only cache is still a cache
             return False
         self.stats.stores += 1
+        get_registry().counter("cache.stores").inc()
         return True
 
     def __repr__(self) -> str:

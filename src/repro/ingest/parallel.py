@@ -35,6 +35,10 @@ from repro.diag import PHASE_PARSE, Diagnostic, DiagnosticSink
 from repro.ingest.cache import CacheEntry, ParseCache
 from repro.ingest.timer import StageTimer
 from repro.ios.config import RouterConfig
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+_log = get_logger("ingest")
 
 #: Accepted ``on_error`` fault policies (also re-exported by
 #: :mod:`repro.model.network`, their historical home).
@@ -241,15 +245,33 @@ def parse_many(
                     ),
                 )
 
+    elapsed = time.perf_counter() - start
+    parsed = len(pending)
+    replayed = len(tasks) - parsed
+    workers = worker_count if pending else 0
+    metrics = get_registry()
+    metrics.counter("ingest.parse.files").inc(len(tasks))
+    metrics.counter("ingest.parse.parsed").inc(parsed)
+    metrics.counter("ingest.parse.cached").inc(replayed)
+    metrics.gauge("ingest.pool.workers").set(workers)
+    metrics.histogram("ingest.stage.parse.seconds").observe(elapsed)
+    _log.info(
+        "parse stage done",
+        files=len(tasks),
+        parsed=parsed,
+        cached=replayed,
+        workers=workers,
+        seconds=round(elapsed, 4),
+    )
     if timer is not None:
         timer.record(
             "parse",
-            time.perf_counter() - start,
+            elapsed,
             items=len(tasks),
             counters={
-                "parsed": len(pending),
-                "cached": len(tasks) - len(pending),
-                "workers": worker_count if pending else 0,
+                "parsed": parsed,
+                "cached": replayed,
+                "workers": workers,
             },
         )
     return [outcome for outcome in outcomes if outcome is not None]

@@ -24,6 +24,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.trace import current_tracer
+
 
 @dataclass
 class StageRecord:
@@ -59,6 +61,11 @@ class StageTimer:
 
     Stage names may repeat (e.g. the parse stage of several archives);
     queries aggregate over all records with the same name.
+
+    Stage records also forward into the active :mod:`repro.obs.trace`
+    tracer (when one is active) as spans carrying the stage's item count
+    and counters as attributes — the timer is the flat tabular view, the
+    tracer the nested timeline view, of the same measurements.
     """
 
     def __init__(self) -> None:
@@ -73,9 +80,17 @@ class StageTimer:
         them.  Wall time is recorded even when the block raises.
         """
         record = StageRecord(name=name, items=items)
+        tracer = current_tracer()
         start = time.perf_counter()
         try:
-            yield record
+            if tracer is not None:
+                with tracer.span(f"stage:{name}") as span:
+                    try:
+                        yield record
+                    finally:
+                        span.set(items=record.items, **record.counters)
+            else:
+                yield record
         finally:
             record.seconds = time.perf_counter() - start
             self.records.append(record)
@@ -90,6 +105,11 @@ class StageTimer:
         """Append a pre-measured stage record."""
         rec = StageRecord(name=name, seconds=seconds, items=items, counters=dict(counters or {}))
         self.records.append(rec)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.add_complete(
+                f"stage:{name}", seconds, items=items, **rec.counters
+            )
         return rec
 
     # -- queries -----------------------------------------------------------

@@ -11,6 +11,7 @@ mapping of router name → configuration (text or parsed), and lazily derives:
 
 from __future__ import annotations
 
+import hashlib
 import os
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -20,6 +21,16 @@ from repro.diag import PHASE_BUILD, PHASE_READ, DiagnosticSink
 from repro.ingest.cache import ParseCache
 from repro.ingest.parallel import ON_ERROR_POLICIES, ParseTask, parse_many
 from repro.ingest.timer import StageRecord, StageTimer
+from repro.obs.logging import get_logger
+from repro.obs.manifest import (
+    DISPOSITION_CACHED,
+    DISPOSITION_PARSED,
+    DISPOSITION_QUARANTINED,
+    FileRecord,
+)
+from repro.obs.metrics import get_registry
+
+_log = get_logger("model")
 from repro.ios.config import InterfaceConfig, RouterConfig
 from repro.model.links import Link, infer_links
 from repro.model.processes import (
@@ -121,6 +132,43 @@ def _read_config_text(
     return text, raw
 
 
+def _file_record(
+    path: str, data: bytes, disposition: str, router: Optional[str] = None
+) -> FileRecord:
+    return FileRecord(
+        path=path,
+        size=len(data),
+        sha256=hashlib.sha256(data).hexdigest(),
+        disposition=disposition,
+        router=router,
+    )
+
+
+def _record_ingest_observations(
+    name: str, sink: DiagnosticSink, inventory: List[FileRecord]
+) -> None:
+    """Fold one ingestion run's accounting into the metrics registry.
+
+    Runs in the parent process on the submission-order merge path, so the
+    counters are identical whatever ``jobs``/cache produced the outcomes.
+    """
+    metrics = get_registry()
+    dispositions: Dict[str, int] = {}
+    for record in inventory:
+        dispositions[record.disposition] = dispositions.get(record.disposition, 0) + 1
+    for disposition, count in sorted(dispositions.items()):
+        metrics.counter(f"ingest.files.{disposition}").inc(count)
+    for severity, count in sink.counts().items():
+        if count:
+            metrics.counter("diag.count", severity=severity).inc(count)
+    _log.info(
+        "archive ingested",
+        archive=name,
+        files=len(inventory),
+        **{disposition: count for disposition, count in sorted(dispositions.items())},
+    )
+
+
 class Network:
     """A set of routers forming one network, with derived routing structure.
 
@@ -142,12 +190,17 @@ class Network:
         diagnostics: Optional[DiagnosticSink] = None,
         quarantined: Optional[Iterable[str]] = None,
         on_duplicate: str = "error",
+        inventory: Optional[Iterable[FileRecord]] = None,
     ):
         if on_duplicate not in ("error", "rename"):
             raise ValueError(f"unknown on_duplicate policy: {on_duplicate!r}")
         self.name = name
         self.diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
         self.quarantined: List[str] = list(quarantined or [])
+        #: Per-input-file accounting (path, bytes, SHA-256, disposition) for
+        #: networks built by ``from_configs``/``from_directory`` — the run
+        #: manifest's inventory.  Empty for hand-assembled networks.
+        self.inventory: List[FileRecord] = list(inventory or [])
         self.routers: Dict[str, Router] = {}
         for router in routers:
             router_name = router.name
@@ -219,23 +272,38 @@ class Network:
         outcomes = iter(parse_many(tasks, jobs=jobs, cache=cache, timer=timer))
         routers = []
         quarantined: List[str] = []
+        inventory: List[FileRecord] = []
         for router_name, config in entries:
             if isinstance(config, str):
+                data = config.encode("utf-8")
                 outcome = next(outcomes)
                 sink.merge(outcome.diagnostics)
                 if outcome.error is not None:
                     raise outcome.error
                 if outcome.config is None:
+                    inventory.append(
+                        _file_record(router_name, data, DISPOSITION_QUARANTINED)
+                    )
                     quarantined.append(router_name)
                     continue
+                inventory.append(
+                    _file_record(
+                        router_name,
+                        data,
+                        DISPOSITION_CACHED if outcome.cached else DISPOSITION_PARSED,
+                        router=router_name,
+                    )
+                )
                 config = outcome.config
             routers.append(Router(name=router_name, config=config, source=router_name))
+        _record_ingest_observations(name, sink, inventory)
         return cls(
             routers,
             name=name,
             diagnostics=sink,
             quarantined=quarantined,
             on_duplicate="error" if on_error == "strict" else "rename",
+            inventory=inventory,
         )
 
     @classmethod
@@ -268,9 +336,14 @@ class Network:
         """
         if on_error not in ON_ERROR_POLICIES:
             raise ValueError(f"unknown on_error policy: {on_error!r}")
+        if timer is None:
+            # A private timer still forwards stage spans to any active
+            # tracer, so `--trace` sees read/parse stages on every command.
+            timer = StageTimer()
         sink = DiagnosticSink()
         routers: List[Router] = []
         quarantined: List[str] = []
+        inventory: List[FileRecord] = []
         # Read phase: pull every file into memory, sniffing out binary
         # droppings.  Read diagnostics are buffered per file so the final
         # merge loop can interleave them exactly as the serial path did.
@@ -293,9 +366,10 @@ class Network:
             if text is not None
         ]
         outcomes = iter(parse_many(tasks, jobs=jobs, cache=cache, timer=timer))
-        for entry, file_sink, text, _raw in files:
+        for entry, file_sink, text, raw in files:
             sink.merge(file_sink)
             if text is None:
+                inventory.append(_file_record(entry, raw, DISPOSITION_QUARANTINED))
                 quarantined.append(entry)
                 continue
             outcome = next(outcomes)
@@ -303,6 +377,7 @@ class Network:
             if outcome.error is not None:
                 raise outcome.error
             if outcome.config is None:
+                inventory.append(_file_record(entry, raw, DISPOSITION_QUARANTINED))
                 quarantined.append(entry)
                 continue
             config = outcome.config
@@ -314,13 +389,24 @@ class Network:
                     file=entry,
                     router=router_name,
                 )
+            inventory.append(
+                _file_record(
+                    entry,
+                    raw,
+                    DISPOSITION_CACHED if outcome.cached else DISPOSITION_PARSED,
+                    router=router_name,
+                )
+            )
             routers.append(Router(name=router_name, config=config, source=entry))
+        network_name = name or os.path.basename(path)
+        _record_ingest_observations(network_name, sink, inventory)
         return cls(
             routers,
-            name=name or os.path.basename(path),
+            name=network_name,
             diagnostics=sink,
             quarantined=quarantined,
             on_duplicate="error" if on_error == "strict" else "rename",
+            inventory=inventory,
         )
 
     # -- indexes -----------------------------------------------------------

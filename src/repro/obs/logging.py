@@ -1,0 +1,166 @@
+"""Structured logging with key=value and JSON renderers.
+
+Built on the stdlib :mod:`logging` machinery (so levels, propagation, and
+third-party handlers keep working) but with one twist: every log call may
+carry structured fields, and the configured renderer decides whether they
+come out as ``key=value`` pairs for a terminal or as one JSON object per
+line for ingestion into a log pipeline::
+
+    log = get_logger("ingest")
+    log.info("archive loaded", archive="net5", routers=881, quarantined=2)
+
+    # key=value renderer (default):
+    #   2026-08-06T12:00:00 info repro.ingest archive loaded archive=net5 routers=881 quarantined=2
+    # JSON renderer (--log-json):
+    #   {"ts": "...", "level": "info", "logger": "repro.ingest",
+    #    "event": "archive loaded", "archive": "net5", "routers": 881, ...}
+
+All repro loggers live under the ``repro`` root logger;
+:func:`configure_logging` is idempotent and only touches that subtree.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging as _stdlib_logging
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+ROOT_LOGGER = "repro"
+
+LEVELS = {
+    "debug": _stdlib_logging.DEBUG,
+    "info": _stdlib_logging.INFO,
+    "warning": _stdlib_logging.WARNING,
+    "error": _stdlib_logging.ERROR,
+}
+
+_LEVEL_NAMES = {value: name for name, value in LEVELS.items()}
+
+#: Attribute on a LogRecord holding the structured fields dict.
+_FIELDS_ATTR = "repro_fields"
+
+
+def _record_timestamp(record: _stdlib_logging.LogRecord) -> str:
+    moment = datetime.datetime.fromtimestamp(record.created)
+    return moment.isoformat(timespec="seconds")
+
+
+def _record_fields(record: _stdlib_logging.LogRecord) -> Dict[str, Any]:
+    return getattr(record, _FIELDS_ATTR, {}) or {}
+
+
+class KeyValueFormatter(_stdlib_logging.Formatter):
+    """``ts level logger event key=value ...`` — the terminal renderer."""
+
+    def format(self, record: _stdlib_logging.LogRecord) -> str:
+        parts = [
+            _record_timestamp(record),
+            _LEVEL_NAMES.get(record.levelno, record.levelname.lower()),
+            record.name,
+            record.getMessage(),
+        ]
+        for key, value in _record_fields(record).items():
+            text = str(value)
+            if any(ch.isspace() for ch in text):
+                text = repr(text)
+            parts.append(f"{key}={text}")
+        return " ".join(parts)
+
+
+class JsonFormatter(_stdlib_logging.Formatter):
+    """One JSON object per line — the machine renderer."""
+
+    def format(self, record: _stdlib_logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": _record_timestamp(record),
+            "level": _LEVEL_NAMES.get(record.levelno, record.levelname.lower()),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(_record_fields(record))
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+class StructuredLogger:
+    """A thin wrapper that lets log calls carry ``**fields``.
+
+    The stdlib logger refuses arbitrary keyword arguments; this adapter
+    tucks them into ``extra`` where the formatters above pick them up.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: _stdlib_logging.Logger):
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def isEnabledFor(self, level: int) -> bool:  # noqa: N802 — stdlib spelling
+        return self._logger.isEnabledFor(level)
+
+    def _log(self, level: int, event: str, fields: Dict[str, Any]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(_stdlib_logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(_stdlib_logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(_stdlib_logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(_stdlib_logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The structured logger for one subsystem (``ingest``, ``cli``, ...).
+
+    Names are rooted under ``repro`` so one :func:`configure_logging` call
+    governs the whole package; fully-qualified names are accepted as-is.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return StructuredLogger(_stdlib_logging.getLogger(name))
+
+
+def configure_logging(
+    level: str = "warning",
+    json_mode: bool = False,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """(Re)configure the ``repro`` logger subtree.
+
+    Idempotent: repeated calls replace the previously-installed handler,
+    so in-process CLI invocations (and tests) never stack handlers.
+    Diagnostics about the *analyzed configs* still flow through
+    :class:`repro.diag.DiagnosticSink` — this channel is about the
+    analyzer itself.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level: {level!r} (choose from {sorted(LEVELS)})")
+    root = _stdlib_logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = _stdlib_logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else KeyValueFormatter())
+    root.addHandler(handler)
+    root.setLevel(LEVELS[level])
+    root.propagate = False
+
+
+__all__ = [
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "LEVELS",
+    "ROOT_LOGGER",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+]

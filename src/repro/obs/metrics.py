@@ -1,0 +1,187 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+The pipeline's hot paths (parse fan-out, cache lookups, quarantine
+decisions, analysis passes) record what happened here; the CLI snapshots
+the registry into the run manifest.  Three instrument kinds:
+
+* :class:`Counter` — monotone event counts (``cache.hits``,
+  ``ingest.files.quarantined``).  Counters are the **deterministic**
+  slice of a run's metrics: recorded only in the parent process on the
+  submission-order merge path, they are identical for ``--jobs 1`` and
+  ``--jobs 8`` runs over the same input.
+* :class:`Gauge` — point-in-time values (``ingest.pool.workers``).  May
+  legitimately differ between runs.
+* :class:`Histogram` — distributions, in practice wall/CPU timings
+  (``analysis.instances.seconds``).  Never deterministic.
+
+:func:`get_registry` returns the active registry; :func:`use_registry`
+scopes a fresh one to a ``with`` block so each CLI invocation (and each
+test) starts from zero without touching global state.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A streaming summary of observations: count, sum, min, max, mean."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, float]:
+        data: Dict[str, float] = {"count": self.count, "sum": round(self.total, 6)}
+        if self.count:
+            data["min"] = round(self.min, 6)
+            data["max"] = round(self.max, 6)
+            data["mean"] = round(self.mean, 6)
+        return data
+
+
+def _metric_key(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """All instruments of one run, keyed by name plus optional labels."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = _metric_key(name, labels)
+        with self._lock:
+            if key not in self._counters:
+                self._counters[key] = Counter()
+            return self._counters[key]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = _metric_key(name, labels)
+        with self._lock:
+            if key not in self._gauges:
+                self._gauges[key] = Gauge()
+            return self._gauges[key]
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = _metric_key(name, labels)
+        with self._lock:
+            if key not in self._histograms:
+                self._histograms[key] = Histogram()
+            return self._histograms[key]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-ready snapshot, keys sorted for stable output."""
+        with self._lock:
+            return {
+                "counters": {
+                    key: self._counters[key].value for key in sorted(self._counters)
+                },
+                "gauges": {key: self._gauges[key].value for key in sorted(self._gauges)},
+                "histograms": {
+                    key: self._histograms[key].as_dict()
+                    for key in sorted(self._histograms)
+                },
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+# The registry stack: the bottom entry is the process-wide default; a CLI
+# invocation (or a test) pushes a fresh registry for its own lifetime.
+_REGISTRIES: Tuple[MetricsRegistry, ...] = (MetricsRegistry(),)
+_STACK_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (innermost :func:`use_registry`)."""
+    return _REGISTRIES[-1]
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Scope *registry* (default: a fresh one) as the active registry."""
+    global _REGISTRIES
+    if registry is None:
+        registry = MetricsRegistry()
+    with _STACK_LOCK:
+        _REGISTRIES = _REGISTRIES + (registry,)
+    try:
+        yield registry
+    finally:
+        with _STACK_LOCK:
+            stack = list(_REGISTRIES)
+            for index in range(len(stack) - 1, 0, -1):
+                if stack[index] is registry:
+                    del stack[index]
+                    break
+            _REGISTRIES = tuple(stack)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "use_registry",
+]

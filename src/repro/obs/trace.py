@@ -1,0 +1,212 @@
+"""Span-based tracing with Chrome-trace export.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — named,
+attributed, nested wall-clock intervals — for one run.  It subsumes the
+flat ``StageTimer`` of the ingestion pipeline: stage records forward into
+the active tracer as spans (see :mod:`repro.ingest.timer`), and analysis
+entry points open their own spans via the :func:`traced` decorator, so a
+single ``--trace out.json`` file shows parse fan-out, cache replay, link
+inference, and every analysis pass on one timeline.  Load ``out.json``
+into ``chrome://tracing`` / Perfetto, or read the same tree from the run
+manifest's ``spans`` section.
+
+The tracer is single-process by design: worker processes report their
+outcomes back to the parent, and the parent's merge loop is what gets
+timed — which is also what keeps trace structure deterministic across
+``--jobs`` settings (durations aside).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One named interval: start/end offsets (seconds since tracer epoch),
+    free-form attributes, and child spans."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def set(self, **attributes: Any) -> None:
+        self.attributes.update(attributes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "start": round(self.start, 6),
+            "seconds": round(self.seconds, 6),
+        }
+        if self.attributes:
+            data["attributes"] = {k: v for k, v in self.attributes.items()}
+        if self.children:
+            data["children"] = [child.as_dict() for child in self.children]
+        return data
+
+
+class Tracer:
+    """Collects one run's span tree."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a nested span around a ``with`` block.
+
+        The yielded span is live — call ``span.set(key=value)`` inside the
+        block to attach results (counts, dispositions) as attributes.
+        """
+        span = Span(name=name, start=self._now(), attributes=dict(attributes))
+        self._attach(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self._now()
+            self._stack.pop()
+
+    def add_complete(self, name: str, seconds: float, **attributes: Any) -> Span:
+        """Record an already-measured interval as a child of the open span."""
+        end = self._now()
+        span = Span(
+            name=name,
+            start=max(0.0, end - seconds),
+            end=end,
+            attributes=dict(attributes),
+        )
+        self._attach(span)
+        return span
+
+    # -- export ------------------------------------------------------------
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """The nested-dict form embedded in run manifests."""
+        return [span.as_dict() for span in self.roots]
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The Trace Event Format dict for ``chrome://tracing`` / Perfetto."""
+        events: List[Dict[str, Any]] = []
+        pid = os.getpid()
+
+        def emit(span: Span) -> None:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round(span.start * 1e6, 3),
+                    "dur": round(span.seconds * 1e6, 3),
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {k: str(v) for k, v in span.attributes.items()},
+                }
+            )
+            for child in span.children:
+                emit(child)
+
+        for root in self.roots:
+            emit(root)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def __repr__(self) -> str:
+        return f"Tracer(roots={len(self.roots)}, open={len(self._stack)})"
+
+
+# The active tracer, if any.  Deep pipeline code (stage timers, analysis
+# decorators) looks it up here rather than having a tracer threaded through
+# every signature; when no tracer is active, tracing is a no-op.
+_TRACERS: Tuple[Tracer, ...] = ()
+_STACK_LOCK = threading.Lock()
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The innermost active tracer, or ``None`` when tracing is off."""
+    return _TRACERS[-1] if _TRACERS else None
+
+
+@contextmanager
+def activate_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Scope *tracer* as the active tracer (``None`` → no-op block)."""
+    global _TRACERS
+    if tracer is None:
+        yield None
+        return
+    with _STACK_LOCK:
+        _TRACERS = _TRACERS + (tracer,)
+    try:
+        yield tracer
+    finally:
+        with _STACK_LOCK:
+            stack = list(_TRACERS)
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] is tracer:
+                    del stack[index]
+                    break
+            _TRACERS = tuple(stack)
+
+
+def traced(name: str, metric: Optional[str] = None) -> Callable:
+    """Instrument an analysis entry point: histogram + counter + span.
+
+    Every call records ``<metric>.seconds`` (histogram) and
+    ``<metric>.calls`` (counter) in the active metrics registry, and opens
+    a ``<name>`` span when a tracer is active.  *metric* defaults to
+    ``analysis.<name>``.
+    """
+    metric_base = metric if metric is not None else f"analysis.{name}"
+
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            from repro.obs.metrics import get_registry  # noqa: PLC0415 — cycle-free, lazy
+
+            registry = get_registry()
+            tracer = current_tracer()
+            start = time.perf_counter()
+            if tracer is not None:
+                with tracer.span(name):
+                    result = func(*args, **kwargs)
+            else:
+                result = func(*args, **kwargs)
+            elapsed = time.perf_counter() - start
+            registry.counter(f"{metric_base}.calls").inc()
+            registry.histogram(f"{metric_base}.seconds").observe(elapsed)
+            return result
+
+        return wrapper
+
+    return decorate
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate_tracer",
+    "current_tracer",
+    "traced",
+]

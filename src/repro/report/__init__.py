@@ -2,12 +2,14 @@
 
 from repro.report.design_report import generate_design_report
 from repro.report.diagnostics import format_diagnostics
+from repro.report.manifest import format_run_report
 from repro.report.tables import format_cdf, format_histogram, format_table
 
 __all__ = [
     "format_cdf",
     "format_diagnostics",
     "format_histogram",
+    "format_run_report",
     "format_table",
     "generate_design_report",
 ]

@@ -1,0 +1,69 @@
+"""Human-readable rendering of run manifests.
+
+``--run-report`` writes a machine-oriented JSON manifest (see
+:mod:`repro.obs.manifest`); this module renders the same structure as a
+compact text summary for terminals and CI logs — per-archive file
+accounting, the disposition/diagnostic totals, and the headline counter
+metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.manifest import DISPOSITIONS
+
+
+def format_run_report(manifest: Dict[str, Any]) -> str:
+    """Render *manifest* (a ``repro-run-report/1`` dict) as text."""
+    lines: List[str] = []
+    command = manifest.get("command", "?")
+    exit_code = manifest.get("exit_code", 0)
+    lines.append(f"run report: command={command} exit_code={exit_code}")
+
+    for entry in manifest.get("archives", []):
+        dispositions = entry.get("dispositions", {})
+        parts = " ".join(
+            f"{name}={dispositions.get(name, 0)}"
+            for name in DISPOSITIONS
+            if dispositions.get(name)
+        )
+        diag = entry.get("diagnostics", {})
+        diag_parts = " ".join(
+            f"{severity}={count}" for severity, count in sorted(diag.items()) if count
+        )
+        line = (
+            f"  archive {entry.get('name', '?')}: "
+            f"routers={entry.get('routers', 0)} files={entry.get('files', 0)}"
+        )
+        if parts:
+            line += f" ({parts})"
+        if diag_parts:
+            line += f" diagnostics: {diag_parts}"
+        lines.append(line)
+
+    totals = manifest.get("totals") or {}
+    if totals:
+        lines.append(
+            "  totals: archives={archives} routers={routers} files={files}".format(
+                archives=totals.get("archives", 0),
+                routers=totals.get("routers", 0),
+                files=totals.get("files", 0),
+            )
+        )
+
+    metrics = manifest.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines.append("  counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"    {name} = {value}")
+
+    timing = manifest.get("timing") or {}
+    total_seconds = timing.get("total_seconds")
+    if total_seconds is not None:
+        lines.append(f"  wall time: {total_seconds:.3f}s")
+    return "\n".join(lines)
+
+
+__all__ = ["format_run_report"]

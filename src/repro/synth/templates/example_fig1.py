@@ -82,7 +82,7 @@ def build_example_networks() -> Tuple[Dict[str, str], Dict[str, object]]:
 
     # The enterprise hallmark: BGP summaries injected into both OSPF
     # instances at the border router; the enterprise LAN announced out.
-    ext_map = builder.add_route_map_permitting("R2", "EXT-SUMMARY", [Prefix(0, 0)])
+    builder.add_route_map_permitting("R2", "EXT-SUMMARY", [Prefix(0, 0)])
     builder.redistribute(
         "R2", builder.ensure_ospf("R2", 128), "bgp", source_id=ENTERPRISE_AS,
         route_map="EXT-SUMMARY", metric=1,

@@ -111,13 +111,13 @@ def build_tier2(
             customer_link = builder.add_external_link(router, kind="Serial")
             if igp == "ospf":
                 builder.cover_ospf(customer_link, next_pid)
-                process = builder.ensure_ospf(router, next_pid)
+                builder.ensure_ospf(router, next_pid)
             elif igp == "eigrp":
                 builder.cover_eigrp(customer_link, next_pid)
-                process = builder.ensure_eigrp(router, next_pid)
+                builder.ensure_eigrp(router, next_pid)
             else:
                 builder.cover_rip(customer_link)
-                process = builder.ensure_rip(router)
+                builder.ensure_rip(router)
             # The staging instance feeds customer routes into BGP.
             bgp = builder.routers[router].bgp_process or builder.ensure_bgp(
                 router, local_as

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.anonymize import Anonymizer, PrefixPreservingAnonymizer
 from repro.ios import parse_config
-from repro.net.ipv4 import format_ipv4, parse_ipv4
+from repro.net.ipv4 import parse_ipv4
 
 from tests.test_ios_parser import FIG2
 

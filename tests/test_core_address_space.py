@@ -56,6 +56,67 @@ class TestJoinBlocks:
     def test_empty_input(self):
         assert join_blocks([]) == []
 
+    def test_interleaved_block_does_not_prevent_join(self):
+        # §3.4 joins "any two" subnets, not just sort-order neighbors.
+        # The two /26s share a /24 supernet (2-bit join, 129/256 > 50%
+        # used with the /30 counted); the interleaved /30 sorts between
+        # them and must be absorbed, not block the pair.
+        blocks = join_blocks(
+            [
+                Prefix("10.0.0.0/26"),
+                Prefix("10.0.0.64/30"),
+                Prefix("10.0.0.192/26"),
+            ]
+        )
+        assert [b.prefix for b in blocks] == [Prefix("10.0.0.0/24")]
+        assert blocks[0].used_addresses == 64 + 4 + 64
+
+    def test_interleaved_corpus_is_fully_joined(self):
+        # A denser interleaving: four /26s of one /24 plus scattered /30s
+        # from a second /24 whose own blocks also pair up.
+        subnets = list(Prefix("10.0.0.0/24").subnets(26)) + [
+            Prefix("10.0.1.0/25"),
+            Prefix("10.0.1.128/25"),
+        ]
+        blocks = join_blocks(subnets)
+        assert [b.prefix for b in blocks] == [Prefix("10.0.0.0/23")]
+        assert blocks[0].utilization == 1.0
+
+    def test_overlapping_merge_does_not_inflate_utilization(self):
+        # A /24 block and a /25 nested inside it reach join_blocks as one
+        # summarized prefix; utilization counts each address once.
+        blocks = join_blocks(
+            [Prefix("10.0.0.0/24"), Prefix("10.0.0.0/25"), Prefix("10.0.0.128/26")]
+        )
+        assert len(blocks) == 1
+        assert blocks[0].used_addresses == 256
+        assert blocks[0].utilization <= 1.0
+
+    def test_absorbed_subnets_never_double_count(self):
+        # AddressBlock built directly with nested subnets (as an absorb
+        # step could have done) still reports distinct addresses only.
+        block = AddressBlock(
+            prefix=Prefix("10.0.0.0/24"),
+            subnets=[Prefix("10.0.0.0/25"), Prefix("10.0.0.0/26")],
+        )
+        assert block.used_addresses == 128
+        assert block.utilization <= 1.0
+
+    @given(
+        st.lists(
+            st.builds(
+                Prefix,
+                st.integers(min_value=0, max_value=0xFFFFFFFF),
+                st.integers(min_value=8, max_value=30),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_utilization_never_exceeds_one(self, subnets):
+        for block in join_blocks(subnets):
+            assert 0.0 < block.utilization <= 1.0
+
     @given(
         st.lists(
             st.builds(

@@ -1,6 +1,6 @@
 """OSPF area structure tests."""
 
-from repro.core.areas import OspfAreaStructure, _normalize_area, analyze_ospf_areas
+from repro.core.areas import _normalize_area, analyze_ospf_areas
 from repro.model import Network
 
 

@@ -91,6 +91,45 @@ class TestIncompleteAdjacency:
         )
         assert incomplete_adjacencies(net) == []
 
+    PASSIVE = (
+        "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+        "!\nrouter ospf 1\n passive-interface Serial0\n"
+        " network 10.0.0.0 0.0.0.3 area 0\n"
+    )
+
+    def test_passive_end_flagged_as_covered_but_not_adjacent(self):
+        # The passive side advertises the subnet but can never bring up an
+        # adjacency — same set `find_external_adjacent_instances` uses.
+        net = Network.from_configs(
+            {"r1": self.COVERED.format(host=1), "r2": self.PASSIVE}
+        )
+        (finding,) = incomplete_adjacencies(net)
+        assert finding.router == "r2"
+        assert "passively" in finding.detail
+        assert "no adjacency can form" in finding.detail
+
+    def test_both_ends_passive_passes(self):
+        # Neither side expects an adjacency; nothing is broken.
+        passive_r1 = (
+            "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+            "!\nrouter ospf 1\n passive-interface Serial0\n"
+            " network 10.0.0.0 0.0.0.3 area 0\n"
+        )
+        net = Network.from_configs({"r1": passive_r1, "r2": self.PASSIVE})
+        assert incomplete_adjacencies(net) == []
+
+    def test_interface_active_under_another_process_passes(self):
+        # Passive under ospf 1 but actively covered by ospf 2: the router
+        # can still form an adjacency on the link, so no finding.
+        dual = (
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+            "!\nrouter ospf 1\n passive-interface Serial0\n"
+            " network 10.0.0.0 0.0.0.3 area 0\n"
+            "!\nrouter ospf 2\n network 10.0.0.0 0.0.0.3 area 0\n"
+        )
+        net = Network.from_configs({"r1": self.COVERED.format(host=1), "r2": dual})
+        assert incomplete_adjacencies(net) == []
+
 
 class TestReferences:
     def test_dangling_access_group(self):

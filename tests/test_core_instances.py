@@ -109,7 +109,6 @@ class TestInstanceGraph:
         net, _ = fig1
         instances = compute_instances(net)
         graph = build_instance_graph(net, instances)
-        membership = instance_of(instances)
         bgp_ent = next(i for i in instances if i.protocol == "bgp" and i.asn == 64780)
         ospf_128 = next(
             i for i in instances

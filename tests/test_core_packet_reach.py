@@ -1,7 +1,5 @@
 """Data-plane (packet filter) reachability tests (§2.4, §5.3)."""
 
-import pytest
-
 from repro.core.packet_reach import Flow, PacketReachability
 from repro.model import Network
 from repro.net import IPv4Address

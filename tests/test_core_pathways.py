@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import compute_instances, route_pathway
 from repro.core.pathways import ROUTER_RIB
-from repro.core.process_graph import EXTERNAL_NODE
 from repro.model import Network
 from repro.synth.templates.example_fig1 import build_example_networks
 
@@ -125,3 +124,51 @@ class TestPolicyLocation:
         # The address-based compartment route maps of §6.1.
         assert any(name.startswith("INTO-EIGRP") for name in names)
         assert any(name.startswith("FROM-EIGRP") for name in names)
+
+
+def _dual_ospf_configs(map_r1: str, map_r2: str):
+    """Two routers, two links, two OSPF instances spanning both routers.
+
+    Each router redistributes ospf 2 into ospf 1 under its own route map,
+    so the instance graph carries two *parallel* redistribution edges
+    between the same pair of instances (a MultiDiGraph necessity).
+    """
+    template = (
+        "hostname {name}\n"
+        "interface Serial0\n ip address 10.0.0.{host} 255.255.255.252\n"
+        "!\ninterface Serial1\n ip address 10.0.1.{host} 255.255.255.252\n"
+        "!\nroute-map {rmap} permit 10\n"
+        "!\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+        " redistribute ospf 2 route-map {rmap} subnets\n"
+        "!\nrouter ospf 2\n network 10.0.1.0 0.0.0.3 area 0\n"
+    )
+    return {
+        "r1": template.format(name="r1", host=1, rmap=map_r1),
+        "r2": template.format(name="r2", host=2, rmap=map_r2),
+    }
+
+
+class TestParallelRedistributionEdges:
+    """Parallel MultiDiGraph edges between one instance pair (§3.3)."""
+
+    def test_distinct_route_maps_on_parallel_edges_both_collected(self):
+        net = Network.from_configs(_dual_ospf_configs("MAP-A", "MAP-B"))
+        instances = compute_instances(net)
+        assert len(instances) == 2  # ospf 1 and ospf 2, each spanning both
+        pathway = route_pathway(net, "r1")
+        names = {name for _s, _t, name in pathway.policies}
+        # Each parallel edge carries its own policy; losing either means
+        # the audit would miss a route map that shapes r1's routes.
+        assert names == {"MAP-A", "MAP-B"}
+
+    def test_parallel_edges_share_pathway_endpoints(self):
+        net = Network.from_configs(_dual_ospf_configs("MAP-A", "MAP-B"))
+        pathway = route_pathway(net, "r1")
+        endpoints = {(s, t) for s, t, _name in pathway.policies}
+        assert len(endpoints) == 1  # same instance pair, two policies
+
+    def test_same_route_map_on_parallel_edges_deduplicated(self):
+        net = Network.from_configs(_dual_ospf_configs("MAP-SAME", "MAP-SAME"))
+        pathway = route_pathway(net, "r1")
+        assert len(pathway.policies) == 1
+        assert pathway.policies[0][2] == "MAP-SAME"

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import ReachabilityAnalysis, RouteSet, compute_instances
+from repro.core import ReachabilityAnalysis, RouteSet
 from repro.core.reachability import PrefixFilter, prefix_complement
 from repro.ios.config import AccessList, AclRule, RouteMap, RouteMapClause
 from repro.net import IPv4Address, Prefix

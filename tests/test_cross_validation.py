@@ -8,8 +8,7 @@ each other.
 
 import pytest
 
-from repro.core import ReachabilityAnalysis, compute_instances
-from repro.core.instances import instance_of
+from repro.core import ReachabilityAnalysis
 from repro.model import Network
 from repro.routing import RoutingSimulation
 from repro.synth.templates.net15 import build_net15
@@ -72,7 +71,6 @@ class TestReachabilityVsSimulation:
     def test_predicted_load_bounds_simulated_load(self, net15_pair):
         network, _spec, analysis, simulation = net15_pair
         instances = analysis.instances
-        membership = instance_of(instances)
         for instance in instances:
             if instance.protocol != "ospf":
                 continue

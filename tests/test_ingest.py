@@ -5,7 +5,7 @@ import pickle
 
 import pytest
 
-from repro.diag import ERROR, PHASE_PARSE, DiagnosticSink
+from repro.diag import ERROR, DiagnosticSink
 from repro.ingest import (
     CacheEntry,
     ParseCache,

@@ -10,7 +10,7 @@ import pytest
 
 from repro.model import Network
 from repro.routing import RoutingSimulation
-from repro.synth.templates.net5 import AS_EDGE_B, build_net5
+from repro.synth.templates.net5 import build_net5
 
 
 @pytest.fixture(scope="module")

@@ -14,7 +14,6 @@ from repro.ios.config import (
     AclRule,
     BgpNeighbor,
     BgpProcess,
-    DistributeList,
     EigrpProcess,
     InterfaceConfig,
     NetworkStatement,

@@ -35,7 +35,7 @@ class TestComposition:
 
     def test_full_scale_size_marginals(self):
         # Check the declared sizes without generating anything.
-        corpus = build_corpus(scale=1.0)
+        build_corpus(scale=1.0)
         from repro.synth.corpus import (
             _BACKBONE_ROWS,
             _ENTERPRISE_ROWS,
@@ -61,7 +61,7 @@ class TestComposition:
         assert sum(1 for size in unclass_sizes if size > 600) == 4
 
     def test_total_file_count_near_8035(self):
-        corpus_rows = build_corpus(scale=1.0)
+        build_corpus(scale=1.0)
         from repro.synth.corpus import (
             _BACKBONE_ROWS,
             _ENTERPRISE_ROWS,

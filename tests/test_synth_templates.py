@@ -11,7 +11,6 @@ from repro.model import Network
 from repro.synth.templates.enterprise import build_enterprise
 from repro.synth.templates.hybrid import build_hybrid
 from repro.synth.templates.net5 import build_net5
-from repro.synth.templates.net15 import build_net15
 
 
 def recovered_instances(configs):
