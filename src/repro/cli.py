@@ -18,7 +18,17 @@ Commands that read an archive accept ``--strict`` (default: abort on the
 first malformed statement) or ``--lenient`` (skip damaged blocks, report
 them, analyze what remains).  Exit codes fold in the ingestion
 diagnostics: 0 clean, 1 warnings, 2 errors — combined with each command's
-own status via ``max``.
+own status via ``max``.  ``repro corpus`` adds code 3: the run completed
+but at least one analysis stage finished degraded, timed out, failed, or
+was skipped (see ``--resume``).
+
+``repro corpus`` runs every analysis stage under the resilient executor
+(:mod:`repro.exec`): ``--stage-deadline SECONDS|auto`` bounds each stage
+(timeouts retry down a degradation ladder before giving up),
+``--soft-deadline`` warns without cancelling, ``--deadline`` bounds the
+whole run, ``--fail-fast`` stops at the first timeout/failure, and
+finished stages are checkpointed (``--checkpoint-dir``,
+``--no-checkpoint``) so an interrupted run continues with ``--resume``.
 
 Archive-reading commands also accept ``--jobs N`` (parse with N worker
 processes; 0 auto-detects), ``--cache-dir PATH`` (persistent parse cache,
@@ -67,7 +77,12 @@ from repro.obs import (
     write_manifest,
 )
 from repro.obs.logging import LEVELS
-from repro.report import format_diagnostics, format_table
+from repro.report import (
+    format_diagnostics,
+    format_execution_lines,
+    format_status_counts,
+    format_table,
+)
 
 
 def _cache_from_args(args: argparse.Namespace) -> Optional[ParseCache]:
@@ -337,52 +352,106 @@ def _corpus_archives(root: str) -> List[str]:
     return subdirs or [root]
 
 
-def _analyze_archive_timed(
-    args: argparse.Namespace, path: str
-) -> "tuple[Network, StageTimer]":
-    """Run one archive through parse → links → instances → pathways, timed."""
-    from repro.core.instances import build_instance_graph  # noqa: PLC0415
-    from repro.core.pathways import route_pathway  # noqa: PLC0415
+def _resolve_stage_deadline(args: argparse.Namespace):
+    """``(seconds, suggestion)`` from ``--stage-deadline`` (both optional).
 
-    timer = StageTimer()
-    network = _load(args, path, timer=timer, default_mode="lenient")
-    with timer.stage("links") as record:
-        record.items = len(network.links)
-    with timer.stage("instances") as record:
-        instances = compute_instances(network)
-        record.items = len(instances)
-    with timer.stage("pathways") as record:
-        graph = build_instance_graph(network, instances)
-        for router in network.routers:
-            route_pathway(network, router, instances=instances, instance_graph=graph)
-        record.items = len(network.routers)
-    return network, timer
+    ``auto`` promotes the measured per-stage timings of the throughput
+    benchmark into the deadline (see :mod:`repro.exec.budget`); a number
+    is taken literally; unset means no per-stage deadline.
+    """
+    from repro.exec import suggest_stage_deadline  # noqa: PLC0415
+
+    value = getattr(args, "stage_deadline", None)
+    if value is None:
+        return None, None
+    if value == "auto":
+        suggestion = suggest_stage_deadline()
+        return suggestion.seconds, suggestion
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise SystemExit(
+            f"error: --stage-deadline wants a number of seconds or 'auto', got {value!r}"
+        ) from None
+    if seconds <= 0:
+        raise SystemExit("error: --stage-deadline must be positive")
+    return seconds, None
+
+
+def _corpus_executor(args: argparse.Namespace):
+    """Build the resilient executor the corpus run asked for."""
+    from repro.exec import (  # noqa: PLC0415
+        AnalysisExecutor,
+        ChaosPlan,
+        CheckpointStore,
+        ExecutorConfig,
+    )
+
+    stage_deadline, suggestion = _resolve_stage_deadline(args)
+    store = None
+    if not getattr(args, "no_checkpoint", False):
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        store = CheckpointStore(root=checkpoint_dir) if checkpoint_dir else CheckpointStore()
+    if getattr(args, "resume", False) and store is None:
+        raise SystemExit("error: --resume needs checkpointing (drop --no-checkpoint)")
+    config = ExecutorConfig(
+        stage_deadline=stage_deadline,
+        soft_deadline=getattr(args, "soft_deadline", None),
+        run_deadline=getattr(args, "deadline", None),
+        resume=getattr(args, "resume", False),
+        fail_fast=getattr(args, "fail_fast", False),
+        checkpoints=store,
+        chaos=ChaosPlan.from_env(),
+    )
+    args._exec_config = config
+    args._exec_suggestion = suggestion
+    return AnalysisExecutor(config)
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
-    """Batch-analyze a directory of archives with per-stage timing.
+    """Batch-analyze a directory of archives under the resilient executor.
 
     This is the paper's own workload — 31 networks, 8,035 files — run as
-    one command: every subdirectory of ``corpusdir`` is ingested (parallel,
-    cached), link inference / instance computation / pathway search are
-    timed per stage, and the result is a per-network throughput table (or
-    ``--json`` for trend tracking).
+    one command: every subdirectory of ``corpusdir`` is ingested
+    (parallel, cached), then every analysis stage runs inside the
+    :mod:`repro.exec` barrier (per-stage deadlines, degradation ladders,
+    checkpoint/resume).  Output is a per-network table (or ``--json``).
+
+    Exit code contract: 0 all archives clean; 1 ingestion warnings only;
+    2 ingestion errors; 3 the run *completed* but at least one analysis
+    stage finished below full fidelity (degraded / timed out / failed /
+    skipped) — partial results are in the report, and ``--resume``
+    re-executes exactly the unfinished (archive, stage) pairs.
     """
     if not os.path.isdir(args.corpusdir):
         raise SystemExit(f"error: {args.corpusdir} is not a directory")
+    from repro.diag import EXIT_CLEAN, EXIT_DEGRADED  # noqa: PLC0415
+
+    executor = _corpus_executor(args)
+    executions = args._executions = {}
     report: List[dict] = []
     for path in _corpus_archives(args.corpusdir):
-        network, timer = _analyze_archive_timed(args, path)
+        timer = StageTimer()
+        network = _load(args, path, timer=timer, default_mode="lenient")
+        name = os.path.basename(path.rstrip(os.sep)) or path
+        execution = executor.run_archive(name, network)
+        executions[path] = execution
+        for result in execution.results:
+            record = timer.record(result.stage, result.seconds, result.items)
+            record.status = result.status
         stats = timer.as_dict()
         parse_seconds = timer.seconds("parse")
         entry = {
-            "archive": os.path.basename(path.rstrip(os.sep)) or path,
+            "archive": name,
             "routers": len(network),
             "files": timer.items("read"),
             "parsed": timer.counter("parse", "parsed"),
             "cached": timer.counter("parse", "cached"),
             "quarantined": len(network.quarantined),
             "exit_code": network.diagnostics.exit_code(),
+            "status": execution.status,
+            "stage_counts": execution.counts,
+            "execution": execution.as_dict(),
             "stages": stats["stages"],
             "total_seconds": stats["total_seconds"],
             "files_per_second": (
@@ -392,12 +461,36 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             ),
         }
         report.append(entry)
+        if executor.aborted:
+            break
+
+    code = EXIT_CLEAN
+    for entry in report:
+        code = max(code, entry["exit_code"])
+    if any(entry["status"] != "ok" for entry in report):
+        code = max(code, EXIT_DEGRADED)
 
     cache = _cache_from_args(args)
+    store = args._exec_config.checkpoints
+    suggestion = args._exec_suggestion
+    stage_totals: dict = {}
+    for entry in report:
+        for status, count in entry["stage_counts"].items():
+            if count:
+                stage_totals[status] = stage_totals.get(status, 0) + count
     payload = {
         "corpus": args.corpusdir,
         "jobs": getattr(args, "jobs", None),
         "cache": cache.stats.as_dict() if cache is not None else None,
+        "execution": {
+            "stage_deadline": args._exec_config.stage_deadline,
+            "stage_deadline_source": suggestion.as_dict() if suggestion else None,
+            "soft_deadline": args._exec_config.soft_deadline,
+            "run_deadline": args._exec_config.run_deadline,
+            "resume": args._exec_config.resume,
+            "fail_fast": args._exec_config.fail_fast,
+            "checkpoints": store.stats.as_dict() if store is not None else None,
+        },
         "archives": report,
         "totals": {
             "archives": len(report),
@@ -406,11 +499,16 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             "parsed": sum(e["parsed"] for e in report),
             "cached": sum(e["cached"] for e in report),
             "seconds": round(sum(e["total_seconds"] for e in report), 6),
+            "stages": {
+                status: stage_totals[status] for status in sorted(stage_totals)
+            },
         },
     }
+    if executor.aborted:
+        print("corpus aborted by --fail-fast", file=sys.stderr)
     if args.json:
         print(json.dumps(payload, indent=2))
-        return 0
+        return code
 
     def stage_seconds(entry: dict, name: str) -> str:
         for stage in entry["stages"]:
@@ -430,6 +528,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             stage_seconds(entry, "instances"),
             stage_seconds(entry, "pathways"),
             entry["files_per_second"] or "-",
+            entry["status"],
         )
         for entry in report
     ]
@@ -450,6 +549,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             total_stage("instances"),
             total_stage("pathways"),
             "",
+            format_status_counts(stage_totals),
         )
     )
     print(
@@ -465,12 +565,24 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 "inst s",
                 "path s",
                 "files/s",
+                "status",
             ],
             rows,
             title=f"corpus timing — {len(report)} archive(s)",
         )
     )
-    return 0
+    detail_lines = [
+        line
+        for path, execution in executions.items()
+        for line in format_execution_lines(
+            os.path.basename(path.rstrip(os.sep)) or path, execution
+        )
+    ]
+    if detail_lines:
+        print("stage incidents:")
+        for line in detail_lines:
+            print(f"  {line}")
+    return code
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -635,6 +747,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="machine-readable per-network timing output",
     )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="whole-run analysis budget; stages beyond it are skipped "
+        "(finish them later with --resume)",
+    )
+    p.add_argument(
+        "--stage-deadline",
+        default=None,
+        metavar="SECONDS|auto",
+        help="hard per-stage wall-clock deadline; 'auto' derives one from "
+        "the benchmark timing results",
+    )
+    p.add_argument(
+        "--soft-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-stage warning threshold (diagnostic only, stage keeps running)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay finished (archive, stage) checkpoints from earlier runs",
+    )
+    p.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the corpus at the first stage timeout or failure",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help="checkpoint store directory (default: <cache-dir>/checkpoints)",
+    )
+    p.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable per-stage checkpointing",
+    )
     p.set_defaults(func=cmd_corpus)
 
     p = sub.add_parser("diff", help="compare two snapshots", parents=archive)
@@ -662,11 +817,38 @@ def _emit_run_report(
     """Write the ``--run-report`` manifest for a finished invocation."""
     from repro.model.dialect import PARSER_VERSION  # noqa: PLC0415 — cycle
 
+    executions = getattr(args, "_executions", {})
     archives = [
-        archive_entry(network, path=path)
+        archive_entry(network, path=path, execution=executions.get(path))
         for path, network in getattr(args, "_loaded_networks", [])
     ]
     cache = getattr(args, "_parse_cache", None)
+    environment = {
+        "parser_version": PARSER_VERSION,
+        "jobs": getattr(args, "jobs", None),
+        "mode": getattr(args, "mode", None),
+        "cache": cache.stats.as_dict() if cache is not None else None,
+    }
+    exec_config = getattr(args, "_exec_config", None)
+    if exec_config is not None:
+        suggestion = getattr(args, "_exec_suggestion", None)
+        environment["execution"] = {
+            "stage_deadline": exec_config.stage_deadline,
+            "stage_deadline_source": (
+                suggestion.as_dict()
+                if suggestion is not None
+                else ({"source": "cli"} if exec_config.stage_deadline else None)
+            ),
+            "soft_deadline": exec_config.soft_deadline,
+            "run_deadline": exec_config.run_deadline,
+            "resume": exec_config.resume,
+            "fail_fast": exec_config.fail_fast,
+            "checkpoints": (
+                exec_config.checkpoints.stats.as_dict()
+                if exec_config.checkpoints is not None
+                else None
+            ),
+        }
     manifest = build_manifest(
         command=args.command,
         argv=list(argv) if argv is not None else sys.argv[1:],
@@ -674,12 +856,7 @@ def _emit_run_report(
         exit_code=code,
         registry=registry,
         tracer=tracer,
-        environment={
-            "parser_version": PARSER_VERSION,
-            "jobs": getattr(args, "jobs", None),
-            "mode": getattr(args, "mode", None),
-            "cache": cache.stats.as_dict() if cache is not None else None,
-        },
+        environment=environment,
         total_seconds=total_seconds,
     )
     write_manifest(manifest, args.run_report)

@@ -149,10 +149,19 @@ def extract_address_space(
     network: Network,
     max_join_bits: int = 2,
     min_utilization: float = 0.5,
+    max_subnets: Optional[int] = None,
 ) -> List[AddressBlock]:
-    """Recover the address space structure of *network* (§3.4)."""
+    """Recover the address space structure of *network* (§3.4).
+
+    ``max_subnets`` is the degraded-mode bound: only the first N mentioned
+    subnets (in prefix-sorted order — deterministic) enter the join, so a
+    pathological subnet spray cannot make the quadratic sweep explode.
+    """
+    subnets = mentioned_subnets(network)
+    if max_subnets is not None and len(subnets) > max_subnets:
+        subnets = subnets[:max_subnets]
     return join_blocks(
-        mentioned_subnets(network),
+        subnets,
         max_join_bits=max_join_bits,
         min_utilization=min_utilization,
     )

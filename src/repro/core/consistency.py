@@ -10,7 +10,7 @@ needs (dangling and unused policy objects, one-sided BGP sessions).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.model.network import Network
 
@@ -32,6 +32,9 @@ class ConsistencyReport:
     """All findings, grouped for reporting."""
 
     findings: List[ConsistencyFinding] = field(default_factory=list)
+    #: True when ``max_findings_per_check`` dropped findings from at
+    #: least one check — the report is a sample, not the full audit.
+    truncated: bool = False
 
     def by_category(self, category: str) -> List[ConsistencyFinding]:
         return [f for f in self.findings if f.category == category]
@@ -271,12 +274,30 @@ def one_sided_sessions(network: Network) -> List[ConsistencyFinding]:
     return findings
 
 
-def audit_configuration(network: Network) -> ConsistencyReport:
-    """Run the full §8.1 vulnerability/consistency battery."""
+def audit_configuration(
+    network: Network, max_findings_per_check: Optional[int] = None
+) -> ConsistencyReport:
+    """Run the full §8.1 vulnerability/consistency battery.
+
+    ``max_findings_per_check`` is the degraded-mode bound: each check
+    contributes at most that many findings (checks emit in deterministic
+    order, so the kept prefix is stable) and the report is marked
+    ``truncated`` when anything was dropped.
+    """
     report = ConsistencyReport()
-    report.findings.extend(unprotected_edges(network))
-    report.findings.extend(incomplete_adjacencies(network))
-    report.findings.extend(dangling_references(network))
-    report.findings.extend(unused_policies(network))
-    report.findings.extend(one_sided_sessions(network))
+    for check in (
+        unprotected_edges,
+        incomplete_adjacencies,
+        dangling_references,
+        unused_policies,
+        one_sided_sessions,
+    ):
+        findings = check(network)
+        if (
+            max_findings_per_check is not None
+            and len(findings) > max_findings_per_check
+        ):
+            findings = findings[:max_findings_per_check]
+            report.truncated = True
+        report.findings.extend(findings)
     return report

@@ -89,15 +89,28 @@ def _adjacency_lists(
 
 @traced("instances")
 def compute_instances(
-    network: Network, merge_ebgp: bool = False
+    network: Network,
+    merge_ebgp: bool = False,
+    max_processes: Optional[int] = None,
 ) -> List[RoutingInstance]:
     """Flood-fill the process adjacency structure into routing instances.
 
     Instances are numbered deterministically (processes visited in sorted
     order), largest-independent of input dict ordering, starting at 1 to
     match the paper's figures.
+
+    ``max_processes`` is the degraded-mode bound: only the first N
+    processes (in sorted order) participate, with adjacencies restricted
+    to that subset — a deterministic truncation for pathological inputs.
     """
     neighbors = _adjacency_lists(network, merge_ebgp=merge_ebgp)
+    if max_processes is not None and len(neighbors) > max_processes:
+        kept = set(sorted(neighbors, key=_sort_key)[:max_processes])
+        neighbors = {
+            key: [peer for peer in peers if peer in kept]
+            for key, peers in neighbors.items()
+            if key in kept
+        }
     assigned: Dict[ProcessKey, int] = {}
     instances: List[RoutingInstance] = []
     for start in sorted(neighbors, key=_sort_key):

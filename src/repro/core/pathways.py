@@ -45,6 +45,9 @@ class RoutePathway:
     #: routes seen by any particular router, and pinpoint where the
     #: policies are applied".
     policies: List[Tuple[PathwayNode, PathwayNode, str]] = field(default_factory=list)
+    #: True when a ``max_depth`` bound stopped the search before the
+    #: frontier drained — deeper feeders exist but were not explored.
+    truncated: bool = False
 
     @property
     def instances(self) -> List[int]:
@@ -70,6 +73,7 @@ def route_pathway(
     router: str,
     instances: Optional[List[RoutingInstance]] = None,
     instance_graph: Optional[nx.MultiDiGraph] = None,
+    max_depth: Optional[int] = None,
 ) -> RoutePathway:
     """Compute the route pathway graph for *router* (§3.3).
 
@@ -77,6 +81,10 @@ def route_pathway(
     the processes running on the router, then following instance-graph edges
     *against* route flow (an edge A→B in the instance graph means routes
     flow from A to B, so B's routes "come from" A).
+
+    ``max_depth`` is the degraded-mode bound: nodes at that BFS depth are
+    recorded but not expanded, and ``truncated`` is set on the result when
+    the bound actually cut anything off.
     """
     if router not in network.routers:
         raise KeyError(f"unknown router: {router}")
@@ -106,8 +114,14 @@ def route_pathway(
 
     # BFS backwards along route flow.
     policies: List[Tuple[PathwayNode, PathwayNode, str]] = []
+    truncated = False
     while queue:
         node = queue.popleft()
+        if max_depth is not None and layers[node] >= max_depth:
+            # Depth bound: record the node but do not expand its feeders.
+            if instance_graph.in_degree(node) > 0:
+                truncated = True
+            continue
         for source, _target, data in instance_graph.in_edges(node, data=True):
             if source not in layers:
                 layers[source] = layers[node] + 1
@@ -121,4 +135,10 @@ def route_pathway(
             if not pathway.has_edge(source, node):
                 pathway.add_edge(source, node, kind=data.get("kind", "unknown"))
 
-    return RoutePathway(router=router, graph=pathway, layers=layers, policies=policies)
+    return RoutePathway(
+        router=router,
+        graph=pathway,
+        layers=layers,
+        policies=policies,
+        truncated=truncated,
+    )

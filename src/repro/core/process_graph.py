@@ -61,15 +61,45 @@ def router_rib_node(router: str) -> ProcessKey:
     return (router, "rib", None)
 
 
-def build_process_graph(network: Network) -> nx.MultiDiGraph:
+class _BoundedMultiDiGraph(nx.MultiDiGraph):
+    """A MultiDiGraph that stops accepting edges past ``edge_limit``.
+
+    Used by the degraded analysis mode: a pathological archive (e.g. an
+    injected adjacency storm) can emit orders of magnitude more edges
+    than routers; bounding insertion keeps the stage inside its budget
+    and marks the result via ``graph.graph["truncated"]``.
+    """
+
+    def __init__(self, *args, edge_limit: Optional[int] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.edge_limit = edge_limit
+        self._edges_added = 0
+
+    def add_edge(self, u_for_edge, v_for_edge, key=None, **attr):
+        if self.edge_limit is not None:
+            if self._edges_added >= self.edge_limit:
+                self.graph["truncated"] = True
+                return None
+            self._edges_added += 1
+        return super().add_edge(u_for_edge, v_for_edge, key, **attr)
+
+
+def build_process_graph(
+    network: Network, max_edges: Optional[int] = None
+) -> nx.MultiDiGraph:
     """Build the routing process graph for *network*.
 
     Returns a :class:`networkx.MultiDiGraph` whose nodes carry ``kind``
     (a :class:`NodeKind` value), ``router`` and ``protocol`` attributes, and
     whose edges carry ``kind`` plus policy annotations (``route_map``,
     ``acl_in``, ``acl_out`` where applicable).
+
+    ``max_edges`` is the degraded-mode bound: edge insertion stops once
+    the graph holds that many edges (deterministically — construction
+    order is fixed) and ``graph.graph["truncated"]`` is set.
     """
-    graph = nx.MultiDiGraph()
+    graph = _BoundedMultiDiGraph(edge_limit=max_edges)
+    graph.graph["truncated"] = False
     graph.add_node(EXTERNAL_NODE, kind=NodeKind.EXTERNAL, router=None, protocol="external")
 
     # Vertices: process RIBs, local RIBs, router RIBs.

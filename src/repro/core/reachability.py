@@ -99,6 +99,29 @@ class RouteSet:
     def union(self, other: "RouteSet") -> "RouteSet":
         return RouteSet(self._atoms + other._atoms)
 
+    def coarsened(self, max_atoms: int) -> "RouteSet":
+        """An over-approximation of the set with at most *max_atoms* atoms.
+
+        Repeatedly widens the longest prefixes to their supernets (then
+        re-summarizes) until the atom count fits.  The result is a
+        superset of the original — safe for reachability in the "may
+        reach" direction, and deterministic.
+        """
+        if len(self._atoms) <= max_atoms:
+            return self
+        from repro.net import summarize_prefixes  # noqa: PLC0415
+
+        atoms = list(self._atoms)
+        while len(atoms) > max_atoms:
+            longest = max(atom.length for atom in atoms)
+            if longest == 0:
+                break  # already the universe; cannot widen further
+            atoms = summarize_prefixes(
+                atom.supernet() if atom.length == longest else atom
+                for atom in atoms
+            )
+        return RouteSet(atoms)
+
     def intersection(self, other: "RouteSet") -> "RouteSet":
         atoms: List[Prefix] = []
         for a in self._atoms:
@@ -254,12 +277,23 @@ class ReachEdge:
 class ReachabilityAnalysis:
     """Reachability over the routing instance model of one network."""
 
-    def __init__(self, network: Network, instances: Optional[List[RoutingInstance]] = None):
+    def __init__(
+        self,
+        network: Network,
+        instances: Optional[List[RoutingInstance]] = None,
+        max_atoms: Optional[int] = None,
+    ):
         self.network = network
         self.instances = instances if instances is not None else compute_instances(network)
         self.membership = instance_of(self.instances)
         self.edges: List[ReachEdge] = []
         self.origins: Dict[ReachNode, RouteSet] = {}
+        #: Degraded-mode bound on atoms per route set during propagation;
+        #: sets beyond it are widened (see :meth:`RouteSet.coarsened`).
+        self.max_atoms = max_atoms
+        #: True once any route set was actually coarsened — answers are
+        #: then over-approximate in the "may reach" direction.
+        self.approximate = False
         self._routes: Optional[Dict[ReachNode, RouteSet]] = None
         self._external_routes: Optional[Dict[ReachNode, RouteSet]] = None
         self._build()
@@ -514,6 +548,9 @@ class ReachabilityAnalysis:
             for edge in self.edges:
                 incoming = edge.transfer(routes[edge.source])
                 merged = routes[edge.target].union(incoming)
+                if self.max_atoms is not None and len(merged) > self.max_atoms:
+                    merged = merged.coarsened(self.max_atoms)
+                    self.approximate = True
                 if merged != routes[edge.target]:
                     routes[edge.target] = merged
                     changed = True

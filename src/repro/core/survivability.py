@@ -61,6 +61,9 @@ class SurvivabilityReport:
     bridge_links: List[Prefix]
     couplings: List[InstanceCoupling]
     static_route_conflicts: Dict[Prefix, List[str]]
+    #: True when a ``max_couplings`` bound dropped instance pairs — the
+    #: coupling list is a sample, not the full pairing.
+    truncated: bool = False
 
     @property
     def fragile_couplings(self) -> List[InstanceCoupling]:
@@ -100,7 +103,9 @@ def bridge_links(network: Network) -> List[Prefix]:
 
 
 def instance_couplings(
-    network: Network, instances: Optional[List[RoutingInstance]] = None
+    network: Network,
+    instances: Optional[List[RoutingInstance]] = None,
+    max_couplings: Optional[int] = None,
 ) -> List[InstanceCoupling]:
     """Which routers carry the route exchange between each instance pair.
 
@@ -108,16 +113,27 @@ def instance_couplings(
     instances, or terminates an in-network EBGP session between two BGP
     instances.  Its redundancy is the number of distinct routers providing
     it — net5's instances 1 and 4 have redundancy 6 (§5.1).
+
+    ``max_couplings`` is the degraded-mode bound on distinct instance
+    pairs tracked; pairs first seen after the limit are skipped (known
+    pairs keep accumulating routers).  Pass the result to
+    :func:`analyze_survivability` via its own ``max_couplings`` to have
+    the report's ``truncated`` flag reflect the drop.
     """
     if instances is None:
         instances = compute_instances(network)
     membership = instance_of(instances)
     couplings: Dict[Tuple[int, int], InstanceCoupling] = {}
 
+    dropped = [False]
+
     def touch(a: int, b: int, router: str, mechanism: str) -> None:
         key = (min(a, b), max(a, b))
         coupling = couplings.get(key)
         if coupling is None:
+            if max_couplings is not None and len(couplings) >= max_couplings:
+                dropped[0] = True
+                return
             coupling = couplings[key] = InstanceCoupling(
                 instance_a=key[0], instance_b=key[1]
             )
@@ -145,7 +161,16 @@ def instance_couplings(
             touch(a, b, session.local[0], "ebgp")
             touch(a, b, session.remote_key[0], "ebgp")
 
-    return sorted(couplings.values(), key=lambda c: (c.instance_a, c.instance_b))
+    result = sorted(couplings.values(), key=lambda c: (c.instance_a, c.instance_b))
+    result = _CouplingList(result)
+    result.truncated = dropped[0]
+    return result
+
+
+class _CouplingList(List[InstanceCoupling]):
+    """A coupling list that remembers whether a bound dropped pairs."""
+
+    truncated: bool = False
 
 
 def static_route_conflicts(
@@ -169,12 +194,20 @@ def static_route_conflicts(
 
 @traced("survivability")
 def analyze_survivability(
-    network: Network, instances: Optional[List[RoutingInstance]] = None
+    network: Network,
+    instances: Optional[List[RoutingInstance]] = None,
+    max_couplings: Optional[int] = None,
 ) -> SurvivabilityReport:
-    """Run the full §8.1 what-if battery."""
+    """Run the full §8.1 what-if battery.
+
+    ``max_couplings`` is the degraded-mode bound on distinct instance
+    pairs tracked; the report is marked ``truncated`` when it bit.
+    """
+    couplings = instance_couplings(network, instances, max_couplings=max_couplings)
     return SurvivabilityReport(
         articulation_routers=articulation_routers(network),
         bridge_links=bridge_links(network),
-        couplings=instance_couplings(network, instances),
+        couplings=list(couplings),
         static_route_conflicts=static_route_conflicts(network),
+        truncated=getattr(couplings, "truncated", False),
     )

@@ -39,10 +39,13 @@ PHASE_PARSE = "parse"
 PHASE_BUILD = "build"
 PHASE_ANALYSIS = "analysis"
 
-# CLI exit-code convention: 0 clean, 1 warnings only, 2 any error.
+# CLI exit-code convention: 0 clean, 1 warnings only, 2 any error,
+# 3 run completed but some analysis stages finished degraded / timed
+# out / failed (``repro corpus`` with the resilient executor).
 EXIT_CLEAN = 0
 EXIT_WARNINGS = 1
 EXIT_ERRORS = 2
+EXIT_DEGRADED = 3
 
 
 @dataclass(frozen=True)
@@ -182,4 +185,5 @@ __all__ = [
     "EXIT_CLEAN",
     "EXIT_WARNINGS",
     "EXIT_ERRORS",
+    "EXIT_DEGRADED",
 ]

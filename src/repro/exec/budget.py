@@ -1,0 +1,109 @@
+"""Deadline defaults derived from measured stage timings.
+
+PR 3 gave every analysis pass a timing histogram and the throughput
+benchmark writes per-stage wall times to
+``benchmarks/results/pipeline_throughput_analysis.json``.  A hand-picked
+``--stage-deadline`` goes stale the moment the corpus or the hardware
+changes; this module promotes the measured numbers into the default
+budget instead: the suggested deadline is the slowest measured stage
+times a generous safety factor, floored so tiny benchmark corpora do not
+produce hair-trigger deadlines.
+
+``repro corpus --stage-deadline auto`` resolves through
+:func:`suggest_stage_deadline`, and the chosen budget (value + source) is
+recorded in the run manifest's ``environment.execution`` block either
+way, so every manifest says what bound the run operated under.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+#: Environment override for the benchmark results file.
+BENCH_RESULTS_ENV = "REPRO_BENCH_RESULTS"
+
+#: Default location relative to the working directory (the repo layout).
+DEFAULT_RESULTS_PATH = os.path.join(
+    "benchmarks", "results", "pipeline_throughput_analysis.json"
+)
+
+#: Fallback when no benchmark data is available.
+FALLBACK_STAGE_DEADLINE = 60.0
+
+#: Headroom multiplier over the slowest measured stage.  Deadlines exist
+#: to catch runaways (10x-and-up blowups), not to police normal variance.
+SAFETY_FACTOR = 25.0
+
+#: Never suggest a deadline below this, whatever the benchmark measured.
+MIN_STAGE_DEADLINE = 5.0
+
+
+@dataclass(frozen=True)
+class DeadlineSuggestion:
+    """A derived stage deadline plus its provenance (for the manifest)."""
+
+    seconds: float
+    source: str  # "benchmarks" | "fallback"
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        data = {"seconds": round(self.seconds, 3), "source": self.source}
+        if self.detail:
+            data["detail"] = self.detail
+        return data
+
+
+def _results_path(path: Optional[str]) -> str:
+    if path:
+        return path
+    return os.environ.get(BENCH_RESULTS_ENV) or DEFAULT_RESULTS_PATH
+
+
+def suggest_stage_deadline(path: Optional[str] = None) -> DeadlineSuggestion:
+    """Derive a ``--stage-deadline`` from the benchmark timing JSON.
+
+    Reads the per-stage seconds from *path* (default:
+    ``$REPRO_BENCH_RESULTS`` or the repo's benchmark results file), takes
+    the slowest stage, and scales it by :data:`SAFETY_FACTOR`, clamped to
+    at least :data:`MIN_STAGE_DEADLINE`.  Missing or malformed data falls
+    back to :data:`FALLBACK_STAGE_DEADLINE` — a bad benchmark file must
+    never break a corpus run.
+    """
+    resolved = _results_path(path)
+    try:
+        with open(resolved) as handle:
+            payload = json.load(handle)
+        stage_seconds = [
+            float(stage["seconds"])
+            for stage in payload.get("stages", [])
+            if isinstance(stage, dict) and "seconds" in stage
+        ]
+        if "seconds_full_analysis" in payload:
+            stage_seconds.append(float(payload["seconds_full_analysis"]))
+        slowest = max(stage_seconds)
+    except Exception:  # noqa: BLE001 — any damage falls back to the default
+        return DeadlineSuggestion(
+            seconds=FALLBACK_STAGE_DEADLINE,
+            source="fallback",
+            detail=f"no usable benchmark data at {resolved}",
+        )
+    seconds = max(MIN_STAGE_DEADLINE, slowest * SAFETY_FACTOR)
+    return DeadlineSuggestion(
+        seconds=seconds,
+        source="benchmarks",
+        detail=f"{slowest:.3f}s slowest measured stage x{SAFETY_FACTOR:g} ({resolved})",
+    )
+
+
+__all__ = [
+    "BENCH_RESULTS_ENV",
+    "DEFAULT_RESULTS_PATH",
+    "FALLBACK_STAGE_DEADLINE",
+    "MIN_STAGE_DEADLINE",
+    "SAFETY_FACTOR",
+    "DeadlineSuggestion",
+    "suggest_stage_deadline",
+]

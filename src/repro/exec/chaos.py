@@ -1,0 +1,162 @@
+"""Injectable hang/raise/kill hooks for exercising the executor.
+
+The watchdog and exception-barrier paths are only trustworthy if they are
+tested against *real* hangs and *real* exceptions, at the exact point a
+production stage would produce them.  This module is that injection
+point: the executor calls :meth:`ChaosPlan.trigger` at the top of every
+stage attempt, inside the watchdog-guarded thread, and the plan decides
+whether to misbehave.
+
+A plan is parsed from a spec string (the ``REPRO_CHAOS`` environment
+variable, so subprocess-level tests and the CI chaos job can inject
+without code changes)::
+
+    REPRO_CHAOS="<archive>:<stage>=<action>[;<archive>:<stage>=<action>...]"
+
+* ``archive`` / ``stage`` — ``fnmatch`` patterns (``*`` matches all);
+* ``action`` — one of
+  - ``raise`` — raise :class:`ChaosError` (exception-barrier path),
+  - ``hang`` — spin forever in pure Python (hard-deadline path; the
+    loop is unwound by the watchdog's async cancel),
+  - ``hang:S`` — spin for ``S`` seconds, then continue (soft-deadline
+    path),
+  - ``kill`` — raise :class:`SimulatedKill` (a ``BaseException`` that
+    no barrier catches), aborting the whole run mid-flight the way
+    SIGKILL would, with whatever checkpoints were already written;
+* ``action@N`` — only fire on attempt ``N`` (0 = the full-fidelity
+  attempt), so degradation-ladder retries can be made to succeed.
+
+Hangs sleep in small pure-Python slices so the watchdog's injected
+:class:`~repro.exec.watchdog.StageCancelled` lands at the next bytecode
+boundary — exactly the behavior of a runaway analysis loop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import List, Optional, Tuple
+
+#: Environment variable holding the chaos spec.
+CHAOS_ENV = "REPRO_CHAOS"
+
+_HANG_SLICE_SECONDS = 0.005
+
+
+class ChaosError(RuntimeError):
+    """The injected stage exception (caught by the stage barrier)."""
+
+
+class SimulatedKill(BaseException):
+    """An uncatchable-by-barrier abort: the in-process stand-in for
+    SIGKILL.  Propagates out of the executor and the CLI; checkpoints
+    written before it fires survive on disk."""
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One parsed ``archive:stage=action[@attempt]`` clause."""
+
+    archive: str
+    stage: str
+    action: str  # "raise" | "hang" | "kill"
+    seconds: Optional[float] = None  # hang duration; None = forever
+    attempt: Optional[int] = None  # only fire on this attempt index
+
+    def matches(self, archive: str, stage: str, attempt: int) -> bool:
+        return (
+            fnmatch(archive, self.archive)
+            and fnmatch(stage, self.stage)
+            and (self.attempt is None or self.attempt == attempt)
+        )
+
+
+def parse_chaos(spec: str) -> List[ChaosRule]:
+    """Parse a chaos spec string into rules (raises ``ValueError`` on junk)."""
+    rules: List[ChaosRule] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        try:
+            target, action = clause.split("=", 1)
+            archive, stage = target.rsplit(":", 1)
+        except ValueError:
+            raise ValueError(
+                f"bad chaos clause {clause!r} (want archive:stage=action)"
+            ) from None
+        attempt: Optional[int] = None
+        if "@" in action:
+            action, attempt_text = action.rsplit("@", 1)
+            attempt = int(attempt_text)
+        seconds: Optional[float] = None
+        if action.startswith("hang:"):
+            seconds = float(action.split(":", 1)[1])
+            action = "hang"
+        if action not in ("raise", "hang", "kill"):
+            raise ValueError(f"unknown chaos action {action!r} in {clause!r}")
+        rules.append(
+            ChaosRule(
+                archive=archive.strip() or "*",
+                stage=stage.strip() or "*",
+                action=action,
+                seconds=seconds,
+                attempt=attempt,
+            )
+        )
+    return rules
+
+
+@dataclass
+class ChaosPlan:
+    """The active set of chaos rules for one executor."""
+
+    rules: Tuple[ChaosRule, ...] = ()
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str]) -> "ChaosPlan":
+        return cls(rules=tuple(parse_chaos(spec)) if spec else ())
+
+    @classmethod
+    def from_env(cls) -> "ChaosPlan":
+        """The plan demanded by ``$REPRO_CHAOS`` (empty when unset)."""
+        return cls.from_spec(os.environ.get(CHAOS_ENV))
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def trigger(self, archive: str, stage: str, attempt: int = 0) -> None:
+        """Misbehave if any rule matches; called at the top of a stage
+        attempt, inside the watchdog-guarded thread."""
+        for rule in self.rules:
+            if not rule.matches(archive, stage, attempt):
+                continue
+            if rule.action == "raise":
+                raise ChaosError(
+                    f"injected failure in stage {stage!r} of {archive!r}"
+                )
+            if rule.action == "kill":
+                raise SimulatedKill(
+                    f"injected kill in stage {stage!r} of {archive!r}"
+                )
+            # hang: sleep in pure-Python slices so async cancellation
+            # (StageCancelled) is delivered between bytecodes.
+            start = time.perf_counter()
+            while (
+                rule.seconds is None
+                or time.perf_counter() - start < rule.seconds
+            ):
+                time.sleep(_HANG_SLICE_SECONDS)
+            return
+
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosRule",
+    "SimulatedKill",
+    "parse_chaos",
+]

@@ -1,0 +1,475 @@
+"""The resilient analysis executor.
+
+:class:`AnalysisExecutor` drives every per-network analysis stage
+(link inference, process graph, instances, pathways, address space,
+consistency, reachability, survivability) through one barrier:
+
+* every stage attempt runs under :func:`repro.exec.watchdog
+  .run_with_deadline` — a soft deadline produces a warning and keeps
+  going, the hard deadline cancels the stage;
+* a stage that times out (or dies of resource exhaustion —
+  ``RecursionError``/``MemoryError``) is retried down a bounded
+  **degradation ladder**: each rung re-runs the analysis with stricter
+  bounds (capped prefix atoms, depth limits, edge budgets — the knobs
+  the :mod:`repro.core` passes grew for exactly this), and a rung that
+  succeeds yields a ``degraded`` result labeled with the rung;
+* deterministic exceptions are *not* retried — the same input would
+  raise the same way on every rung — and yield ``failed`` immediately;
+* finished results (``ok``/``degraded``) are checkpointed per
+  ``(archive-digest, stage)`` so a killed run resumes where it stopped;
+* a whole-run ``--deadline`` budget skips stages once exhausted
+  (checkpoints written earlier still let ``--resume`` finish the rest).
+
+Diagnostics are emitted from the *result summary* (never from timing
+data), for fresh and checkpoint-replayed results alike, so an
+interrupted-then-resumed run produces the same normalized manifest as an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.diag import PHASE_ANALYSIS
+from repro.exec.chaos import ChaosPlan
+from repro.exec.checkpoint import CheckpointStore, archive_digest
+from repro.exec.stage import (
+    ANALYSIS_STAGES,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    StageResult,
+    status_counts,
+    worst_status,
+)
+from repro.exec.watchdog import run_with_deadline
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+_log = get_logger("exec.executor")
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One step of a degradation ladder: a label plus analysis bounds."""
+
+    label: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+#: Default ladders per stage.  Rung 0 is always full fidelity; later
+#: rungs trade completeness for bounded work, mildest first.  Every
+#: bound maps onto an explicit knob of the corresponding core pass, and
+#: results produced below rung 0 are labeled ``degraded`` with the rung.
+DEFAULT_LADDERS: Dict[str, Tuple[Rung, ...]] = {
+    "links": (Rung("full"),),
+    "process_graph": (
+        Rung("full"),
+        Rung("max-edges-20000", {"max_edges": 20000}),
+        Rung("max-edges-2000", {"max_edges": 2000}),
+    ),
+    "instances": (
+        Rung("full"),
+        Rung("max-processes-5000", {"max_processes": 5000}),
+    ),
+    "pathways": (
+        Rung("full"),
+        Rung("max-depth-8", {"max_depth": 8}),
+        Rung("max-depth-3", {"max_depth": 3}),
+    ),
+    "address_space": (
+        Rung("full"),
+        Rung("max-subnets-2048", {"max_subnets": 2048}),
+        Rung("max-subnets-256", {"max_subnets": 256}),
+    ),
+    "consistency": (
+        Rung("full"),
+        Rung("max-findings-200", {"max_findings_per_check": 200}),
+    ),
+    "reachability": (
+        Rung("full"),
+        Rung("max-atoms-256", {"max_atoms": 256}),
+        Rung("max-atoms-32", {"max_atoms": 32}),
+    ),
+    "survivability": (
+        Rung("full"),
+        Rung("max-couplings-200", {"max_couplings": 200}),
+    ),
+}
+
+
+@dataclass
+class StageContext:
+    """Shared state the stage runners of one archive draw on.
+
+    ``instances`` memoizes the *full-fidelity* instance computation only:
+    a degraded instances stage must not silently poison downstream
+    stages, and a checkpoint-replayed one has no in-memory value at all —
+    dependents recompute inside their own watchdog barrier instead.
+    """
+
+    network: Any
+    archive: str
+    _instances: Any = field(default=None, repr=False)
+
+    def instances(self):
+        if self._instances is None:
+            from repro.core.instances import compute_instances  # noqa: PLC0415
+
+            self._instances = compute_instances(self.network)
+        return self._instances
+
+
+# -- stage runners -----------------------------------------------------------
+# Each runner: (ctx, params) -> (value, items, detail).  ``detail`` is a
+# short deterministic marker ("truncated", "approximate", ...), never
+# timing data.
+
+
+def _run_links(ctx: StageContext, params: Dict[str, Any]):
+    links = ctx.network.links
+    return links, len(links), ""
+
+
+def _run_process_graph(ctx: StageContext, params: Dict[str, Any]):
+    from repro.core.process_graph import build_process_graph  # noqa: PLC0415
+
+    graph = build_process_graph(ctx.network, **params)
+    detail = "truncated" if graph.graph.get("truncated") else ""
+    return graph, graph.number_of_edges(), detail
+
+
+def _run_instances(ctx: StageContext, params: Dict[str, Any]):
+    from repro.core.instances import compute_instances  # noqa: PLC0415
+
+    instances = compute_instances(ctx.network, **params)
+    if not params:
+        ctx._instances = instances
+    return instances, len(instances), ""
+
+
+def _run_pathways(ctx: StageContext, params: Dict[str, Any]):
+    from repro.core.instances import build_instance_graph  # noqa: PLC0415
+    from repro.core.pathways import route_pathway  # noqa: PLC0415
+
+    instances = ctx.instances()
+    graph = build_instance_graph(ctx.network, instances)
+    truncated = False
+    for router in sorted(ctx.network.routers):
+        pathway = route_pathway(
+            ctx.network, router, instances=instances, instance_graph=graph, **params
+        )
+        truncated = truncated or pathway.truncated
+    return None, len(ctx.network.routers), "truncated" if truncated else ""
+
+
+def _run_address_space(ctx: StageContext, params: Dict[str, Any]):
+    from repro.core.address_space import extract_address_space  # noqa: PLC0415
+
+    blocks = extract_address_space(ctx.network, **params)
+    return blocks, len(blocks), ""
+
+
+def _run_consistency(ctx: StageContext, params: Dict[str, Any]):
+    from repro.core.consistency import audit_configuration  # noqa: PLC0415
+
+    report = audit_configuration(ctx.network, **params)
+    return report, len(report), "truncated" if report.truncated else ""
+
+
+def _run_reachability(ctx: StageContext, params: Dict[str, Any]):
+    from repro.core.reachability import ReachabilityAnalysis  # noqa: PLC0415
+
+    analysis = ReachabilityAnalysis(ctx.network, instances=ctx.instances(), **params)
+    routes = analysis.routes  # force the fixpoint inside the barrier
+    return analysis, len(routes), "approximate" if analysis.approximate else ""
+
+
+def _run_survivability(ctx: StageContext, params: Dict[str, Any]):
+    from repro.core.survivability import analyze_survivability  # noqa: PLC0415
+
+    report = analyze_survivability(ctx.network, instances=ctx.instances(), **params)
+    return report, len(report.couplings), "truncated" if report.truncated else ""
+
+
+STAGE_RUNNERS: Dict[str, Callable[[StageContext, Dict[str, Any]], tuple]] = {
+    "links": _run_links,
+    "process_graph": _run_process_graph,
+    "instances": _run_instances,
+    "pathways": _run_pathways,
+    "address_space": _run_address_space,
+    "consistency": _run_consistency,
+    "reachability": _run_reachability,
+    "survivability": _run_survivability,
+}
+
+#: Exceptions worth retrying on a stricter rung: resource exhaustion the
+#: bounds exist to prevent.  Anything else is deterministic — the same
+#: rung would raise it again — and fails the stage immediately.
+_RETRYABLE = (RecursionError, MemoryError)
+
+
+@dataclass
+class ExecutorConfig:
+    """Policy knobs for one :class:`AnalysisExecutor`."""
+
+    stage_deadline: Optional[float] = None  # hard per-attempt wall budget
+    soft_deadline: Optional[float] = None  # diagnostic-only budget
+    run_deadline: Optional[float] = None  # whole-run budget
+    resume: bool = False  # replay finished checkpoints
+    fail_fast: bool = False  # stop the run at the first timeout/failure
+    checkpoints: Optional[CheckpointStore] = None  # None = checkpointing off
+    chaos: ChaosPlan = field(default_factory=ChaosPlan)
+    ladders: Mapping[str, Tuple[Rung, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_LADDERS)
+    )
+
+
+@dataclass
+class ArchiveExecution:
+    """All stage results of one archive, plus its digest."""
+
+    archive: str
+    digest: str
+    results: List[StageResult] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        return worst_status(result.status for result in self.results) or STATUS_OK
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return status_counts(self.results)
+
+    def result(self, stage: str) -> Optional[StageResult]:
+        for result in self.results:
+            if result.stage == stage:
+                return result
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "stages": [result.as_dict() for result in self.results],
+        }
+
+
+class AnalysisExecutor:
+    """Runs the analysis stages of each archive under the full barrier."""
+
+    def __init__(self, config: Optional[ExecutorConfig] = None):
+        self.config = config or ExecutorConfig()
+        self.aborted = False  # --fail-fast tripped; remaining work skips
+        self._run_start = time.perf_counter()
+
+    # -- budgets -------------------------------------------------------------
+
+    def _remaining_run_budget(self) -> Optional[float]:
+        if self.config.run_deadline is None:
+            return None
+        return self.config.run_deadline - (time.perf_counter() - self._run_start)
+
+    def _effective_hard_deadline(self) -> Optional[float]:
+        hard = self.config.stage_deadline
+        remaining = self._remaining_run_budget()
+        if remaining is None:
+            return hard
+        remaining = max(remaining, 0.0)
+        return remaining if hard is None else min(hard, remaining)
+
+    # -- driving -------------------------------------------------------------
+
+    def run_archive(self, archive: str, network: Any) -> ArchiveExecution:
+        """Run every analysis stage of one loaded network."""
+        digest = archive_digest(getattr(network, "inventory", None) or [])
+        execution = ArchiveExecution(archive=archive, digest=digest)
+        ctx = StageContext(network=network, archive=archive)
+        metrics = get_registry()
+        for stage in ANALYSIS_STAGES:
+            result = self._run_stage(ctx, digest, stage)
+            execution.results.append(result)
+            metrics.counter(f"exec.stage.{result.status}").inc()
+            metrics.histogram("exec.stage.seconds", stage=stage).observe(
+                result.seconds
+            )
+            self._emit_diagnostics(network, result)
+            if self.config.fail_fast and result.status in (
+                STATUS_TIMEOUT,
+                STATUS_FAILED,
+            ):
+                self.aborted = True
+                _log.error(
+                    "fail-fast abort", archive=archive, stage=stage, status=result.status
+                )
+        return execution
+
+    def _run_stage(self, ctx: StageContext, digest: str, stage: str) -> StageResult:
+        store = self.config.checkpoints
+        if store is not None and self.config.resume:
+            cached = store.load(digest, stage)
+            if cached is not None:
+                _log.info(
+                    "stage replayed from checkpoint", archive=ctx.archive, stage=stage
+                )
+                return cached
+        if self.aborted:
+            return StageResult(
+                stage=stage, status=STATUS_SKIPPED, attempts=0, detail="fail-fast abort"
+            )
+        remaining = self._remaining_run_budget()
+        if remaining is not None and remaining <= 0:
+            return StageResult(
+                stage=stage,
+                status=STATUS_SKIPPED,
+                attempts=0,
+                detail="run deadline exhausted",
+            )
+        result = self._execute_ladder(ctx, stage)
+        if store is not None and result.finished:
+            store.store(digest, ctx.archive, result)
+        return result
+
+    def _execute_ladder(self, ctx: StageContext, stage: str) -> StageResult:
+        ladder = tuple(self.config.ladders.get(stage) or (Rung("full"),))
+        runner = STAGE_RUNNERS[stage]
+        metrics = get_registry()
+        total_seconds = 0.0
+        last_error = ""
+        timed_out = False
+        for attempt, rung in enumerate(ladder):
+            params = dict(rung.params)
+
+            def call(attempt=attempt, params=params):
+                self.config.chaos.trigger(ctx.archive, stage, attempt)
+                return runner(ctx, params)
+
+            def on_soft(elapsed: float, attempt=attempt) -> None:
+                metrics.counter("exec.stage.soft_deadline").inc()
+                _log.warning(
+                    "stage over soft deadline",
+                    archive=ctx.archive,
+                    stage=stage,
+                    attempt=attempt,
+                )
+
+            outcome = run_with_deadline(
+                call,
+                name=f"{ctx.archive}:{stage}",
+                hard_deadline=self._effective_hard_deadline(),
+                soft_deadline=self.config.soft_deadline,
+                on_soft=on_soft,
+            )
+            total_seconds += outcome.seconds
+            if outcome.error is not None:
+                if not isinstance(outcome.error, Exception):
+                    # KeyboardInterrupt / SimulatedKill: nothing to
+                    # salvage — re-raise on the caller's thread.
+                    raise outcome.error
+                if isinstance(outcome.error, _RETRYABLE):
+                    timed_out = False
+                    last_error = (
+                        f"{type(outcome.error).__name__}: {outcome.error}"
+                    )
+                    _log.warning(
+                        "stage exhausted resources, degrading",
+                        archive=ctx.archive,
+                        stage=stage,
+                        attempt=attempt,
+                        error=last_error,
+                    )
+                    continue
+                return StageResult(
+                    stage=stage,
+                    status=STATUS_FAILED,
+                    seconds=total_seconds,
+                    attempts=attempt + 1,
+                    error=f"{type(outcome.error).__name__}: {outcome.error}",
+                    degradation=rung.label if attempt else "",
+                )
+            if outcome.timed_out:
+                timed_out = True
+                last_error = ""
+                _log.warning(
+                    "stage attempt timed out",
+                    archive=ctx.archive,
+                    stage=stage,
+                    attempt=attempt,
+                    rung=rung.label,
+                )
+                continue
+            value, items, detail = outcome.value
+            return StageResult(
+                stage=stage,
+                status=STATUS_OK if attempt == 0 else STATUS_DEGRADED,
+                seconds=total_seconds,
+                items=items,
+                attempts=attempt + 1,
+                detail=detail,
+                degradation=rung.label if attempt else "",
+                value=value,
+            )
+        # Ladder exhausted without a finished attempt.
+        if timed_out:
+            return StageResult(
+                stage=stage,
+                status=STATUS_TIMEOUT,
+                seconds=total_seconds,
+                attempts=len(ladder),
+                detail="hard deadline on every rung",
+            )
+        return StageResult(
+            stage=stage,
+            status=STATUS_FAILED,
+            seconds=total_seconds,
+            attempts=len(ladder),
+            error=last_error,
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    @staticmethod
+    def _emit_diagnostics(network: Any, result: StageResult) -> None:
+        """Fold a stage outcome into the network's diagnostic sink.
+
+        Deterministic by construction — messages derive only from the
+        result summary (status, rung, error text), never from wall time
+        or checkpoint provenance, so a resumed run re-emits exactly what
+        the uninterrupted run would have.
+        """
+        sink = network.diagnostics
+        if result.status == STATUS_DEGRADED:
+            sink.warning(
+                PHASE_ANALYSIS,
+                f"stage {result.stage} degraded ({result.degradation})",
+            )
+        elif result.status == STATUS_TIMEOUT:
+            sink.error(
+                PHASE_ANALYSIS,
+                f"stage {result.stage} timed out ({result.detail})",
+            )
+        elif result.status == STATUS_FAILED:
+            sink.error(
+                PHASE_ANALYSIS,
+                f"stage {result.stage} failed: {result.error}",
+            )
+        elif result.status == STATUS_SKIPPED:
+            sink.warning(
+                PHASE_ANALYSIS,
+                f"stage {result.stage} skipped ({result.detail})",
+            )
+
+
+__all__ = [
+    "ANALYSIS_STAGES",
+    "AnalysisExecutor",
+    "ArchiveExecution",
+    "DEFAULT_LADDERS",
+    "ExecutorConfig",
+    "Rung",
+    "STAGE_RUNNERS",
+    "StageContext",
+]

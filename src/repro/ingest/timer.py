@@ -35,6 +35,9 @@ class StageRecord:
     seconds: float = 0.0
     items: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Stage outcome under the resilient executor ("ok" | "degraded" |
+    #: "timeout" | "failed" | "skipped"); plain pipeline stages stay "ok".
+    status: str = "ok"
 
     @property
     def rate(self) -> Optional[float]:
@@ -53,6 +56,8 @@ class StageRecord:
             data["items_per_second"] = round(self.rate, 1)
         if self.counters:
             data["counters"] = dict(self.counters)
+        if self.status != "ok":
+            data["status"] = self.status
         return data
 
 

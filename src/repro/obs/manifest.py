@@ -76,20 +76,27 @@ class FileRecord:
         return data
 
 
-def archive_entry(network: Any, path: Optional[str] = None) -> Dict[str, Any]:
+def archive_entry(
+    network: Any, path: Optional[str] = None, execution: Any = None
+) -> Dict[str, Any]:
     """The manifest entry for one ingested archive.
 
     *network* is duck-typed (``name``, ``inventory``, ``diagnostics``,
     ``quarantined``, ``__len__``) so this module stays import-free of the
     model layer.  Networks built outside ``from_directory``/
     ``from_configs`` have no inventory; they yield an empty one.
+
+    *execution* (optional) is the archive's
+    :class:`repro.exec.executor.ArchiveExecution` (duck-typed:
+    ``as_dict``); when given, the entry carries the per-stage statuses
+    under ``"execution"``.
     """
     inventory: List[FileRecord] = list(getattr(network, "inventory", None) or [])
     dispositions = {disposition: 0 for disposition in DISPOSITIONS}
     for record in inventory:
         dispositions[record.disposition] += 1
     diagnostics = network.diagnostics
-    return {
+    entry = {
         "name": network.name,
         "path": path,
         "routers": len(network),
@@ -99,6 +106,9 @@ def archive_entry(network: Any, path: Optional[str] = None) -> Dict[str, Any]:
         "exit_code": diagnostics.exit_code(),
         "inventory": [record.as_dict() for record in inventory],
     }
+    if execution is not None:
+        entry["execution"] = execution.as_dict()
+    return entry
 
 
 def build_manifest(
@@ -128,6 +138,15 @@ def build_manifest(
         totals[disposition] = sum(
             entry["dispositions"][disposition] for entry in archives
         )
+    stage_totals: Dict[str, int] = {}
+    for entry in archives:
+        for stage in (entry.get("execution") or {}).get("stages", []):
+            status = stage.get("status", "ok")
+            stage_totals[status] = stage_totals.get(status, 0) + 1
+    if stage_totals:
+        totals["stages"] = {
+            status: stage_totals[status] for status in sorted(stage_totals)
+        }
     manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "command": command,
@@ -177,11 +196,35 @@ def normalize_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
                 "diagnostics": entry.get("diagnostics"),
                 "exit_code": entry.get("exit_code"),
                 "inventory": entry.get("inventory"),
+                "execution": _normalize_execution(entry.get("execution")),
             }
             for entry in manifest.get("archives", [])
         ],
         "totals": manifest.get("totals"),
         "counters": metrics.get("counters"),
+    }
+
+
+def _normalize_execution(execution: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The deterministic core of an archive's execution block.
+
+    Stage *statuses* must agree between runs over the same bytes; wall
+    seconds and checkpoint provenance (``from_checkpoint``) legitimately
+    differ between an uninterrupted run and an interrupted-then-resumed
+    one, so they are stripped here.
+    """
+    if not execution:
+        return None
+    return {
+        "status": execution.get("status"),
+        "stages": [
+            {
+                key: value
+                for key, value in stage.items()
+                if key not in ("seconds", "from_checkpoint")
+            }
+            for stage in execution.get("stages", [])
+        ],
     }
 
 

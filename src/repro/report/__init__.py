@@ -2,14 +2,17 @@
 
 from repro.report.design_report import generate_design_report
 from repro.report.diagnostics import format_diagnostics
+from repro.report.execution import format_execution_lines, format_status_counts
 from repro.report.manifest import format_run_report
 from repro.report.tables import format_cdf, format_histogram, format_table
 
 __all__ = [
     "format_cdf",
     "format_diagnostics",
+    "format_execution_lines",
     "format_histogram",
     "format_run_report",
+    "format_status_counts",
     "format_table",
     "generate_design_report",
 ]

@@ -1,0 +1,60 @@
+"""Rendering of executor stage statuses for the corpus table.
+
+The resilient executor (:mod:`repro.exec`) turns every analysis stage
+into a :class:`~repro.exec.stage.StageResult`; this module formats those
+outcomes for humans: a compact status-count summary for table cells and
+one explanatory line per not-fully-ok stage for the detail block under
+the corpus table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Rendering order and short labels for status summaries.
+_STATUS_LABELS = (
+    ("ok", "ok"),
+    ("degraded", "degraded"),
+    ("timeout", "timeout"),
+    ("failed", "failed"),
+    ("skipped", "skipped"),
+)
+
+
+def format_status_counts(counts: Dict[str, int]) -> str:
+    """``{"ok": 7, "timeout": 1}`` → ``"7 ok, 1 timeout"`` (zeros elided)."""
+    parts = [
+        f"{counts.get(status, 0)} {label}"
+        for status, label in _STATUS_LABELS
+        if counts.get(status, 0)
+    ]
+    return ", ".join(parts) if parts else "0 stages"
+
+
+def format_execution_lines(archive: str, execution: Any) -> List[str]:
+    """One line per not-fully-ok stage of *execution* (empty when clean).
+
+    *execution* is duck-typed (:class:`~repro.exec.executor
+    .ArchiveExecution`: ``results`` of stage results).
+    """
+    lines: List[str] = []
+    for result in execution.results:
+        if result.status == "ok":
+            continue
+        line = f"{archive}: stage {result.stage} {result.status}"
+        notes = []
+        if result.degradation:
+            notes.append(f"rung {result.degradation}")
+        if result.detail:
+            notes.append(result.detail)
+        if result.error:
+            notes.append(result.error)
+        if result.from_checkpoint:
+            notes.append("replayed from checkpoint")
+        if notes:
+            line = f"{line} ({'; '.join(notes)})"
+        lines.append(line)
+    return lines
+
+
+__all__ = ["format_execution_lines", "format_status_counts"]

@@ -25,7 +25,13 @@ serialized text.  :mod:`repro.synth.corpus` assembles the paper's
 from repro.synth.addressing import AddressPool
 from repro.synth.builder import NetworkBuilder
 from repro.synth.corpus import CorpusNetwork, paper_corpus, repository_sizes
-from repro.synth.faults import InjectedFault, fault_kinds, inject_fault
+from repro.synth.faults import (
+    InjectedFault,
+    analysis_fault_kinds,
+    fault_kinds,
+    inject_analysis_fault,
+    inject_fault,
+)
 from repro.synth.spec import NetworkSpec
 
 __all__ = [
@@ -34,7 +40,9 @@ __all__ = [
     "InjectedFault",
     "NetworkBuilder",
     "NetworkSpec",
+    "analysis_fault_kinds",
     "fault_kinds",
+    "inject_analysis_fault",
     "inject_fault",
     "paper_corpus",
     "repository_sizes",

@@ -412,6 +412,135 @@ def splice_files(
 
 
 # ---------------------------------------------------------------------------
+# analysis-level chaos mutators
+#
+# Unlike the parse-fault mutators above, these keep every file *valid* —
+# strict ingestion never raises — and instead inflate the workload a
+# specific analysis stage has to chew through: an adjacency storm for the
+# process graph, a redistribution chain for instance/consistency
+# analysis, a subnet spray for the address-space and reachability
+# passes.  They exist so the resilient executor's deadlines and
+# degradation ladders can be exercised on structurally honest input, not
+# just on hooks that sleep.  They live in their own registry
+# (``ANALYSIS_MUTATORS``) because the lint harness asserts every kind in
+# ``MUTATORS`` is *diagnosable* as damage — these are not damage.
+
+
+def adjacency_storm(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Attach every router to shared storm LANs with extra OSPF processes.
+
+    Each of 6 storm subnets gains one interface per router, and each
+    router grows 3 new OSPF processes covering all of them, so every LAN
+    becomes a full mesh over ``3 × routers`` processes — a quadratic
+    blowup in process-graph edges from perfectly legal configuration.
+    """
+    ios = _ios_files(configs)
+    if not ios:
+        raise ValueError("adjacency-storm needs at least one IOS config")
+    lans, processes = 6, 3
+    mutated = dict(configs)
+    for position, name in enumerate(ios):
+        extra = []
+        for lan in range(lans):
+            extra.append(f"interface Ethernet9/{lan}")
+            extra.append(
+                f" ip address 10.224.{lan}.{position + 1} 255.255.255.0"
+            )
+            extra.append("!")
+        for process in range(processes):
+            extra.append(f"router ospf {900 + process}")
+            extra.append(" network 10.224.0.0 0.0.255.255 area 0")
+            extra.append("!")
+        mutated[name] = configs[name].rstrip("\n") + "\n" + "\n".join(extra) + "\n"
+    anchor = _pick(rng, ios)
+    return mutated, InjectedFault(
+        kind="adjacency-storm",
+        files=tuple(ios),
+        description=(
+            f"attached {len(ios)} routers to {lans} shared LANs with "
+            f"{processes} extra OSPF processes each (anchor {anchor})"
+        ),
+        line_number=0,
+        strict_raises=False,
+    )
+
+
+def redistribution_chain(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Grow a deep chain of mutually redistributing processes on one router.
+
+    Alternating OSPF/EIGRP processes each redistribute their predecessor
+    (the first one picks up ``connected``), so instance and consistency
+    analysis must walk a 12-deep redistribution chain that no real design
+    taxonomy anticipates — valid text, pathological structure.
+    """
+    ios = _ios_files(configs)
+    if not ios:
+        raise ValueError("redistribution-chain needs at least one IOS config")
+    name = _pick(rng, ios)
+    depth = 12
+    extra: List[str] = []
+    previous = "connected"
+    for step in range(depth):
+        identifier = 910 + step
+        protocol = "ospf" if step % 2 == 0 else "eigrp"
+        extra.append(f"router {protocol} {identifier}")
+        extra.append(f" redistribute {previous} metric 10")
+        if protocol == "ospf":
+            extra.append(f" network 10.225.{step}.0 0.0.0.255 area 0")
+        else:
+            extra.append(f" network 10.225.{step}.0")
+        extra.append("!")
+        previous = f"{protocol} {identifier}"
+    mutated = dict(configs)
+    mutated[name] = configs[name].rstrip("\n") + "\n" + "\n".join(extra) + "\n"
+    return mutated, InjectedFault(
+        kind="redist-chain",
+        files=(name,),
+        description=f"chained {depth} mutually redistributing processes onto {name}",
+        line_number=0,
+        strict_raises=False,
+    )
+
+
+def subnet_spray(
+    configs: Dict[str, str], rng: random.Random
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Spray one router with 96 loopback subnets, all advertised.
+
+    Every sprayed /30 lands in a fresh OSPF process's ``network`` range,
+    multiplying the distinct prefixes the address-space inventory and
+    the reachability atom computation must track.
+    """
+    ios = _ios_files(configs)
+    if not ios:
+        raise ValueError("subnet-spray needs at least one IOS config")
+    name = _pick(rng, ios)
+    count = 96
+    extra: List[str] = []
+    for spray in range(count):
+        third, fourth = divmod(spray * 4, 256)
+        extra.append(f"interface Loopback{1000 + spray}")
+        extra.append(f" ip address 10.226.{third}.{fourth + 1} 255.255.255.252")
+        extra.append("!")
+    extra.append("router ospf 950")
+    extra.append(" network 10.226.0.0 0.0.255.255 area 0")
+    extra.append("!")
+    mutated = dict(configs)
+    mutated[name] = configs[name].rstrip("\n") + "\n" + "\n".join(extra) + "\n"
+    return mutated, InjectedFault(
+        kind="subnet-spray",
+        files=(name,),
+        description=f"sprayed {count} advertised loopback subnets onto {name}",
+        line_number=0,
+        strict_raises=False,
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 
 
@@ -425,9 +554,24 @@ MUTATORS: Dict[str, Mutator] = {
 }
 
 
+#: Valid-config workload amplifiers for the resilient executor — kept
+#: apart from ``MUTATORS`` because these never damage a file and must
+#: never be asserted diagnosable by the lint harness.
+ANALYSIS_MUTATORS: Dict[str, Mutator] = {
+    "adjacency-storm": adjacency_storm,
+    "redist-chain": redistribution_chain,
+    "subnet-spray": subnet_spray,
+}
+
+
 def fault_kinds() -> Tuple[str, ...]:
     """All mutator kinds, in registry order."""
     return tuple(MUTATORS)
+
+
+def analysis_fault_kinds() -> Tuple[str, ...]:
+    """All analysis-level chaos mutator kinds, in registry order."""
+    return tuple(ANALYSIS_MUTATORS)
 
 
 def inject_fault(
@@ -439,11 +583,29 @@ def inject_fault(
     return MUTATORS[kind](configs, random.Random(seed))
 
 
+def inject_analysis_fault(
+    configs: Dict[str, str], kind: str, seed: int
+) -> Tuple[Dict[str, str], InjectedFault]:
+    """Apply one seeded analysis-level chaos mutator (valid-config)."""
+    if kind not in ANALYSIS_MUTATORS:
+        raise ValueError(
+            f"unknown analysis fault kind: {kind!r} "
+            f"(choose from {analysis_fault_kinds()})"
+        )
+    return ANALYSIS_MUTATORS[kind](configs, random.Random(seed))
+
+
 __all__ = [
+    "ANALYSIS_MUTATORS",
     "InjectedFault",
     "MUTATORS",
+    "adjacency_storm",
+    "analysis_fault_kinds",
     "fault_kinds",
+    "inject_analysis_fault",
     "inject_fault",
+    "redistribution_chain",
+    "subnet_spray",
     "truncate_file",
     "drop_lines",
     "inject_unknown_commands",

@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.cli import main
+from repro.exec import ANALYSIS_STAGES
 from repro.synth.templates.example_fig1 import build_example_networks
 
 
@@ -314,7 +315,9 @@ class TestCorpus:
         names = [e["archive"] for e in payload["archives"]]
         assert names == ["alpha", "beta"]
         stage_names = [s["name"] for s in payload["archives"][0]["stages"]]
-        assert stage_names == ["read", "parse", "links", "instances", "pathways"]
+        assert stage_names == ["read", "parse", *ANALYSIS_STAGES]
+        assert payload["archives"][0]["status"] == "ok"
+        assert payload["totals"]["stages"] == {"ok": 2 * len(ANALYSIS_STAGES)}
 
     def test_warm_cache_parses_zero_files(self, corpus_dir, tmp_path, capsys):
         import json as json_mod

@@ -192,3 +192,23 @@ class TestExtraction:
     def test_str(self):
         block = AddressBlock(prefix=Prefix("10.0.0.0/24"), subnets=[Prefix("10.0.0.0/25")])
         assert "10.0.0.0/24" in str(block)
+
+
+class TestBoundedSubnets:
+    """The ``max_subnets`` knob the executor's degradation ladder uses."""
+
+    def test_subnet_cap_shrinks_the_inventory(self, fig1):
+        from repro.core.address_space import extract_address_space
+
+        net, _ = fig1
+        full = extract_address_space(net)
+        capped = extract_address_space(net, max_subnets=1)
+        assert len(capped) < len(full)
+
+    def test_generous_cap_matches_full(self, fig1):
+        from repro.core.address_space import extract_address_space
+
+        net, _ = fig1
+        full = extract_address_space(net)
+        capped = extract_address_space(net, max_subnets=10_000)
+        assert len(capped) == len(full)

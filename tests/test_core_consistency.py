@@ -212,3 +212,27 @@ class TestFullAudit:
         assert len(report) == len(report.findings)
         for finding in report.findings:
             assert str(finding).startswith("[")
+
+
+class TestBoundedFindings:
+    """The ``max_findings_per_check`` knob of the degradation ladder."""
+
+    def test_finding_cap_truncates_and_flags(self, fig1):
+        from repro.core.consistency import audit_configuration
+
+        net, _ = fig1
+        full = audit_configuration(net)
+        capped = audit_configuration(net, max_findings_per_check=0)
+        assert len(full) > 0
+        assert not full.truncated
+        assert len(capped) == 0
+        assert capped.truncated
+
+    def test_generous_cap_matches_full(self, fig1):
+        from repro.core.consistency import audit_configuration
+
+        net, _ = fig1
+        full = audit_configuration(net)
+        capped = audit_configuration(net, max_findings_per_check=10_000)
+        assert len(capped) == len(full)
+        assert not capped.truncated

@@ -186,3 +186,19 @@ class TestNet5Structure:
             if key[0] == glue and key[1] == "eigrp"
         }
         assert len(eigrp_instances) == 2  # member of both compartments
+
+
+class TestBoundedProcesses:
+    """The ``max_processes`` knob the executor's degradation ladder uses."""
+
+    def test_process_cap_shrinks_the_result(self, fig1):
+        net, _ = fig1
+        full = compute_instances(net)
+        capped = compute_instances(net, max_processes=1)
+        assert 0 < len(capped) < len(full)
+
+    def test_generous_cap_matches_full(self, fig1):
+        net, _ = fig1
+        full = compute_instances(net)
+        capped = compute_instances(net, max_processes=10_000)
+        assert len(capped) == len(full)

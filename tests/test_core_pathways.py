@@ -172,3 +172,31 @@ class TestParallelRedistributionEdges:
         pathway = route_pathway(net, "r1")
         assert len(pathway.policies) == 1
         assert pathway.policies[0][2] == "MAP-SAME"
+
+
+class TestBoundedDepth:
+    """The ``max_depth`` knob the executor's degradation ladder uses."""
+
+    def test_depth_cap_sets_truncated(self, fig1):
+        from repro.core import build_instance_graph
+
+        net, _ = fig1
+        instances = compute_instances(net)
+        graph = build_instance_graph(net, instances)
+        full = route_pathway(net, "R1", instances=instances, instance_graph=graph)
+        capped = route_pathway(
+            net, "R1", instances=instances, instance_graph=graph, max_depth=1
+        )
+        assert not full.truncated
+        assert capped.truncated
+
+    def test_generous_depth_is_exact(self, fig1):
+        from repro.core import build_instance_graph
+
+        net, _ = fig1
+        instances = compute_instances(net)
+        graph = build_instance_graph(net, instances)
+        capped = route_pathway(
+            net, "R1", instances=instances, instance_graph=graph, max_depth=100
+        )
+        assert not capped.truncated

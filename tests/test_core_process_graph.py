@@ -115,3 +115,24 @@ class TestExternalIgpEdges:
             if d["kind"] == "external" and v[1] in ("ospf", "eigrp", "rip")
         }
         assert igp_external, "tier-2 staging IGP processes must face outward"
+
+
+class TestBoundedGraph:
+    """The ``max_edges`` knob the executor's degradation ladder uses."""
+
+    def test_edge_budget_truncates_and_flags(self, fig1):
+        net, _ = fig1
+        graph = build_process_graph(net, max_edges=5)
+        assert graph.number_of_edges() == 5
+        assert graph.graph["truncated"] is True
+
+    def test_full_build_is_not_truncated(self, fig1):
+        net, _ = fig1
+        assert build_process_graph(net).graph["truncated"] is False
+
+    def test_generous_budget_changes_nothing(self, fig1):
+        net, _ = fig1
+        full = build_process_graph(net)
+        capped = build_process_graph(net, max_edges=10_000)
+        assert capped.number_of_edges() == full.number_of_edges()
+        assert capped.graph["truncated"] is False

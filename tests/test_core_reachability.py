@@ -270,3 +270,19 @@ class TestEnterpriseReachability:
         ra = ReachabilityAnalysis(net)
         ospf = next(i for i in ra.instances if i.protocol == "ospf")
         assert ra.default_route_admitted(ospf.instance_id)
+
+
+class TestBoundedAtoms:
+    """The ``max_atoms`` knob the executor's degradation ladder uses."""
+
+    def test_atom_cap_marks_the_analysis_approximate(self, fig1):
+        net, _ = fig1
+        analysis = ReachabilityAnalysis(net, max_atoms=1)
+        assert len(analysis.routes) == len(net.routers)
+        assert analysis.approximate
+
+    def test_full_analysis_is_exact(self, fig1):
+        net, _ = fig1
+        analysis = ReachabilityAnalysis(net)
+        assert len(analysis.routes) == len(net.routers)
+        assert not analysis.approximate

@@ -131,3 +131,23 @@ class TestFullReport:
         assert set(
             (c.instance_a, c.instance_b) for c in report.fragile_couplings
         ) <= set((c.instance_a, c.instance_b) for c in report.couplings)
+
+
+class TestBoundedCouplings:
+    """The ``max_couplings`` knob the executor's degradation ladder uses."""
+
+    def test_coupling_cap_truncates_and_flags(self, fig1):
+        net, _ = fig1
+        full = analyze_survivability(net)
+        capped = analyze_survivability(net, max_couplings=0)
+        assert len(full.couplings) > 0
+        assert not full.truncated
+        assert len(capped.couplings) == 0
+        assert capped.truncated
+
+    def test_generous_cap_matches_full(self, fig1):
+        net, _ = fig1
+        full = analyze_survivability(net)
+        capped = analyze_survivability(net, max_couplings=10_000)
+        assert len(capped.couplings) == len(full.couplings)
+        assert not capped.truncated

@@ -1,0 +1,64 @@
+"""Deadline suggestions derived from benchmark timing data."""
+
+import json
+
+from repro.exec.budget import (
+    BENCH_RESULTS_ENV,
+    FALLBACK_STAGE_DEADLINE,
+    MIN_STAGE_DEADLINE,
+    SAFETY_FACTOR,
+    suggest_stage_deadline,
+)
+
+
+def _write(tmp_path, payload):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestSuggestion:
+    def test_missing_file_falls_back(self, tmp_path):
+        suggestion = suggest_stage_deadline(str(tmp_path / "absent.json"))
+        assert suggestion.source == "fallback"
+        assert suggestion.seconds == FALLBACK_STAGE_DEADLINE
+
+    def test_malformed_json_falls_back(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{broken")
+        suggestion = suggest_stage_deadline(str(path))
+        assert suggestion.source == "fallback"
+
+    def test_slowest_stage_scaled_by_safety_factor(self, tmp_path):
+        path = _write(
+            tmp_path,
+            {"stages": [{"name": "parse", "seconds": 2.0}, {"seconds": 8.0}]},
+        )
+        suggestion = suggest_stage_deadline(path)
+        assert suggestion.source == "benchmarks"
+        assert suggestion.seconds == 8.0 * SAFETY_FACTOR
+        assert "slowest measured stage" in suggestion.detail
+
+    def test_tiny_measurements_are_floored(self, tmp_path):
+        path = _write(tmp_path, {"stages": [{"seconds": 0.001}]})
+        suggestion = suggest_stage_deadline(path)
+        assert suggestion.seconds == MIN_STAGE_DEADLINE
+
+    def test_full_analysis_total_counts_as_a_stage(self, tmp_path):
+        path = _write(tmp_path, {"stages": [], "seconds_full_analysis": 4.0})
+        suggestion = suggest_stage_deadline(path)
+        assert suggestion.seconds == 4.0 * SAFETY_FACTOR
+
+    def test_env_override_points_at_the_file(self, tmp_path, monkeypatch):
+        path = _write(tmp_path, {"stages": [{"seconds": 1.0}]})
+        monkeypatch.setenv(BENCH_RESULTS_ENV, path)
+        suggestion = suggest_stage_deadline()
+        assert suggestion.source == "benchmarks"
+        assert suggestion.seconds == 1.0 * SAFETY_FACTOR
+
+    def test_as_dict_carries_provenance(self, tmp_path):
+        suggestion = suggest_stage_deadline(str(tmp_path / "absent.json"))
+        data = suggestion.as_dict()
+        assert data["source"] == "fallback"
+        assert data["seconds"] == FALLBACK_STAGE_DEADLINE
+        assert "detail" in data

@@ -1,0 +1,90 @@
+"""Chaos plan parsing and trigger behavior."""
+
+import time
+
+import pytest
+
+from repro.exec.chaos import (
+    CHAOS_ENV,
+    ChaosError,
+    ChaosPlan,
+    SimulatedKill,
+    parse_chaos,
+)
+
+
+class TestParsing:
+    def test_single_clause(self):
+        (rule,) = parse_chaos("net1:pathways=raise")
+        assert rule.archive == "net1"
+        assert rule.stage == "pathways"
+        assert rule.action == "raise"
+        assert rule.attempt is None
+
+    def test_multiple_clauses_and_whitespace(self):
+        rules = parse_chaos(" a:links=raise ; b:*=hang ;; ")
+        assert [r.action for r in rules] == ["raise", "hang"]
+
+    def test_attempt_suffix(self):
+        (rule,) = parse_chaos("*:reachability=hang@0")
+        assert rule.attempt == 0
+        assert rule.action == "hang"
+
+    def test_bounded_hang_seconds(self):
+        (rule,) = parse_chaos("*:*=hang:0.25")
+        assert rule.action == "hang"
+        assert rule.seconds == 0.25
+
+    def test_empty_patterns_default_to_wildcards(self):
+        (rule,) = parse_chaos(":=kill")
+        assert rule.archive == "*"
+        assert rule.stage == "*"
+
+    @pytest.mark.parametrize("spec", ["nonsense", "a:b=explode", "a=raise"])
+    def test_junk_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_chaos(spec)
+
+
+class TestPlan:
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "alpha:links=raise")
+        plan = ChaosPlan.from_env()
+        assert plan
+        assert plan.rules[0].archive == "alpha"
+        monkeypatch.delenv(CHAOS_ENV)
+        assert not ChaosPlan.from_env()
+
+    def test_no_match_is_a_no_op(self):
+        plan = ChaosPlan.from_spec("alpha:links=raise")
+        plan.trigger("beta", "links", 0)  # different archive: nothing happens
+        plan.trigger("alpha", "pathways", 0)  # different stage: nothing
+
+    def test_raise_action(self):
+        plan = ChaosPlan.from_spec("*:consistency=raise")
+        with pytest.raises(ChaosError):
+            plan.trigger("any", "consistency", 0)
+
+    def test_kill_action_is_not_an_exception(self):
+        plan = ChaosPlan.from_spec("*:*=kill")
+        with pytest.raises(SimulatedKill) as exc_info:
+            plan.trigger("any", "links", 0)
+        assert not isinstance(exc_info.value, Exception)
+
+    def test_bounded_hang_returns(self):
+        plan = ChaosPlan.from_spec("*:*=hang:0.05")
+        start = time.perf_counter()
+        plan.trigger("any", "links", 0)
+        assert time.perf_counter() - start >= 0.05
+
+    def test_attempt_gating(self):
+        plan = ChaosPlan.from_spec("*:*=raise@0")
+        with pytest.raises(ChaosError):
+            plan.trigger("any", "links", 0)
+        plan.trigger("any", "links", 1)  # retries sail through
+
+    def test_fnmatch_patterns(self):
+        plan = ChaosPlan.from_spec("net*:path*=raise")
+        with pytest.raises(ChaosError):
+            plan.trigger("net17", "pathways", 0)
+        plan.trigger("corp", "pathways", 0)

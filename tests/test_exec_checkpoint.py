@@ -1,0 +1,147 @@
+"""Checkpoint store: content addressing, validation, invalidation."""
+
+import json
+import os
+
+from repro.exec.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    archive_digest,
+)
+from repro.exec.stage import StageResult
+from repro.obs.manifest import FileRecord
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+def _record(path, sha):
+    return FileRecord(path=path, size=1, sha256=sha, disposition="parsed")
+
+
+def _inventory():
+    return [_record("r1.cfg", "a" * 64), _record("r2.cfg", "b" * 64)]
+
+
+class TestArchiveDigest:
+    def test_order_insensitive(self):
+        forward = _inventory()
+        assert archive_digest(forward) == archive_digest(list(reversed(forward)))
+
+    def test_sensitive_to_file_content(self):
+        edited = [_record("r1.cfg", "a" * 64), _record("r2.cfg", "c" * 64)]
+        assert archive_digest(_inventory()) != archive_digest(edited)
+
+    def test_sensitive_to_added_file(self):
+        grown = _inventory() + [_record("r3.cfg", "d" * 64)]
+        assert archive_digest(_inventory()) != archive_digest(grown)
+
+    def test_empty_inventory_digests(self):
+        assert len(archive_digest([])) == 64
+
+
+class TestStoreRoundtrip:
+    def test_store_then_load(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            result = StageResult(stage="links", items=9, seconds=0.2)
+            assert store.store(digest, "alpha", result)
+            loaded = store.load(digest, "links")
+        assert loaded is not None
+        assert loaded.from_checkpoint
+        assert loaded.items == 9
+        assert store.stats.stores == 1
+        assert store.stats.hits == 1
+
+    def test_absent_entry_is_a_miss(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            assert store.load("0" * 64, "links") is None
+        assert store.stats.misses == 1
+        assert store.stats.invalidated == 0
+
+    def test_entries_lists_only_complete_files(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            store.store(digest, "alpha", StageResult(stage="links"))
+            store.store(digest, "alpha", StageResult(stage="instances"))
+        (tmp_path / digest[:2] / ".tmp-junk.json").write_text("{}")
+        assert len(store.entries()) == 2
+
+
+class TestEditBetweenRuns:
+    """A checkpoint written under one inventory never replays on another."""
+
+    def test_edited_file_changes_the_key(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            before = archive_digest(_inventory())
+            store.store(before, "alpha", StageResult(stage="links"))
+            # One config file's bytes changed between the runs.
+            after = archive_digest(
+                [_record("r1.cfg", "a" * 64), _record("r2.cfg", "f" * 64)]
+            )
+            assert after != before
+            assert store.load(after, "links") is None
+        assert store.stats.misses == 1
+
+    def test_tampered_digest_field_invalidates(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            store.store(digest, "alpha", StageResult(stage="links"))
+            path = store._key(digest, "links")
+            entry = json.loads(open(path).read())
+            entry["archive_digest"] = "0" * 64
+            with open(path, "w") as handle:
+                json.dump(entry, handle)
+            assert store.load(digest, "links") is None
+            assert not os.path.exists(path)  # deleted, not just ignored
+        assert store.stats.invalidated == 1
+
+    def test_parser_upgrade_invalidates(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            store.store(digest, "alpha", StageResult(stage="links"))
+            path = store._key(digest, "links")
+            entry = json.loads(open(path).read())
+            entry["parser_version"] = -1
+            with open(path, "w") as handle:
+                json.dump(entry, handle)
+            assert store.load(digest, "links") is None
+        assert store.stats.invalidated == 1
+
+    def test_wrong_schema_invalidates(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            store.store(digest, "alpha", StageResult(stage="links"))
+            path = store._key(digest, "links")
+            entry = json.loads(open(path).read())
+            assert entry["schema"] == CHECKPOINT_SCHEMA
+            entry["schema"] = "repro-checkpoint/0"
+            with open(path, "w") as handle:
+                json.dump(entry, handle)
+            assert store.load(digest, "links") is None
+        assert store.stats.invalidated == 1
+
+    def test_unreadable_entry_degrades_to_a_miss(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            store.store(digest, "alpha", StageResult(stage="links"))
+            with open(store._key(digest, "links"), "w") as handle:
+                handle.write("not json{")
+            assert store.load(digest, "links") is None
+        assert store.stats.invalidated == 1
+
+
+def test_broken_root_degrades_to_store_failure(tmp_path):
+    blocker = tmp_path / "file"
+    blocker.write_text("flat file, not a directory")
+    with use_registry(MetricsRegistry()):
+        store = CheckpointStore(root=os.fspath(blocker / "nested"))
+        ok = store.store("0" * 64, "alpha", StageResult(stage="links"))
+    assert not ok
+    assert store.stats.stores == 0

@@ -138,3 +138,73 @@ class TestSingleFaultRecovery:
         else:
             with pytest.raises(Exception):
                 Network.from_directory(archive, on_error="strict")
+
+
+class TestAnalysisMutators:
+    """Valid-config workload amplifiers for the resilient executor.
+
+    These live in their own registry: they must never appear in
+    ``fault_kinds()`` (the lint harness asserts every parse-fault kind is
+    diagnosable as damage — these are not damage), and strict ingestion
+    must accept every mutated corpus without complaint.
+    """
+
+    def test_registry_is_disjoint_from_parse_faults(self):
+        from repro.synth import analysis_fault_kinds
+
+        assert set(analysis_fault_kinds()) == {
+            "adjacency-storm",
+            "redist-chain",
+            "subnet-spray",
+        }
+        assert not set(analysis_fault_kinds()) & set(fault_kinds())
+
+    def test_unknown_kind_rejected(self, corpus):
+        from repro.synth import inject_analysis_fault
+
+        with pytest.raises(ValueError):
+            inject_analysis_fault(corpus, "gravity-storm", seed=0)
+
+    def test_deterministic_per_seed(self, corpus):
+        from repro.synth import inject_analysis_fault
+
+        first = inject_analysis_fault(corpus, "subnet-spray", seed=11)
+        again = inject_analysis_fault(corpus, "subnet-spray", seed=11)
+        assert first == again
+
+    @pytest.mark.parametrize(
+        "kind", ["adjacency-storm", "redist-chain", "subnet-spray"]
+    )
+    def test_mutated_corpus_still_parses_strict(self, corpus, kind):
+        from repro.synth import inject_analysis_fault
+
+        mutated, fault = inject_analysis_fault(corpus, kind, seed=5)
+        assert not fault.strict_raises
+        network = Network.from_configs(mutated, name="amplified")
+        assert len(network) == len(Network.from_configs(corpus, name="base"))
+
+    def test_adjacency_storm_inflates_the_process_graph(self, corpus):
+        from repro.core.process_graph import build_process_graph
+        from repro.synth import inject_analysis_fault
+
+        mutated, _fault = inject_analysis_fault(corpus, "adjacency-storm", seed=5)
+        base = build_process_graph(Network.from_configs(corpus, name="base"))
+        storm = build_process_graph(Network.from_configs(mutated, name="storm"))
+        assert storm.number_of_edges() > 3 * base.number_of_edges()
+
+    def test_redist_chain_deepens_one_router(self, corpus):
+        from repro.synth import inject_analysis_fault
+
+        mutated, fault = inject_analysis_fault(corpus, "redist-chain", seed=5)
+        network = Network.from_configs(mutated, name="chained")
+        config = network.routers[os.path.splitext(fault.file)[0]].config
+        assert len(config.ospf_processes) + len(config.eigrp_processes) >= 12
+
+    def test_subnet_spray_multiplies_prefixes(self, corpus):
+        from repro.synth import inject_analysis_fault
+
+        mutated, fault = inject_analysis_fault(corpus, "subnet-spray", seed=5)
+        assert (
+            mutated[fault.file].count("interface Loopback")
+            >= corpus[fault.file].count("interface Loopback") + 96
+        )

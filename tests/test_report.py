@@ -41,3 +41,53 @@ class TestHistogramAndCdf:
     def test_fraction_at_least(self):
         assert fraction_at_least([10, 40, 50, 90], 40) == 0.75
         assert fraction_at_least([], 40) == 0.0
+
+
+class TestExecutionFormatting:
+    def _execution(self, *results):
+        from repro.exec import ArchiveExecution
+
+        return ArchiveExecution(archive="net1", digest="0" * 64, results=list(results))
+
+    def test_status_counts_elide_zeros(self):
+        from repro.report import format_status_counts
+
+        assert format_status_counts({"ok": 7, "timeout": 1}) == "7 ok, 1 timeout"
+        assert format_status_counts({"ok": 8}) == "8 ok"
+        assert format_status_counts({}) == "0 stages"
+
+    def test_status_counts_fixed_order(self):
+        from repro.report import format_status_counts
+
+        rendered = format_status_counts(
+            {"failed": 1, "ok": 2, "degraded": 3, "skipped": 4, "timeout": 5}
+        )
+        assert rendered == "2 ok, 3 degraded, 5 timeout, 1 failed, 4 skipped"
+
+    def test_execution_lines_skip_ok_stages(self):
+        from repro.exec import StageResult
+        from repro.report import format_execution_lines
+
+        execution = self._execution(
+            StageResult(stage="links"),
+            StageResult(
+                stage="pathways",
+                status="degraded",
+                degradation="max-depth-8",
+                detail="truncated",
+            ),
+            StageResult(stage="consistency", status="failed", error="ChaosError: x"),
+        )
+        lines = format_execution_lines("net1", execution)
+        assert len(lines) == 2
+        assert lines[0] == (
+            "net1: stage pathways degraded (rung max-depth-8; truncated)"
+        )
+        assert "ChaosError: x" in lines[1]
+
+    def test_clean_execution_renders_nothing(self):
+        from repro.exec import StageResult
+        from repro.report import format_execution_lines
+
+        execution = self._execution(StageResult(stage="links"))
+        assert format_execution_lines("net1", execution) == []

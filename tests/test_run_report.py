@@ -218,3 +218,102 @@ class TestManifestBuilders:
         assert manifest["totals"]["files"] == 3
         assert manifest["totals"]["quarantined"] == 1
         assert manifest["metrics"] is None
+
+
+class TestExecutionBlocks:
+    """Executor results threaded into the manifest and its normal form."""
+
+    def _execution(self):
+        from repro.exec import ArchiveExecution, StageResult
+
+        return ArchiveExecution(
+            archive="net1",
+            digest="0" * 64,
+            results=[
+                StageResult(stage="links", seconds=0.5, items=3),
+                StageResult(
+                    stage="pathways",
+                    status="degraded",
+                    seconds=1.5,
+                    degradation="max-depth-8",
+                    from_checkpoint=True,
+                ),
+            ],
+        )
+
+    def _network(self):
+        class Sink:
+            def counts(self):
+                return {"error": 0, "warning": 0, "info": 0}
+
+            def exit_code(self):
+                return 0
+
+        class Net:
+            name = "net1"
+            inventory = []
+            quarantined = []
+            diagnostics = Sink()
+
+            def __len__(self):
+                return 0
+
+        return Net()
+
+    def test_archive_entry_carries_execution(self):
+        from repro.obs.manifest import archive_entry
+
+        entry = archive_entry(self._network(), execution=self._execution())
+        assert entry["execution"]["status"] == "degraded"
+        assert len(entry["execution"]["stages"]) == 2
+
+    def test_totals_count_stage_statuses(self):
+        from repro.obs.manifest import archive_entry, build_manifest
+
+        entry = archive_entry(self._network(), execution=self._execution())
+        manifest = build_manifest(
+            command="corpus", argv=[], archives=[entry], exit_code=3
+        )
+        assert manifest["totals"]["stages"] == {"degraded": 1, "ok": 1}
+
+    def test_totals_omit_stages_without_executions(self):
+        from repro.obs.manifest import archive_entry, build_manifest
+
+        entry = archive_entry(self._network())
+        manifest = build_manifest(
+            command="analyze", argv=[], archives=[entry], exit_code=0
+        )
+        assert "stages" not in manifest["totals"]
+
+    def test_normalize_strips_timing_and_provenance(self):
+        from repro.obs.manifest import (
+            archive_entry,
+            build_manifest,
+            normalize_manifest,
+        )
+
+        entry = archive_entry(self._network(), execution=self._execution())
+        manifest = build_manifest(
+            command="corpus", argv=[], archives=[entry], exit_code=3
+        )
+        normalized = normalize_manifest(manifest)
+        stages = normalized["archives"][0]["execution"]["stages"]
+        for stage in stages:
+            assert "seconds" not in stage
+            assert "from_checkpoint" not in stage
+        # Statuses and degradation labels survive normalization.
+        assert stages[1]["status"] == "degraded"
+        assert stages[1]["degradation"] == "max-depth-8"
+
+    def test_normalize_handles_missing_execution(self):
+        from repro.obs.manifest import (
+            archive_entry,
+            build_manifest,
+            normalize_manifest,
+        )
+
+        entry = archive_entry(self._network())
+        manifest = build_manifest(
+            command="analyze", argv=[], archives=[entry], exit_code=0
+        )
+        assert normalize_manifest(manifest)["archives"][0]["execution"] is None
