@@ -1,0 +1,111 @@
+"""Corpus wall time: archive-level scheduling vs the serial walk.
+
+The paper's batch workload — 31 independent networks analyzed in one
+run — parallelizes across archives, not just across the files inside
+one.  This benchmark materializes a multi-archive corpus, runs
+``repro corpus`` serially and with ``--archive-jobs 4`` (caches cold in
+both runs), verifies the normalized reports are identical, and records
+both wall times as JSON under ``benchmarks/results/``.
+
+The speedup floor is asserted only on hardware with ≥ 4 usable CPUs:
+archive threads overlap parse pools and analysis across cores, which a
+starved single-core CI box has no cores to overlap on.  Equivalence is
+asserted everywhere — scheduling must never change results.
+"""
+
+import json
+import os
+import time
+
+from repro.cli import main
+from repro.ingest import available_cpus
+from repro.report import format_table, normalize_corpus_payload
+from repro.synth.templates.backbone import build_backbone
+from repro.synth.templates.enterprise import build_enterprise
+
+from benchmarks.conftest import record, record_json
+
+#: Corpus shape: enough archives to amortize scheduling overhead, each
+#: big enough (≥ PARALLEL_THRESHOLD files) that parse pools engage.
+N_ARCHIVES = 8
+ROUTERS_PER_ARCHIVE = 48
+
+#: ISSUE acceptance floor for the 4-core CI runner.
+MIN_SPEEDUP = 2.0
+
+
+def _materialize_corpus(root) -> str:
+    for index in range(N_ARCHIVES):
+        builder = build_enterprise if index % 2 == 0 else build_backbone
+        configs, _spec = builder(
+            f"bench{index}", index + 1, ROUTERS_PER_ARCHIVE, seed=index
+        )
+        archive = root / f"net{index:02d}"
+        archive.mkdir()
+        for name, text in configs.items():
+            (archive / name).write_text(text)
+    return os.fspath(root)
+
+
+def _timed_corpus(corpus, capsys, *flags):
+    start = time.perf_counter()
+    code = main(["corpus", "--no-cache", "--json", "--no-checkpoint", *flags, corpus])
+    seconds = time.perf_counter() - start
+    payload = json.loads(capsys.readouterr().out)
+    return code, seconds, payload
+
+
+def test_archive_jobs_speedup(tmp_path_factory, capsys):
+    corpus = _materialize_corpus(tmp_path_factory.mktemp("sched-corpus"))
+    # Both runs get one parse worker per archive (--jobs 1), so the only
+    # variable is archive-level concurrency: the serial walk holds the
+    # GIL through every parse, while the scheduler offloads each
+    # archive's parse to its own worker process and overlaps the
+    # pure-Python analysis of finished archives with the parsing of
+    # later ones.
+    serial_code, serial_s, serial_payload = _timed_corpus(
+        corpus, capsys, "--jobs", "1"
+    )
+    parallel_code, parallel_s, parallel_payload = _timed_corpus(
+        corpus, capsys, "--jobs", "1", "--archive-jobs", "4"
+    )
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    cpus = available_cpus()
+    record(
+        "corpus_scheduler",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("archives", N_ARCHIVES),
+                ("files", serial_payload["totals"]["files"]),
+                ("usable cpus", cpus),
+                ("serial wall s", f"{serial_s:.3f}"),
+                ("archive-jobs=4 wall s", f"{parallel_s:.3f}"),
+                ("speedup", f"{speedup:.2f}x"),
+            ],
+            title="Corpus scheduling — archive-jobs=4 vs serial (cold caches)",
+        ),
+    )
+    record_json(
+        "corpus_scheduler",
+        {
+            "archives": N_ARCHIVES,
+            "routers_per_archive": ROUTERS_PER_ARCHIVE,
+            "files": serial_payload["totals"]["files"],
+            "usable_cpus": cpus,
+            "serial_seconds": round(serial_s, 6),
+            "archive_jobs4_seconds": round(parallel_s, 6),
+            "speedup": round(speedup, 3),
+            "floor": {"min_speedup": MIN_SPEEDUP, "asserted_at_cpus": 4},
+        },
+    )
+    # Identical results are non-negotiable on any hardware.
+    assert serial_code == parallel_code == 0
+    assert normalize_corpus_payload(serial_payload) == (
+        normalize_corpus_payload(parallel_payload)
+    )
+    if cpus >= 4:
+        assert speedup >= MIN_SPEEDUP, (
+            f"--archive-jobs 4 speedup {speedup:.2f}x below "
+            f"{MIN_SPEEDUP}x on {cpus} cpus"
+        )

@@ -29,6 +29,9 @@ was skipped (see ``--resume``).
 whole run, ``--fail-fast`` stops at the first timeout/failure, and
 finished stages are checkpointed (``--checkpoint-dir``,
 ``--no-checkpoint``) so an interrupted run continues with ``--resume``.
+``--archive-jobs N`` analyzes N archives concurrently (0 auto-detects)
+under one worker budget shared with ``--jobs``; the report, manifest,
+and exit code are identical to the serial run.
 
 Archive-reading commands also accept ``--jobs N`` (parse with N worker
 processes; 0 auto-detects), ``--cache-dir PATH`` (persistent parse cache,
@@ -50,7 +53,7 @@ import json
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.anonymize import Anonymizer
 from repro.core import (
@@ -342,14 +345,52 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return network.diagnostics.exit_code()
 
 
-def _corpus_archives(root: str) -> List[str]:
-    """The archives under ``root``: its subdirectories, else ``root`` itself."""
-    subdirs = sorted(
+def _corpus_archives(root: str) -> "Tuple[List[str], List[str]]":
+    """``(archives, ignored)`` under ``root``.
+
+    Subdirectories are the archives (the paper's layout: one directory
+    per network); a flat directory of config files is itself one archive.
+    A *mixed* directory — loose files beside archive subdirectories — is
+    almost always misplaced data, so the loose files are returned as
+    ``ignored`` and named in a diagnostic instead of being silently
+    dropped (move them into an archive directory to analyze them).
+    """
+    entries = sorted(os.listdir(root))
+    subdirs = [
         os.path.join(root, entry)
-        for entry in os.listdir(root)
+        for entry in entries
         if os.path.isdir(os.path.join(root, entry))
+    ]
+    if not subdirs:
+        return [root], []
+    loose = [
+        entry for entry in entries if os.path.isfile(os.path.join(root, entry))
+    ]
+    return subdirs, loose
+
+
+def _ingest_archive(
+    args: argparse.Namespace, path: str, cache, budget, timer: StageTimer
+) -> Network:
+    """Ingest one corpus archive (thread-safe: no namespace mutation).
+
+    Unlike :func:`_load` this neither appends to ``_loaded_networks`` nor
+    prints the ingestion summary — concurrent archive workers must not
+    interleave those; ``cmd_corpus`` does both in archive order after the
+    scheduler returns.
+    """
+    if not os.path.isdir(path):
+        raise SystemExit(f"error: {path} is not a directory of config files")
+    mode = getattr(args, "mode", None) or "lenient"
+    on_error = "skip-block" if mode == "lenient" else "strict"
+    return Network.from_directory(
+        path,
+        on_error=on_error,
+        jobs=getattr(args, "jobs", None),
+        cache=cache,
+        timer=timer,
+        budget=budget,
     )
-    return subdirs or [root]
 
 
 def _resolve_stage_deadline(args: argparse.Namespace):
@@ -408,6 +449,52 @@ def _corpus_executor(args: argparse.Namespace):
     return AnalysisExecutor(config)
 
 
+def _skipped_corpus_entry(name: str):
+    """The report entry for an archive the scheduler never started.
+
+    ``--fail-fast`` aborts must not make archives vanish from the report:
+    every archive the corpus contains is listed, the unstarted ones with
+    ``status: "skipped"`` and all their stages marked skipped — the same
+    vocabulary the executor uses for stages it skips inside an archive.
+    """
+    from repro.exec import (  # noqa: PLC0415
+        ANALYSIS_STAGES,
+        STATUS_SKIPPED,
+        ArchiveExecution,
+        StageResult,
+    )
+
+    execution = ArchiveExecution(
+        archive=name,
+        digest="",
+        results=[
+            StageResult(
+                stage=stage,
+                status=STATUS_SKIPPED,
+                attempts=0,
+                detail="fail-fast abort",
+            )
+            for stage in ANALYSIS_STAGES
+        ],
+    )
+    entry = {
+        "archive": name,
+        "routers": 0,
+        "files": 0,
+        "parsed": 0,
+        "cached": 0,
+        "quarantined": 0,
+        "exit_code": 0,
+        "status": execution.status,
+        "stage_counts": execution.counts,
+        "execution": execution.as_dict(),
+        "stages": [],
+        "total_seconds": 0.0,
+        "parsed_per_second": None,
+    }
+    return entry, execution
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     """Batch-analyze a directory of archives under the resilient executor.
 
@@ -415,7 +502,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     one command: every subdirectory of ``corpusdir`` is ingested
     (parallel, cached), then every analysis stage runs inside the
     :mod:`repro.exec` barrier (per-stage deadlines, degradation ladders,
-    checkpoint/resume).  Output is a per-network table (or ``--json``).
+    checkpoint/resume).  ``--archive-jobs N`` analyzes N archives
+    concurrently under one shared worker budget; results are identical
+    to the serial run.  Output is a per-network table (or ``--json``).
 
     Exit code contract: 0 all archives clean; 1 ingestion warnings only;
     2 ingestion errors; 3 the run *completed* but at least one analysis
@@ -426,26 +515,56 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     if not os.path.isdir(args.corpusdir):
         raise SystemExit(f"error: {args.corpusdir} is not a directory")
     from repro.diag import EXIT_CLEAN, EXIT_DEGRADED  # noqa: PLC0415
+    from repro.exec import (  # noqa: PLC0415
+        CorpusScheduler,
+        archive_name,
+        resolve_archive_jobs,
+    )
+    from repro.ingest import (  # noqa: PLC0415
+        MAX_AUTO_JOBS,
+        WorkerBudget,
+        available_cpus,
+    )
+
+    archives, ignored = _corpus_archives(args.corpusdir)
+    for loose in ignored:
+        print(
+            f"corpus: ignoring loose file {loose!r} at the corpus root "
+            f"(archives are directories; move it into one to analyze it)",
+            file=sys.stderr,
+        )
+    try:
+        archive_jobs = resolve_archive_jobs(
+            getattr(args, "archive_jobs", None), len(archives)
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    # One worker budget for the whole run: the archive workers' parse
+    # pools split the --jobs token pool instead of multiplying by it.
+    jobs = getattr(args, "jobs", None)
+    total_workers = jobs if jobs else min(available_cpus(), MAX_AUTO_JOBS)
+    budget = WorkerBudget(total=max(1, total_workers), archive_jobs=archive_jobs)
 
     executor = _corpus_executor(args)
-    executions = args._executions = {}
-    report: List[dict] = []
-    for path in _corpus_archives(args.corpusdir):
+    # Materialize the shared cache before workers race the lazy creation.
+    cache = _cache_from_args(args)
+
+    def analyze_archive(path: str):
         timer = StageTimer()
-        network = _load(args, path, timer=timer, default_mode="lenient")
-        name = os.path.basename(path.rstrip(os.sep)) or path
+        network = _ingest_archive(args, path, cache, budget, timer)
+        name = archive_name(path)
         execution = executor.run_archive(name, network)
-        executions[path] = execution
         for result in execution.results:
             record = timer.record(result.stage, result.seconds, result.items)
             record.status = result.status
         stats = timer.as_dict()
         parse_seconds = timer.seconds("parse")
+        parsed = timer.counter("parse", "parsed")
         entry = {
             "archive": name,
             "routers": len(network),
             "files": timer.items("read"),
-            "parsed": timer.counter("parse", "parsed"),
+            "parsed": parsed,
             "cached": timer.counter("parse", "cached"),
             "quarantined": len(network.quarantined),
             "exit_code": network.diagnostics.exit_code(),
@@ -454,15 +573,45 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             "execution": execution.as_dict(),
             "stages": stats["stages"],
             "total_seconds": stats["total_seconds"],
-            "files_per_second": (
-                round(timer.items("parse") / parse_seconds, 1)
-                if parse_seconds > 0 and timer.items("parse")
+            # Parsed-only throughput: cache replays are (fast) reads,
+            # not parses, and counting them made warm-cache runs look
+            # implausibly fast.  Replays are reported as "cached".
+            "parsed_per_second": (
+                round(parsed / parse_seconds, 1)
+                if parse_seconds > 0 and parsed
                 else None
             ),
         }
+        return entry, network, execution
+
+    scheduler = CorpusScheduler(
+        archive_jobs=archive_jobs, abort=executor.abort_event
+    )
+    outcomes = scheduler.run(archives, analyze_archive)
+
+    # Merge in archive order, whatever order the workers finished in:
+    # the report, the loaded-network list (exit-code folding, run
+    # manifest), and the ingestion summaries are all deterministic.
+    executions = args._executions = {}
+    loaded = args._loaded_networks = []
+    report: List[dict] = []
+    archives_skipped = 0
+    for outcome in outcomes:
+        if outcome.skipped:
+            entry, execution = _skipped_corpus_entry(outcome.name)
+            archives_skipped += 1
+        else:
+            entry, network, execution = outcome.value
+            loaded.append((outcome.path, network))
+            if len(network.diagnostics) or network.quarantined:
+                print(
+                    f"ingestion: {network.diagnostics.summary()}, "
+                    f"{len(network.quarantined)} file(s) quarantined "
+                    f"(run `repro lint` for details)",
+                    file=sys.stderr,
+                )
+        executions[outcome.path] = execution
         report.append(entry)
-        if executor.aborted:
-            break
 
     code = EXIT_CLEAN
     for entry in report:
@@ -470,7 +619,6 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     if any(entry["status"] != "ok" for entry in report):
         code = max(code, EXIT_DEGRADED)
 
-    cache = _cache_from_args(args)
     store = args._exec_config.checkpoints
     suggestion = args._exec_suggestion
     stage_totals: dict = {}
@@ -480,7 +628,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 stage_totals[status] = stage_totals.get(status, 0) + count
     payload = {
         "corpus": args.corpusdir,
-        "jobs": getattr(args, "jobs", None),
+        "jobs": jobs,
+        "archive_jobs": archive_jobs,
+        "ignored_files": ignored,
         "cache": cache.stats.as_dict() if cache is not None else None,
         "execution": {
             "stage_deadline": args._exec_config.stage_deadline,
@@ -494,6 +644,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         "archives": report,
         "totals": {
             "archives": len(report),
+            "archives_skipped": archives_skipped,
             "routers": sum(e["routers"] for e in report),
             "files": sum(e["files"] for e in report),
             "parsed": sum(e["parsed"] for e in report),
@@ -527,7 +678,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             stage_seconds(entry, "links"),
             stage_seconds(entry, "instances"),
             stage_seconds(entry, "pathways"),
-            entry["files_per_second"] or "-",
+            entry["parsed_per_second"] or "-",
             entry["status"],
         )
         for entry in report
@@ -564,7 +715,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 "links s",
                 "inst s",
                 "path s",
-                "files/s",
+                "parsed/s",
                 "status",
             ],
             rows,
@@ -746,6 +897,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable per-network timing output",
+    )
+    p.add_argument(
+        "--archive-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analyze N archives concurrently under one shared worker "
+        "budget (0 = auto-detect, default 1 = serial); results are "
+        "identical whatever N is",
     )
     p.add_argument(
         "--deadline",

@@ -7,8 +7,11 @@ deadlines (:mod:`~repro.exec.watchdog`), bounded
 retry-with-degradation ladders (:mod:`~repro.exec.executor`),
 content-addressed per-(archive, stage) checkpoints for ``--resume``
 (:mod:`~repro.exec.checkpoint`), injectable chaos hooks for testing the
-whole thing (:mod:`~repro.exec.chaos`), and deadline defaults derived
-from measured stage timings (:mod:`~repro.exec.budget`).
+whole thing (:mod:`~repro.exec.chaos`), deadline defaults derived
+from measured stage timings (:mod:`~repro.exec.budget`), and a
+corpus-level scheduler that fans whole archives out across worker
+threads with deterministic merged results
+(:mod:`~repro.exec.scheduler`).
 """
 
 from repro.exec.budget import DeadlineSuggestion, suggest_stage_deadline
@@ -27,6 +30,12 @@ from repro.exec.executor import (
     ExecutorConfig,
     Rung,
     StageContext,
+)
+from repro.exec.scheduler import (
+    ArchiveOutcome,
+    CorpusScheduler,
+    archive_name,
+    resolve_archive_jobs,
 )
 from repro.exec.stage import (
     ANALYSIS_STAGES,
@@ -47,6 +56,7 @@ __all__ = [
     "ANALYSIS_STAGES",
     "AnalysisExecutor",
     "ArchiveExecution",
+    "ArchiveOutcome",
     "CHAOS_ENV",
     "CHECKPOINT_SCHEMA",
     "ChaosError",
@@ -54,6 +64,7 @@ __all__ = [
     "ChaosRule",
     "CheckpointStats",
     "CheckpointStore",
+    "CorpusScheduler",
     "DEFAULT_LADDERS",
     "DeadlineSuggestion",
     "ExecutorConfig",
@@ -71,7 +82,9 @@ __all__ = [
     "StageResult",
     "WatchdogOutcome",
     "archive_digest",
+    "archive_name",
     "default_checkpoint_dir",
+    "resolve_archive_jobs",
     "run_with_deadline",
     "status_counts",
     "suggest_stage_deadline",

@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Tuple
 
@@ -69,20 +70,33 @@ def archive_digest(inventory: Iterable) -> str:
 
 @dataclass
 class CheckpointStats:
-    """Hit/miss/store accounting for one store instance's lifetime."""
+    """Hit/miss/store accounting for one store instance's lifetime.
+
+    Increments are locked: one store is shared by every archive worker
+    of a parallel corpus run, and unlocked ``+=`` would lose counts
+    under thread interleaving.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     invalidated: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def count(self, stat: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, stat, getattr(self, stat) + amount)
 
     def as_dict(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "invalidated": self.invalidated,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "invalidated": self.invalidated,
+            }
 
 
 @dataclass
@@ -116,7 +130,7 @@ class CheckpointStore:
             with open(path) as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.count("misses")
             metrics.counter("exec.checkpoint.misses").inc()
             return None
         except Exception:  # noqa: BLE001 — damage degrades to a miss
@@ -138,13 +152,13 @@ class CheckpointStore:
             self._invalidate(path, metrics, reason="malformed")
             return None
         result.from_checkpoint = True
-        self.stats.hits += 1
+        self.stats.count("hits")
         metrics.counter("exec.checkpoint.hits").inc()
         return result
 
     def _invalidate(self, path: str, metrics, reason: str) -> None:
-        self.stats.misses += 1
-        self.stats.invalidated += 1
+        self.stats.count("misses")
+        self.stats.count("invalidated")
         metrics.counter("exec.checkpoint.misses").inc()
         metrics.counter("exec.checkpoint.invalidated").inc()
         _log.info("invalidated checkpoint", path=path, reason=reason)
@@ -181,7 +195,7 @@ class CheckpointStore:
                 raise
         except Exception:  # noqa: BLE001 — a read-only store is still a store
             return False
-        self.stats.stores += 1
+        self.stats.count("stores")
         get_registry().counter("exec.checkpoint.stores").inc()
         return True
 

@@ -28,6 +28,7 @@ uninterrupted one.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
@@ -263,8 +264,28 @@ class AnalysisExecutor:
 
     def __init__(self, config: Optional[ExecutorConfig] = None):
         self.config = config or ExecutorConfig()
-        self.aborted = False  # --fail-fast tripped; remaining work skips
+        # --fail-fast tripped; remaining work skips.  An Event, not a
+        # bool: one executor drives every archive worker of a parallel
+        # corpus run, and the abort must be visible across threads the
+        # instant any of them trips it.
+        self._abort = threading.Event()
         self._run_start = time.perf_counter()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    @aborted.setter
+    def aborted(self, value: bool) -> None:
+        if value:
+            self._abort.set()
+        else:
+            self._abort.clear()
+
+    @property
+    def abort_event(self) -> threading.Event:
+        """The shared abort signal (the corpus scheduler watches it)."""
+        return self._abort
 
     # -- budgets -------------------------------------------------------------
 

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry, use_registry
+from repro.obs.trace import activate_tracer, current_tracer
 
 _log = get_logger("exec.watchdog")
 
@@ -99,10 +101,16 @@ def run_with_deadline(
 
     outcome = WatchdogOutcome()
     done = threading.Event()
+    # Observability scoping is thread-local; the worker thread inherits
+    # the caller's registry and tracer explicitly so stage metrics and
+    # spans land in the same run they would have landed in inline.
+    registry = get_registry()
+    tracer = current_tracer()
 
     def worker() -> None:
         try:
-            result = fn()
+            with use_registry(registry), activate_tracer(tracer):
+                result = fn()
         except StageCancelled:
             return  # the watchdog already recorded the timeout
         except BaseException as exc:  # noqa: BLE001 — barrier; the caller

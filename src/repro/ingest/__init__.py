@@ -33,6 +33,7 @@ from repro.ingest.parallel import (
     PARALLEL_THRESHOLD,
     ParseOutcome,
     ParseTask,
+    WorkerBudget,
     available_cpus,
     parse_many,
     parse_one,
@@ -52,6 +53,7 @@ __all__ = [
     "ParseTask",
     "StageRecord",
     "StageTimer",
+    "WorkerBudget",
     "available_cpus",
     "default_cache_dir",
     "parse_many",

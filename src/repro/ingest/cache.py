@@ -31,6 +31,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
@@ -65,20 +66,33 @@ class CacheEntry:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one cache instance's lifetime."""
+    """Hit/miss/store counters for one cache instance's lifetime.
+
+    Increments are locked: one cache instance is shared by every archive
+    worker of a parallel corpus run, and unlocked ``+=`` would lose
+    counts under thread interleaving.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def count(self, stat: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, stat, getattr(self, stat) + amount)
 
     def as_dict(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+            }
 
 
 @dataclass
@@ -126,7 +140,7 @@ class ParseCache:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.count("misses")
             metrics.counter("cache.misses").inc()
             return None
         except Exception:  # noqa: BLE001 — any damage degrades to a miss
@@ -135,13 +149,13 @@ class ParseCache:
         if not isinstance(entry, CacheEntry):
             self._evict_corrupt(path, metrics)
             return None
-        self.stats.hits += 1
+        self.stats.count("hits")
         metrics.counter("cache.hits").inc()
         return entry
 
     def _evict_corrupt(self, path: str, metrics) -> None:
-        self.stats.misses += 1
-        self.stats.evictions += 1
+        self.stats.count("misses")
+        self.stats.count("evictions")
         metrics.counter("cache.misses").inc()
         metrics.counter("cache.corrupt").inc()
         try:
@@ -169,7 +183,7 @@ class ParseCache:
                 raise
         except Exception:  # noqa: BLE001 — a read-only cache is still a cache
             return False
-        self.stats.stores += 1
+        self.stats.count("stores")
         get_registry().counter("cache.stores").inc()
         return True
 

@@ -80,6 +80,48 @@ def resolve_jobs(jobs: Optional[int], n_items: int) -> int:
 
 
 @dataclass(frozen=True)
+class WorkerBudget:
+    """One machine-wide worker budget, split across concurrent archives.
+
+    ``repro corpus --archive-jobs M --jobs N`` must not oversubscribe the
+    host with up to ``M × N`` parse processes.  The scheduler builds one
+    budget for the whole run — ``total`` worker tokens, split evenly
+    across the ``archive_jobs`` archive slots — and every per-archive
+    parse pool sizes itself through :meth:`grant` instead of claiming the
+    machine for itself.
+
+    The split is static (``total // archive_jobs``, floored at one), so
+    granting never blocks: with ``archive_jobs ≤ total`` the concurrent
+    worker count stays ≤ ``total``; asking for more archive slots than
+    worker tokens degrades to one worker per archive, never to a
+    deadlock.
+    """
+
+    total: int
+    archive_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError(f"budget total must be >= 1, got {self.total}")
+        if self.archive_jobs < 1:
+            raise ValueError(f"archive_jobs must be >= 1, got {self.archive_jobs}")
+
+    @property
+    def share(self) -> int:
+        """Worker tokens available to one archive slot."""
+        return max(1, self.total // self.archive_jobs)
+
+    @property
+    def concurrent(self) -> bool:
+        """True when archives run concurrently (parse pools must offload)."""
+        return self.archive_jobs > 1
+
+    def grant(self, requested: int) -> int:
+        """Cap a requested worker count at this slot's share (min 1)."""
+        return max(1, min(requested, self.share))
+
+
+@dataclass(frozen=True)
 class ParseTask:
     """One file to parse: source name, decoded text, fault policy.
 
@@ -189,12 +231,19 @@ def parse_many(
     jobs: Optional[int] = None,
     cache: Union[ParseCache, str, None] = None,
     timer: Optional[StageTimer] = None,
+    budget: Optional[WorkerBudget] = None,
 ) -> List[ParseOutcome]:
     """Parse all tasks, in parallel where it pays, through the cache.
 
     Returns one :class:`ParseOutcome` per task **in task order** — the
     caller folds diagnostics and raises strict-mode errors in that order,
     which is what makes ``jobs=8`` indistinguishable from ``jobs=1``.
+
+    *budget*, when given, caps the worker count at this archive slot's
+    share of the corpus-wide :class:`WorkerBudget`.  Under a concurrent
+    budget even a one-worker parse of a large archive is routed through a
+    process pool: the GIL is released while the parent waits on the pool,
+    so sibling archive threads parse on other cores in the meantime.
     """
     cache = ParseCache.coerce(cache)
     start = time.perf_counter()
@@ -218,7 +267,14 @@ def parse_many(
         pending.append(index)
 
     worker_count = resolve_jobs(jobs, len(pending))
-    if worker_count <= 1:
+    if budget is not None:
+        worker_count = budget.grant(worker_count)
+    offload = (
+        budget is not None
+        and budget.concurrent
+        and len(pending) >= PARALLEL_THRESHOLD
+    )
+    if worker_count <= 1 and not offload:
         for index in pending:
             outcomes[index] = parse_one(tasks[index])
     else:
@@ -283,6 +339,7 @@ __all__ = [
     "PARALLEL_THRESHOLD",
     "ParseOutcome",
     "ParseTask",
+    "WorkerBudget",
     "available_cpus",
     "parse_many",
     "parse_one",

@@ -19,7 +19,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.diag import PHASE_BUILD, PHASE_READ, DiagnosticSink
 from repro.ingest.cache import ParseCache
-from repro.ingest.parallel import ON_ERROR_POLICIES, ParseTask, parse_many
+from repro.ingest.parallel import (
+    ON_ERROR_POLICIES,
+    ParseTask,
+    WorkerBudget,
+    parse_many,
+)
 from repro.ingest.timer import StageRecord, StageTimer
 from repro.obs.logging import get_logger
 from repro.obs.manifest import (
@@ -242,6 +247,7 @@ class Network:
         jobs: Optional[int] = None,
         cache: Union[ParseCache, str, None] = None,
         timer: Optional[StageTimer] = None,
+        budget: Optional[WorkerBudget] = None,
     ) -> "Network":
         """Build a network from a mapping of router name → config text/model.
 
@@ -257,8 +263,11 @@ class Network:
         :class:`repro.ingest.ParseCache` (or directory path) that replays
         previously-parsed files; ``timer`` is a
         :class:`repro.ingest.StageTimer` that receives the parse-stage
-        timing.  Whatever the ``jobs``/``cache`` setting, the resulting
-        routers, diagnostics, and quarantine list are identical.
+        timing; ``budget`` is the shared
+        :class:`repro.ingest.WorkerBudget` a concurrent corpus run uses
+        to cap this archive's parse workers.  Whatever the
+        ``jobs``/``cache``/``budget`` setting, the resulting routers,
+        diagnostics, and quarantine list are identical.
         """
         if on_error not in ON_ERROR_POLICIES:
             raise ValueError(f"unknown on_error policy: {on_error!r}")
@@ -269,7 +278,9 @@ class Network:
             for router_name, config in entries
             if isinstance(config, str)
         ]
-        outcomes = iter(parse_many(tasks, jobs=jobs, cache=cache, timer=timer))
+        outcomes = iter(
+            parse_many(tasks, jobs=jobs, cache=cache, timer=timer, budget=budget)
+        )
         routers = []
         quarantined: List[str] = []
         inventory: List[FileRecord] = []
@@ -316,6 +327,7 @@ class Network:
         jobs: Optional[int] = None,
         cache: Union[ParseCache, str, None] = None,
         timer: Optional[StageTimer] = None,
+        budget: Optional[WorkerBudget] = None,
     ) -> "Network":
         """Build a network from a directory of config files (``config1`` ...).
 
@@ -328,7 +340,7 @@ class Network:
         and are renamed with a ``~N`` suffix (plus a warning diagnostic)
         otherwise.
 
-        ``jobs``, ``cache``, and ``timer`` behave as in
+        ``jobs``, ``cache``, ``timer``, and ``budget`` behave as in
         :meth:`from_configs`; file reads and the binary-content sniff
         always happen in this process, and per-file parse diagnostics are
         folded back in directory order, so the diagnostic stream does not
@@ -365,7 +377,9 @@ class Network:
             for entry, _sink, text, raw in files
             if text is not None
         ]
-        outcomes = iter(parse_many(tasks, jobs=jobs, cache=cache, timer=timer))
+        outcomes = iter(
+            parse_many(tasks, jobs=jobs, cache=cache, timer=timer, budget=budget)
+        )
         for entry, file_sink, text, raw in files:
             sink.merge(file_sink)
             if text is None:

@@ -27,53 +27,67 @@ from typing import Dict, Iterator, Optional, Tuple
 
 
 class Counter:
-    """A monotonically increasing event count."""
+    """A monotonically increasing event count.
 
-    __slots__ = ("value",)
+    Mutation is locked: archive workers of a parallel corpus run share
+    one registry, and an unlocked ``+=`` read-modify-write would lose
+    increments under thread interleaving — turning the deterministic
+    counter slice of the manifest nondeterministic.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time value (last write wins)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
     """A streaming summary of observations: count, sum, min, max, mean."""
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
 
     @property
     def mean(self) -> Optional[float]:
@@ -146,35 +160,46 @@ class MetricsRegistry:
         )
 
 
-# The registry stack: the bottom entry is the process-wide default; a CLI
-# invocation (or a test) pushes a fresh registry for its own lifetime.
-_REGISTRIES: Tuple[MetricsRegistry, ...] = (MetricsRegistry(),)
-_STACK_LOCK = threading.Lock()
+# The registry stack is **thread-local**: a worker thread that never
+# scoped a registry of its own sees the process-wide default, not
+# whatever another thread happens to have pushed.  Threads that work on
+# behalf of a scoped run (the stage watchdog, the corpus scheduler's
+# archive workers) re-activate the parent's registry explicitly with
+# ``use_registry(parent_registry)`` — inheritance is a decision, never an
+# accident of timing.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+class _RegistryStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: Tuple[MetricsRegistry, ...] = ()
+
+
+_REGISTRIES = _RegistryStack()
 
 
 def get_registry() -> MetricsRegistry:
-    """The currently active registry (innermost :func:`use_registry`)."""
-    return _REGISTRIES[-1]
+    """The currently active registry (innermost :func:`use_registry`
+    on *this thread*, else the process-wide default)."""
+    stack = _REGISTRIES.stack
+    return stack[-1] if stack else _DEFAULT_REGISTRY
 
 
 @contextmanager
 def use_registry(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
-    """Scope *registry* (default: a fresh one) as the active registry."""
-    global _REGISTRIES
+    """Scope *registry* (default: a fresh one) as this thread's active registry."""
     if registry is None:
         registry = MetricsRegistry()
-    with _STACK_LOCK:
-        _REGISTRIES = _REGISTRIES + (registry,)
+    _REGISTRIES.stack = _REGISTRIES.stack + (registry,)
     try:
         yield registry
     finally:
-        with _STACK_LOCK:
-            stack = list(_REGISTRIES)
-            for index in range(len(stack) - 1, 0, -1):
-                if stack[index] is registry:
-                    del stack[index]
-                    break
-            _REGISTRIES = tuple(stack)
+        stack = list(_REGISTRIES.stack)
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is registry:
+                del stack[index]
+                break
+        _REGISTRIES.stack = tuple(stack)
 
 
 __all__ = [

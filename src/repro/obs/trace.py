@@ -105,6 +105,33 @@ class Tracer:
 
     # -- export ------------------------------------------------------------
 
+    def graft(self, other: "Tracer") -> None:
+        """Adopt another tracer's finished root spans into this tree.
+
+        The corpus scheduler gives each concurrent archive worker a
+        private tracer (two threads must not interleave pushes on one
+        span stack) and grafts the per-archive trees back in archive
+        order once all workers are done — so the merged timeline is
+        deterministic in *structure* whatever the completion order was.
+
+        The donor's spans are rebased from its epoch onto ours and
+        attached under the currently open span (or as roots).  The donor
+        is consumed: it must be finished, and is left empty.
+        """
+        offset = other._epoch - self._epoch
+
+        def rebase(span: Span) -> None:
+            span.start += offset
+            if span.end is not None:
+                span.end += offset
+            for child in span.children:
+                rebase(child)
+
+        for root in other.roots:
+            rebase(root)
+            self._attach(root)
+        other.roots = []
+
     def span_tree(self) -> List[Dict[str, Any]]:
         """The nested-dict form embedded in run manifests."""
         return [span.as_dict() for span in self.roots]
@@ -140,34 +167,42 @@ class Tracer:
 # The active tracer, if any.  Deep pipeline code (stage timers, analysis
 # decorators) looks it up here rather than having a tracer threaded through
 # every signature; when no tracer is active, tracing is a no-op.
-_TRACERS: Tuple[Tracer, ...] = ()
-_STACK_LOCK = threading.Lock()
+#
+# The activation stack is **thread-local**: a Tracer's span stack is not
+# safe for concurrent pushes, so a thread only ever traces into a tracer
+# it activated itself.  Threads working on behalf of a traced run (the
+# stage watchdog, the corpus scheduler's archive workers) re-activate the
+# tracer they were handed with ``activate_tracer(...)``.
+class _TracerStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: Tuple[Tracer, ...] = ()
+
+
+_TRACERS = _TracerStack()
 
 
 def current_tracer() -> Optional[Tracer]:
-    """The innermost active tracer, or ``None`` when tracing is off."""
-    return _TRACERS[-1] if _TRACERS else None
+    """This thread's innermost active tracer, or ``None`` when tracing is off."""
+    stack = _TRACERS.stack
+    return stack[-1] if stack else None
 
 
 @contextmanager
 def activate_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
-    """Scope *tracer* as the active tracer (``None`` → no-op block)."""
-    global _TRACERS
+    """Scope *tracer* as this thread's active tracer (``None`` → no-op block)."""
     if tracer is None:
         yield None
         return
-    with _STACK_LOCK:
-        _TRACERS = _TRACERS + (tracer,)
+    _TRACERS.stack = _TRACERS.stack + (tracer,)
     try:
         yield tracer
     finally:
-        with _STACK_LOCK:
-            stack = list(_TRACERS)
-            for index in range(len(stack) - 1, -1, -1):
-                if stack[index] is tracer:
-                    del stack[index]
-                    break
-            _TRACERS = tuple(stack)
+        stack = list(_TRACERS.stack)
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is tracer:
+                del stack[index]
+                break
+        _TRACERS.stack = tuple(stack)
 
 
 def traced(name: str, metric: Optional[str] = None) -> Callable:

@@ -1,5 +1,6 @@
 """Paper-style table and distribution formatting for benches and examples."""
 
+from repro.report.corpus import normalize_corpus_payload
 from repro.report.design_report import generate_design_report
 from repro.report.diagnostics import format_diagnostics
 from repro.report.execution import format_execution_lines, format_status_counts
@@ -15,4 +16,5 @@ __all__ = [
     "format_status_counts",
     "format_table",
     "generate_design_report",
+    "normalize_corpus_payload",
 ]

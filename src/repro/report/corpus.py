@@ -1,0 +1,103 @@
+"""Normalization of ``repro corpus --json`` payloads.
+
+The corpus scheduler's contract (see :mod:`repro.exec.scheduler`) is
+that ``--archive-jobs N`` changes only wall time, never results.  This
+module defines what "results" means: :func:`normalize_corpus_payload`
+strips every field that legitimately varies between two runs over the
+same bytes — wall seconds, throughput rates, worker counts, cache/
+checkpoint hit statistics — and keeps everything that must agree:
+archive order and identity, router/file/parsed/cached/quarantined
+counts, per-stage statuses and item counts, diagnostics exit codes, and
+the corpus totals.  The equivalence tests and the CI corpus-parallel
+gate diff exactly this view between serial and concurrent runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.manifest import _normalize_execution
+
+#: Stage counters that depend on scheduling, not on input bytes.  The
+#: parse pool records how many workers it used; a budget-capped archive
+#: worker legitimately uses fewer than a run that owns the machine.
+_SCHEDULING_COUNTERS = ("workers",)
+
+
+def _normalize_stage(stage: Dict[str, Any]) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "name": stage.get("name"),
+        "items": stage.get("items"),
+    }
+    counters = {
+        key: value
+        for key, value in (stage.get("counters") or {}).items()
+        if key not in _SCHEDULING_COUNTERS
+    }
+    if counters:
+        entry["counters"] = counters
+    if stage.get("status") is not None:
+        entry["status"] = stage["status"]
+    return entry
+
+
+def _normalize_archive(entry: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "archive": entry.get("archive"),
+        "routers": entry.get("routers"),
+        "files": entry.get("files"),
+        "parsed": entry.get("parsed"),
+        "cached": entry.get("cached"),
+        "quarantined": entry.get("quarantined"),
+        "exit_code": entry.get("exit_code"),
+        "status": entry.get("status"),
+        "stage_counts": entry.get("stage_counts"),
+        "execution": _normalize_execution(entry.get("execution")),
+        "stages": [_normalize_stage(stage) for stage in entry.get("stages", [])],
+    }
+
+
+def normalize_corpus_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic core of a ``repro corpus --json`` payload.
+
+    Two runs over the same corpus with the same cache temperature must
+    normalize identically whatever ``--jobs`` and ``--archive-jobs``
+    were.  Stripped: wall seconds and throughput rates, worker counts,
+    cache and checkpoint statistics, and the scheduling knobs themselves.
+    Kept: archives in corpus order with their counts, statuses, stage
+    outcomes, and exit codes; the execution policy flags; ignored loose
+    files; and the corpus totals.
+    """
+    execution = payload.get("execution") or {}
+    normalized_execution: Optional[Dict[str, Any]] = None
+    if execution:
+        normalized_execution = {
+            key: execution.get(key)
+            for key in (
+                "stage_deadline",
+                "soft_deadline",
+                "run_deadline",
+                "resume",
+                "fail_fast",
+            )
+        }
+    totals = {
+        key: value
+        for key, value in (payload.get("totals") or {}).items()
+        if key != "seconds"
+    }
+    normalized: Dict[str, Any] = {
+        "corpus": payload.get("corpus"),
+        "execution": normalized_execution,
+        "archives": [
+            _normalize_archive(entry) for entry in payload.get("archives", [])
+        ],
+        "totals": totals,
+    }
+    ignored: List[str] = payload.get("ignored_files") or []
+    if ignored:
+        normalized["ignored_files"] = list(ignored)
+    return normalized
+
+
+__all__ = ["normalize_corpus_payload"]

@@ -302,7 +302,7 @@ class TestCorpus:
         out = capsys.readouterr().out
         assert "alpha" in out and "beta" in out
         assert "TOTAL" in out
-        for column in ("parse s", "links s", "inst s", "path s", "files/s"):
+        for column in ("parse s", "links s", "inst s", "path s", "parsed/s"):
             assert column in out
 
     def test_json_payload_shape(self, corpus_dir, capsys):

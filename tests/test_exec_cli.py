@@ -123,13 +123,26 @@ class TestFailFast:
         captured = capsys.readouterr()
         payload = json.loads(captured.out)
         assert code == 3
-        assert len(payload["archives"]) == 1  # beta never started
         assert "aborted by --fail-fast" in captured.err
+        # Every archive is accounted for: the broken one as failed, the
+        # never-started one as skipped (it must not vanish from the
+        # report just because the run aborted before reaching it).
+        assert [e["archive"] for e in payload["archives"]] == ["alpha", "beta"]
         statuses = [
             s["status"] for s in payload["archives"][0]["execution"]["stages"]
         ]
         assert statuses[0] == "failed"
         assert set(statuses[1:]) == {"skipped"}
+        beta = payload["archives"][1]
+        assert beta["status"] == "skipped"
+        assert beta["routers"] == beta["files"] == 0
+        assert {
+            s["status"] for s in beta["execution"]["stages"]
+        } == {"skipped"}
+        totals = payload["totals"]
+        assert totals["archives"] == 2
+        assert totals["archives_skipped"] == 1
+        assert totals["stages"]["skipped"] >= len(beta["execution"]["stages"])
 
 
 class TestFlagValidation:

@@ -1,0 +1,390 @@
+"""Corpus scheduler: budget split, determinism, abort, concurrent stores.
+
+The tentpole contract under test: ``repro corpus --archive-jobs N`` is a
+pure wall-time knob.  Whatever N is, the normalized ``--json`` payload,
+the normalized run manifest, and the exit code are identical to the
+serial run — including over a corpus that mixes clean archives, a
+faulted archive, and a chaos-injected stage failure.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.exec import (
+    CHAOS_ENV,
+    ArchiveOutcome,
+    CheckpointStore,
+    CorpusScheduler,
+    StageResult,
+    archive_name,
+    resolve_archive_jobs,
+)
+from repro.ingest import MAX_AUTO_JOBS, WorkerBudget, available_cpus
+from repro.obs import normalize_manifest
+from repro.obs.trace import Tracer, activate_tracer
+from repro.report import normalize_corpus_payload
+from repro.synth import inject_fault
+from repro.synth.templates.example_fig1 import build_example_networks
+
+#: In sorted order — the order the corpus walks (and reports) archives.
+ARCHIVES = ("alpha", "beta", "delta", "gamma")
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """Four archives with distinct bytes; ``delta`` carries a parse fault.
+
+    Distinct bytes matter twice over: identical archives would share one
+    checkpoint digest, and — under a shared cold cache — which archive
+    parses and which replays would become a scheduling race.
+    """
+    configs, _meta = build_example_networks()
+    faulted, _fault = inject_fault(configs, "corrupt-ip", seed=2)
+    for archive in ARCHIVES:
+        d = tmp_path / "corpus" / archive
+        d.mkdir(parents=True)
+        source = faulted if archive == "delta" else configs
+        for name, text in source.items():
+            (d / name).write_text(f"! {archive}\n{text}")
+    return os.fspath(tmp_path / "corpus")
+
+
+def _corpus(corpus_dir, *flags):
+    return ["corpus", "--no-cache", "--json", *flags, corpus_dir]
+
+
+class TestWorkerBudget:
+    def test_share_splits_the_token_pool(self):
+        budget = WorkerBudget(total=8, archive_jobs=4)
+        assert budget.share == 2
+        assert budget.concurrent
+        assert budget.grant(16) == 2
+        assert budget.grant(1) == 1
+
+    def test_serial_budget_grants_up_to_total(self):
+        budget = WorkerBudget(total=8)
+        assert budget.share == 8
+        assert not budget.concurrent
+        assert budget.grant(16) == 8
+
+    def test_oversubscribed_split_degrades_to_one_worker_each(self):
+        # More archive threads than tokens: every archive still gets one
+        # parse worker (bounded oversubscription, never a deadlock).
+        budget = WorkerBudget(total=2, archive_jobs=8)
+        assert budget.share == 1
+        assert budget.grant(4) == 1
+
+    @pytest.mark.parametrize("total,archive_jobs", [(0, 1), (1, 0), (-3, 2)])
+    def test_rejects_nonpositive_parts(self, total, archive_jobs):
+        with pytest.raises(ValueError):
+            WorkerBudget(total=total, archive_jobs=archive_jobs)
+
+
+class TestResolveArchiveJobs:
+    def test_flag_absent_stays_serial(self):
+        assert resolve_archive_jobs(None, 8) == 1
+
+    def test_zero_auto_detects_capped_by_cpus_and_archives(self):
+        expected = max(1, min(available_cpus(), MAX_AUTO_JOBS, 3))
+        assert resolve_archive_jobs(0, 3) == expected
+
+    def test_explicit_request_capped_by_archive_count(self):
+        assert resolve_archive_jobs(16, 4) == 4
+        assert resolve_archive_jobs(2, 4) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_archive_jobs(-1, 4)
+
+    def test_empty_corpus_is_serial(self):
+        assert resolve_archive_jobs(8, 0) == 1
+
+
+class TestCorpusScheduler:
+    def test_results_come_back_in_archive_order(self):
+        scheduler = CorpusScheduler(archive_jobs=4)
+        outcomes = scheduler.run(
+            ["/c/one", "/c/two", "/c/three"], lambda path: path.upper()
+        )
+        assert [o.name for o in outcomes] == ["one", "two", "three"]
+        assert [o.value for o in outcomes] == ["/C/ONE", "/C/TWO", "/C/THREE"]
+        assert not any(o.skipped for o in outcomes)
+
+    def test_serial_and_threaded_agree(self):
+        paths = [f"/corpus/net{i}" for i in range(6)]
+        serial = CorpusScheduler(archive_jobs=1).run(paths, archive_name)
+        threaded = CorpusScheduler(archive_jobs=4).run(paths, archive_name)
+        assert [o.value for o in serial] == [o.value for o in threaded]
+
+    def test_first_error_in_archive_order_is_reraised(self):
+        failures = {"two": ValueError("two"), "four": ValueError("four")}
+
+        def worker(path):
+            error = failures.get(archive_name(path))
+            if error is not None:
+                raise error
+            return path
+
+        scheduler = CorpusScheduler(archive_jobs=4)
+        with pytest.raises(ValueError, match="two"):
+            scheduler.run(["/c/one", "/c/two", "/c/three", "/c/four"], worker)
+
+    def test_error_stops_new_archives_from_starting(self):
+        started = []
+        gate = threading.Event()
+
+        def worker(path):
+            started.append(archive_name(path))
+            if archive_name(path) == "one":
+                gate.set()
+                raise RuntimeError("boom")
+            return path
+
+        scheduler = CorpusScheduler(archive_jobs=1)
+        with pytest.raises(RuntimeError):
+            scheduler.run(["/c/one", "/c/two", "/c/three"], worker)
+        assert gate.is_set()
+        assert started == ["one"]
+
+    def test_pre_set_abort_skips_everything(self):
+        abort = threading.Event()
+        abort.set()
+        scheduler = CorpusScheduler(archive_jobs=2, abort=abort)
+        outcomes = scheduler.run(
+            ["/c/one", "/c/two"], lambda path: pytest.fail("must not run")
+        )
+        assert all(o.skipped for o in outcomes)
+
+    def test_abort_mid_run_yields_skipped_not_dropped(self):
+        abort = threading.Event()
+
+        def worker(path):
+            if archive_name(path) == "one":
+                abort.set()
+            return path
+
+        scheduler = CorpusScheduler(archive_jobs=1, abort=abort)
+        outcomes = scheduler.run(["/c/one", "/c/two", "/c/three"], worker)
+        assert [o.skipped for o in outcomes] == [False, True, True]
+        assert len(outcomes) == 3
+
+    def test_threaded_spans_graft_in_archive_order(self):
+        tracer = Tracer()
+        scheduler = CorpusScheduler(archive_jobs=3)
+        with activate_tracer(tracer):
+            scheduler.run(["/c/one", "/c/two", "/c/three"], archive_name)
+        names = [span["name"] for span in tracer.span_tree()]
+        assert names == ["archive:one", "archive:two", "archive:three"]
+
+
+class TestArchiveJobsEquivalence:
+    """ISSUE acceptance: ``--archive-jobs 4`` output is identical to
+    ``--archive-jobs 1`` over a faulted and chaos-injected corpus."""
+
+    def _run(self, corpus_dir, tmp_path, capsys, tag, *flags):
+        manifest = os.fspath(tmp_path / f"manifest-{tag}.json")
+        checkpoints = os.fspath(tmp_path / f"checkpoints-{tag}")
+        code = main(
+            _corpus(
+                corpus_dir,
+                "--checkpoint-dir",
+                checkpoints,
+                "--run-report",
+                manifest,
+                *flags,
+            )
+        )
+        payload = json.loads(capsys.readouterr().out)
+        with open(manifest) as handle:
+            return code, payload, json.load(handle)
+
+    def test_parallel_matches_serial(
+        self, corpus_dir, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(CHAOS_ENV, "gamma:consistency=raise")
+        serial_code, serial_payload, serial_manifest = self._run(
+            corpus_dir, tmp_path, capsys, "serial"
+        )
+        parallel_code, parallel_payload, parallel_manifest = self._run(
+            corpus_dir, tmp_path, capsys, "parallel", "--archive-jobs", "4"
+        )
+        assert serial_code == parallel_code == 3  # delta faulted, gamma failed
+        assert parallel_payload["archive_jobs"] == 4
+        assert normalize_corpus_payload(parallel_payload) == (
+            normalize_corpus_payload(serial_payload)
+        )
+        assert normalize_manifest(parallel_manifest) == (
+            normalize_manifest(serial_manifest)
+        )
+        # The normalized view still carries the interesting structure.
+        normalized = normalize_corpus_payload(serial_payload)
+        assert [e["archive"] for e in normalized["archives"]] == list(ARCHIVES)
+        by_archive = {e["archive"]: e for e in normalized["archives"]}
+        assert by_archive["gamma"]["status"] == "failed"
+        assert by_archive["delta"]["exit_code"] == 2
+
+    def test_chaos_targets_archives_deterministically(
+        self, corpus_dir, tmp_path, capsys, monkeypatch
+    ):
+        # The chaos key is archive:stage, so concurrent workers inject
+        # into exactly the same (archive, stage) pair as the serial run.
+        monkeypatch.setenv(CHAOS_ENV, "beta:pathways=raise")
+        code, payload, _manifest = self._run(
+            corpus_dir, tmp_path, capsys, "chaos", "--archive-jobs", "4"
+        )
+        assert code == 3
+        by_archive = {e["archive"]: e for e in payload["archives"]}
+        stages = {
+            s["stage"]: s["status"]
+            for s in by_archive["beta"]["execution"]["stages"]
+        }
+        assert stages["pathways"] == "failed"
+        assert by_archive["alpha"]["status"] == "ok"
+
+    def test_auto_archive_jobs_smoke(self, corpus_dir, capsys):
+        code = main(_corpus(corpus_dir, "--no-checkpoint", "--archive-jobs", "0"))
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2  # delta's parse fault
+        assert payload["archive_jobs"] >= 1
+        assert [e["archive"] for e in payload["archives"]] == list(ARCHIVES)
+
+    def test_negative_archive_jobs_rejected(self, corpus_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(_corpus(corpus_dir, "--archive-jobs", "-2"))
+        capsys.readouterr()
+
+
+class TestFailFastParallel:
+    def test_every_archive_is_accounted_for(
+        self, corpus_dir, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(CHAOS_ENV, "alpha:links=raise")
+        code = main(
+            _corpus(
+                corpus_dir,
+                "--no-checkpoint",
+                "--fail-fast",
+                "--archive-jobs",
+                "4",
+            )
+        )
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 3
+        # In-flight archives may finish or skip depending on timing, but
+        # all four are listed and the totals fold every one of them in.
+        assert [e["archive"] for e in payload["archives"]] == list(ARCHIVES)
+        assert payload["totals"]["archives"] == 4
+        statuses = {e["archive"]: e["status"] for e in payload["archives"]}
+        assert statuses["alpha"] == "failed"
+        assert payload["totals"]["archives_skipped"] == sum(
+            1 for e in payload["archives"] if e["status"] == "skipped" and not e["files"]
+        )
+
+
+class TestCorpusRootDiagnostics:
+    def test_loose_files_beside_archives_are_named(self, tmp_path, capsys):
+        configs, _meta = build_example_networks()
+        root = tmp_path / "corpus"
+        archive = root / "alpha"
+        archive.mkdir(parents=True)
+        for name, text in configs.items():
+            (archive / name).write_text(text)
+        (root / "stray-config").write_text("hostname stray\n")
+        code = main(_corpus(os.fspath(root), "--no-checkpoint"))
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 0
+        assert "stray-config" in captured.err
+        assert payload["ignored_files"] == ["stray-config"]
+        assert [e["archive"] for e in payload["archives"]] == ["alpha"]
+
+    def test_flat_directory_still_one_archive_no_diagnostic(
+        self, tmp_path, capsys
+    ):
+        configs, _meta = build_example_networks()
+        root = tmp_path / "flat"
+        root.mkdir()
+        for name, text in configs.items():
+            (root / name).write_text(text)
+        code = main(_corpus(os.fspath(root), "--no-checkpoint"))
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 0
+        assert payload["ignored_files"] == []
+        assert "ignoring loose file" not in captured.err
+
+
+class TestParsedThroughput:
+    def test_warm_cache_reports_no_parse_throughput(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        cache = os.fspath(tmp_path / "cache")
+        args = [
+            "corpus",
+            "--json",
+            "--no-checkpoint",
+            "--cache-dir",
+            cache,
+            corpus_dir,
+        ]
+        assert main(args) == 2
+        cold = json.loads(capsys.readouterr().out)
+        assert main(args) == 2
+        warm = json.loads(capsys.readouterr().out)
+        # Cold: real parses happened, so a rate is reported.
+        assert any(e["parsed_per_second"] for e in cold["archives"])
+        # Warm: everything replays from cache — zero parses, no rate,
+        # and the replays are visible as the cached count instead of
+        # inflating a files-per-second figure.
+        for entry in warm["archives"]:
+            assert entry["parsed"] == 0
+            assert entry["parsed_per_second"] is None
+            assert entry["cached"] == entry["files"]
+
+
+class TestConcurrentCheckpointWriters:
+    def test_parallel_stores_and_loads_stay_consistent(self, tmp_path):
+        store = CheckpointStore(root=os.fspath(tmp_path / "ckpt"))
+        digests = [f"{i:02x}" * 32 for i in range(8)]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(digest):
+            try:
+                barrier.wait(timeout=10)
+                for round_index in range(10):
+                    result = StageResult(
+                        stage="links", status="ok", items=round_index
+                    )
+                    assert store.store(digest, "net", result)
+                    loaded = store.load(digest, "links")
+                    # A concurrent writer may have replaced the entry,
+                    # but a reader must never see a torn or invalid one.
+                    assert loaded is not None
+                    assert loaded.stage == "links"
+                    assert loaded.status == "ok"
+                    assert loaded.from_checkpoint
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            # Four writers per digest pair: heavy same-key contention.
+            threading.Thread(target=hammer, args=(digests[i % 2],))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = store.stats.as_dict()
+        assert stats["stores"] == 80
+        assert stats["hits"] == 80
+        assert stats["invalidated"] == 0
+        # No temp droppings left behind by the atomic-replace protocol.
+        assert all(".tmp-" not in path for path in store.entries())
