@@ -9,6 +9,7 @@ Subcommands::
     repro survivability <configdir>      §8.1 what-if battery
     repro lint <configdir>               ingestion diagnostics table
     repro corpus <dir-of-archives>       batch analysis with per-stage timing
+    repro sweep <dir>                    what-if failure sweep, ranked by damage
     repro diff <dir-t0> <dir-t1>         §8.2 longitudinal diff
     repro generate <template> <out>      emit a synthetic network
 
@@ -18,9 +19,10 @@ Commands that read an archive accept ``--strict`` (default: abort on the
 first malformed statement) or ``--lenient`` (skip damaged blocks, report
 them, analyze what remains).  Exit codes fold in the ingestion
 diagnostics: 0 clean, 1 warnings, 2 errors — combined with each command's
-own status via ``max``.  ``repro corpus`` adds code 3: the run completed
-but at least one analysis stage finished degraded, timed out, failed, or
-was skipped (see ``--resume``).
+own status via ``max``.  ``repro corpus`` and ``repro sweep`` add code
+3: the run completed but at least one analysis stage (or failure
+scenario) finished degraded, timed out, failed, or was skipped (see
+``--resume``).
 
 ``repro corpus`` runs every analysis stage under the resilient executor
 (:mod:`repro.exec`): ``--stage-deadline SECONDS|auto`` bounds each stage
@@ -736,6 +738,142 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """What-if failure sweep: simulate every failure, rank the damage.
+
+    ``sweepdir`` is either one config archive or a corpus directory
+    whose subdirectories are archives.  Per archive: enumerate every
+    single link/router failure (``--depth 2`` adds budget-sampled
+    doubles), simulate each against the no-failure baseline, and print
+    a fragility ranking (or emit ``--json``).  Scenarios run under the
+    executor's robustness contract — a crashing scenario is a
+    ``failed`` row, a hanging one (``--scenario-deadline``) a
+    ``timeout`` row, and finished rows are checkpointed so ``--resume``
+    replays them after an interrupt.  Results are identical at any
+    ``--jobs`` value.
+
+    Exit codes: 0 clean; 1/2 ingestion warnings/errors; 3 the sweep
+    completed but at least one scenario finished below ``ok``.
+    """
+    if not os.path.isdir(args.sweepdir):
+        raise SystemExit(f"error: {args.sweepdir} is not a directory")
+    from repro.diag import EXIT_DEGRADED  # noqa: PLC0415
+    from repro.exec import ChaosPlan, CheckpointStore, archive_name  # noqa: PLC0415
+    from repro.report.sweep import format_sweep_report  # noqa: PLC0415
+    from repro.sweep import SweepConfig, run_network_sweep  # noqa: PLC0415
+
+    archives, ignored = _corpus_archives(args.sweepdir)
+    for loose in ignored:
+        print(
+            f"sweep: ignoring loose file {loose!r} at the corpus root "
+            f"(archives are directories; move it into one to analyze it)",
+            file=sys.stderr,
+        )
+    store = None
+    if not args.no_checkpoint:
+        store = (
+            CheckpointStore(root=args.checkpoint_dir)
+            if args.checkpoint_dir
+            else CheckpointStore()
+        )
+    if args.resume and store is None:
+        raise SystemExit("error: --resume needs checkpointing (drop --no-checkpoint)")
+    config = SweepConfig(
+        depth=args.depth,
+        double_budget=args.double_budget,
+        seed=args.seed,
+        max_scenarios=args.max_scenarios,
+        jobs=getattr(args, "jobs", None),
+        scenario_deadline=args.scenario_deadline,
+        scenario_soft_deadline=args.soft_deadline,
+        fail_fast=args.fail_fast,
+        checkpoints=store,
+        resume=args.resume,
+        chaos=ChaosPlan.from_env(),
+    )
+
+    entries: List[dict] = []
+    stopped: Optional[str] = None
+    start = time.perf_counter()
+    for index, path in enumerate(archives):
+        if stopped is not None:
+            # --fail-fast stopped an earlier archive; the rest are
+            # listed, not swept, so no archive silently vanishes.
+            entries.append(
+                {
+                    "archive": archive_name(path),
+                    "skipped": True,
+                    "detail": f"fail-fast after {stopped}",
+                    "status_counts": {},
+                    "rows": [],
+                }
+            )
+            continue
+        network = _load(args, path, default_mode="lenient")
+        result = run_network_sweep(
+            network,
+            archive=archive_name(path),
+            inventory=getattr(network, "inventory", None) or None,
+            config=config,
+        )
+        entries.append(result.as_dict())
+        if args.fail_fast and result.stopped_after is not None:
+            stopped = f"{result.archive}:{result.stopped_after}"
+
+    status_totals: dict = {}
+    for entry in entries:
+        for status, count in entry.get("status_counts", {}).items():
+            status_totals[status] = status_totals.get(status, 0) + count
+    payload = {
+        "root": args.sweepdir,
+        "jobs": getattr(args, "jobs", None),
+        "depth": args.depth,
+        "seed": args.seed,
+        "double_budget": args.double_budget,
+        "max_scenarios": args.max_scenarios,
+        "ignored_files": ignored,
+        "execution": {
+            "scenario_deadline": args.scenario_deadline,
+            "soft_deadline": args.soft_deadline,
+            "resume": args.resume,
+            "fail_fast": args.fail_fast,
+        },
+        "archives": entries,
+        "checkpoints": store.stats.as_dict() if store is not None else None,
+        "seconds": round(time.perf_counter() - start, 6),
+        "totals": {
+            "archives": len(entries),
+            "scenarios": sum(len(e.get("rows", [])) for e in entries),
+            "statuses": {s: status_totals[s] for s in sorted(status_totals)},
+        },
+    }
+    # A deterministic summary for the run manifest (--run-report).
+    args._sweep_summary = {
+        "depth": args.depth,
+        "seed": args.seed,
+        "archives": payload["totals"]["archives"],
+        "scenarios": payload["totals"]["scenarios"],
+        "statuses": payload["totals"]["statuses"],
+    }
+    degraded = any(
+        entry.get("skipped")
+        or any(s != "ok" for s in entry.get("status_counts", {}))
+        for entry in entries
+    )
+    code = EXIT_DEGRADED if degraded else 0
+    if stopped is not None:
+        print(f"sweep aborted by --fail-fast at {stopped}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return code
+    for entry in entries:
+        if entry.get("skipped"):
+            print(f"{entry['archive']}: skipped ({entry['detail']})")
+            continue
+        print(format_sweep_report(entry, top=args.top))
+    return code
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.synth.templates.backbone import build_backbone
     from repro.synth.templates.enterprise import build_enterprise
@@ -952,6 +1090,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_corpus)
 
+    p = sub.add_parser(
+        "sweep",
+        help="what-if failure sweep with ranked fragility report",
+        parents=archive,
+    )
+    p.add_argument(
+        "sweepdir",
+        help="one config archive, or a directory whose subdirectories are archives",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable sweep payload",
+    )
+    p.add_argument(
+        "--depth",
+        type=int,
+        choices=(1, 2),
+        default=1,
+        help="failure depth: 1 = singles only (default), 2 = add sampled doubles",
+    )
+    p.add_argument(
+        "--double-budget",
+        type=int,
+        default=200,
+        metavar="N",
+        help="max sampled double-failure scenarios per archive (default 200)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="double-failure sampling seed (default 0)",
+    )
+    p.add_argument(
+        "--max-scenarios",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard cap on scenarios per archive (truncates the plan)",
+    )
+    p.add_argument(
+        "--scenario-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-scenario wall-clock deadline; a hung simulation "
+        "becomes a timeout row",
+    )
+    p.add_argument(
+        "--soft-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-scenario warning threshold (diagnostic only)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay finished scenario checkpoints from earlier runs",
+    )
+    p.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first scenario timeout or failure",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help="checkpoint store directory (default: <cache-dir>/checkpoints)",
+    )
+    p.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable per-scenario checkpointing",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="ranked rows shown per archive in the table view (default 15)",
+    )
+    p.set_defaults(func=cmd_sweep)
+
     p = sub.add_parser("diff", help="compare two snapshots", parents=archive)
     p.add_argument("before")
     p.add_argument("after")
@@ -989,6 +1213,9 @@ def _emit_run_report(
         "mode": getattr(args, "mode", None),
         "cache": cache.stats.as_dict() if cache is not None else None,
     }
+    sweep_summary = getattr(args, "_sweep_summary", None)
+    if sweep_summary is not None:
+        environment["sweep"] = sweep_summary
     exec_config = getattr(args, "_exec_config", None)
     if exec_config is not None:
         suggestion = getattr(args, "_exec_suggestion", None)

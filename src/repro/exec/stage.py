@@ -84,6 +84,11 @@ class StageResult:
     error: str = ""
     degradation: str = ""
     from_checkpoint: bool = False
+    #: Optional JSON-ready payload that *does* persist through
+    #: checkpoints (unlike ``value``): small structured summaries a
+    #: resumed run needs to rebuild its report — e.g. one failure
+    #: scenario's reachability delta.  Keep it small and deterministic.
+    data: Dict[str, Any] = field(default_factory=dict)
     value: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -114,6 +119,8 @@ class StageResult:
                 data[key] = getattr(self, key)
         if self.from_checkpoint:
             data["from_checkpoint"] = True
+        if self.data:
+            data["data"] = self.data
         return data
 
     @classmethod
@@ -129,6 +136,7 @@ class StageResult:
             error=str(data.get("error", "")),
             degradation=str(data.get("degradation", "")),
             from_checkpoint=bool(data.get("from_checkpoint", False)),
+            data=dict(data.get("data") or {}),
         )
 
 

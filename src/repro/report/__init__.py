@@ -5,6 +5,7 @@ from repro.report.design_report import generate_design_report
 from repro.report.diagnostics import format_diagnostics
 from repro.report.execution import format_execution_lines, format_status_counts
 from repro.report.manifest import format_run_report
+from repro.report.sweep import format_sweep_report, normalize_sweep_payload
 from repro.report.tables import format_cdf, format_histogram, format_table
 
 __all__ = [
@@ -14,7 +15,9 @@ __all__ = [
     "format_histogram",
     "format_run_report",
     "format_status_counts",
+    "format_sweep_report",
     "format_table",
     "generate_design_report",
     "normalize_corpus_payload",
+    "normalize_sweep_payload",
 ]

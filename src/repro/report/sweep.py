@@ -1,0 +1,130 @@
+"""Rendering and normalization of failure-sweep results.
+
+:func:`format_sweep_report` turns one archive's ranked sweep rows into
+the human table; :func:`normalize_sweep_payload` defines the
+deterministic core of a ``repro sweep --json`` payload — what must be
+byte-identical between two runs over the same bytes whatever ``--jobs``
+was, and between an uninterrupted run and a killed-then-``--resume``d
+one.  Stripped: wall seconds (run and per-row), worker counts, replay
+accounting (``replayed``/``from_checkpoint``), and checkpoint
+statistics.  Kept: the ranked rows with their statuses, deltas, tags,
+and errors; the plan and baseline summaries; and the fail-fast marker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.report.tables import format_table
+
+#: Default number of ranked rows the human table shows per archive.
+DEFAULT_TOP = 15
+
+
+def _delta_cell(row: Dict[str, Any]) -> str:
+    delta = row.get("delta")
+    if not delta:
+        return "-"
+    parts = [f"-{delta.get('lost_pairs', 0)} pairs"]
+    partitioned = delta.get("partitioned_instances") or []
+    if partitioned:
+        parts.append(f"{len(partitioned)} inst split")
+    changed = delta.get("changed_paths", 0)
+    if changed:
+        parts.append(f"{changed} rerouted")
+    return ", ".join(parts)
+
+
+def format_sweep_report(
+    sweep: Dict[str, Any], top: Optional[int] = DEFAULT_TOP
+) -> str:
+    """The fragility table for one archive's sweep payload dict."""
+    rows = sweep.get("rows", [])
+    shown = rows if top is None else rows[:top]
+    table_rows = [
+        (
+            row["scenario"],
+            row["status"],
+            _delta_cell(row),
+            ",".join(row.get("tags", [])) or "-",
+            row.get("error") or row.get("detail") or "",
+        )
+        for row in shown
+    ]
+    lines = [
+        format_table(
+            ["scenario", "status", "impact", "static tags", "note"],
+            table_rows,
+            title=(
+                f"fragility ranking — {sweep.get('archive')} "
+                f"({len(rows)} scenario(s))"
+            ),
+        )
+    ]
+    if top is not None and len(rows) > top:
+        lines.append(f"  ... {len(rows) - top} lower-impact scenario(s) not shown")
+    baseline = sweep.get("baseline") or {}
+    plan = sweep.get("plan") or {}
+    lines.append(
+        f"  baseline: {baseline.get('pairs', 0)} reachable pairs across "
+        f"{baseline.get('instances', 0)} instance(s); plan: "
+        f"{plan.get('singles', 0)} single(s), "
+        f"{plan.get('doubles_sampled', 0)} of {plan.get('doubles_possible', 0)} "
+        f"double(s)"
+    )
+    counts = sweep.get("status_counts") or {}
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    if summary:
+        lines.append(f"  scenario statuses: {summary}")
+    if sweep.get("stopped_after"):
+        lines.append(f"  fail-fast: stopped after {sweep['stopped_after']}")
+    return "\n".join(lines)
+
+
+def _normalize_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    normalized = {
+        key: value
+        for key, value in row.items()
+        if key not in ("seconds", "from_checkpoint")
+    }
+    if normalized.get("delta"):
+        normalized["delta"] = dict(normalized["delta"])
+    return normalized
+
+
+def _normalize_archive_sweep(sweep: Dict[str, Any]) -> Dict[str, Any]:
+    normalized = {
+        key: value
+        for key, value in sweep.items()
+        if key not in ("seconds", "workers", "replayed")
+    }
+    normalized["rows"] = [_normalize_row(row) for row in sweep.get("rows", [])]
+    return normalized
+
+
+def normalize_sweep_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic core of a ``repro sweep --json`` payload.
+
+    An interrupted-then-resumed sweep and an uninterrupted one must
+    normalize identically, at any ``--jobs`` value and any scenario
+    execution order.
+    """
+    normalized: Dict[str, Any] = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("seconds", "jobs", "checkpoints", "archives")
+    }
+    execution = payload.get("execution")
+    if isinstance(execution, dict):
+        # --resume changes how results were obtained, never what they
+        # are; a resumed run must normalize identically to an
+        # uninterrupted one.
+        normalized["execution"] = {
+            key: value for key, value in execution.items() if key != "resume"
+        }
+    archives: List[Dict[str, Any]] = payload.get("archives", [])
+    normalized["archives"] = [_normalize_archive_sweep(s) for s in archives]
+    return normalized
+
+
+__all__ = ["DEFAULT_TOP", "format_sweep_report", "normalize_sweep_payload"]

@@ -10,6 +10,7 @@ quirks.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Set, Union
 
@@ -42,6 +43,12 @@ class RoutingSimulation:
     failed_subnets:
         Link subnets taken down (adjacencies over them are down and their
         connected routes vanish).
+
+    Failure inputs are validated against the network: an unknown router
+    name, or a subnet matching no link and no interface prefix, raises a
+    ``ValueError`` naming near-misses — a what-if sweep must never
+    silently simulate a no-op failure.  Pass ``validate=False`` to skip
+    (e.g. when the caller enumerated the failures from the model itself).
     """
 
     def __init__(
@@ -49,6 +56,7 @@ class RoutingSimulation:
         network: Network,
         failed_routers: Iterable[str] = (),
         failed_subnets: Iterable[Union[str, Prefix]] = (),
+        validate: bool = True,
     ):
         self.network = network
         self.failed_routers: Set[str] = set(failed_routers)
@@ -56,11 +64,51 @@ class RoutingSimulation:
             Prefix(subnet) if isinstance(subnet, str) else subnet
             for subnet in failed_subnets
         }
+        if validate:
+            self._validate_failures()
         self.process_ribs: Dict[ProcessKey, Rib] = {}
         self.local_ribs: Dict[str, Rib] = {}
         self.router_ribs: Dict[str, Rib] = {}
-        self._converged = False
+        self._ran = False
+        self._diverged = False
         self._iterations = 0
+
+    def _validate_failures(self) -> None:
+        """Reject failure inputs that name nothing in the network."""
+        unknown_routers = sorted(self.failed_routers - set(self.network.routers))
+        if unknown_routers:
+            hints = []
+            for name in unknown_routers:
+                close = difflib.get_close_matches(
+                    name, list(self.network.routers), n=3, cutoff=0.6
+                )
+                hint = f" (did you mean {', '.join(close)}?)" if close else ""
+                hints.append(f"{name!r}{hint}")
+            raise ValueError(f"unknown failed router(s): {'; '.join(hints)}")
+        if not self.failed_subnets:
+            return
+        known: Set[Prefix] = {link.subnet for link in self.network.links}
+        for iface in self.network.interface_index.values():
+            if iface.prefix is not None:
+                known.add(iface.prefix)
+        unknown_subnets = sorted(self.failed_subnets - known)
+        if unknown_subnets:
+            hints = []
+            for prefix in unknown_subnets:
+                close = sorted(
+                    candidate
+                    for candidate in known
+                    if candidate.contains(prefix) or prefix.contains(candidate)
+                )[:3]
+                hint = (
+                    f" (overlapping subnets: {', '.join(str(c) for c in close)})"
+                    if close
+                    else ""
+                )
+                hints.append(f"{prefix}{hint}")
+            raise ValueError(
+                f"failed subnet(s) match no link or interface: {'; '.join(hints)}"
+            )
 
     # -- failure predicates --------------------------------------------------
 
@@ -391,8 +439,21 @@ class RoutingSimulation:
 
     # -- driver ------------------------------------------------------------------
 
-    def run(self, max_iterations: int = 1000) -> "RoutingSimulation":
-        """Propagate to fixpoint.  Returns self for chaining."""
+    def run(
+        self, max_iterations: int = 1000, on_divergence: str = "raise"
+    ) -> "RoutingSimulation":
+        """Propagate to fixpoint.  Returns self for chaining.
+
+        ``on_divergence`` picks what a failure to converge within
+        *max_iterations* does: ``"raise"`` (the default) raises
+        ``RuntimeError``; ``"degrade"`` selects best routes from the
+        RIBs as they stand, marks the simulation :attr:`diverged`, and
+        returns normally — queries work, :attr:`converged` is False,
+        and callers (the failure sweep, survivability what-ifs) report
+        a diagnostic row instead of aborting the whole analysis.
+        """
+        if on_divergence not in ("raise", "degrade"):
+            raise ValueError(f"unknown on_divergence policy {on_divergence!r}")
         self._seed()
         for iteration in range(max_iterations):
             changed = self._redistribution_step()
@@ -402,17 +463,30 @@ class RoutingSimulation:
                 self._iterations = iteration + 1
                 break
         else:
-            raise RuntimeError(f"no convergence after {max_iterations} iterations")
+            if on_divergence == "raise":
+                raise RuntimeError(f"no convergence after {max_iterations} iterations")
+            self._diverged = True
+            self._iterations = max_iterations
         self._selection_step()
-        self._converged = True
+        self._ran = True
         return self
 
     @property
     def iterations(self) -> int:
         return self._iterations
 
+    @property
+    def converged(self) -> bool:
+        """True when :meth:`run` reached a fixpoint."""
+        return self._ran and not self._diverged
+
+    @property
+    def diverged(self) -> bool:
+        """True when :meth:`run` gave up after *max_iterations* (degrade mode)."""
+        return self._diverged
+
     def _require_converged(self) -> None:
-        if not self._converged:
+        if not self._ran:
             raise RuntimeError("call run() before querying the simulation")
 
     # -- queries -------------------------------------------------------------------

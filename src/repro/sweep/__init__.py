@@ -1,0 +1,61 @@
+"""What-if failure sweeps over the routing substrate (§8).
+
+The sweep engine turns the paper's survivability question — "which
+single failure disconnects part of the network?" — from a static graph
+heuristic into a measured answer: enumerate failure scenarios, simulate
+each against the no-failure baseline, and rank the deltas.
+"""
+
+from repro.sweep.baseline import (
+    BaselineSnapshot,
+    compute_baseline,
+    partitioned_instances,
+    scenario_delta,
+    severity_key,
+)
+from repro.sweep.runner import (
+    SCENARIO_STAGE_PREFIX,
+    SweepConfig,
+    SweepResult,
+    run_network_sweep,
+)
+from repro.sweep.scenarios import (
+    DEFAULT_DOUBLE_BUDGET,
+    KIND_DOUBLE,
+    KIND_LINK,
+    KIND_ROUTER,
+    Scenario,
+    ScenarioPlan,
+    TAG_ARTICULATION,
+    TAG_BRIDGE,
+    TAG_FRAGILE_COUPLING,
+    TAG_REDISTRIBUTION,
+    enumerate_scenarios,
+    link_scenario_id,
+    router_scenario_id,
+)
+
+__all__ = [
+    "BaselineSnapshot",
+    "DEFAULT_DOUBLE_BUDGET",
+    "KIND_DOUBLE",
+    "KIND_LINK",
+    "KIND_ROUTER",
+    "SCENARIO_STAGE_PREFIX",
+    "Scenario",
+    "ScenarioPlan",
+    "SweepConfig",
+    "SweepResult",
+    "TAG_ARTICULATION",
+    "TAG_BRIDGE",
+    "TAG_FRAGILE_COUPLING",
+    "TAG_REDISTRIBUTION",
+    "compute_baseline",
+    "enumerate_scenarios",
+    "link_scenario_id",
+    "partitioned_instances",
+    "router_scenario_id",
+    "run_network_sweep",
+    "scenario_delta",
+    "severity_key",
+]

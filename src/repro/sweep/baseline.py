@@ -1,0 +1,212 @@
+"""Baseline snapshot and per-scenario delta computation.
+
+The sweep simulates every failure scenario against one cached baseline:
+the no-failure :class:`~repro.routing.RoutingSimulation` fixpoint,
+reduced to exactly the facts deltas are computed from —
+
+* the **reachability pairs**: every ``(router, destination prefix)``
+  with a RIB entry,
+* the **next hop** of each pair (``via_router``), for pathway-change
+  counting,
+* the **instance topology**: for each routing instance, its member
+  routers and the physical links among them, for partition detection.
+
+Deltas are deliberately computed over *surviving* routers only: a failed
+router trivially loses its whole RIB, which would drown the interesting
+signal — what the rest of the network can no longer reach.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.instances import RoutingInstance, compute_instances
+from repro.model.network import Network
+from repro.routing.engine import RoutingSimulation
+from repro.sweep.scenarios import Scenario
+
+#: How many lost/gained pairs each delta payload names explicitly.
+SAMPLE_LIMIT = 10
+
+Pair = Tuple[str, str]  # (router, destination prefix)
+
+
+@dataclass
+class BaselineSnapshot:
+    """The no-failure fixpoint, reduced to delta-computation facts."""
+
+    pairs: FrozenSet[Pair]
+    next_hops: Dict[Pair, Optional[str]]
+    #: ``instance_id -> member routers``.
+    instance_members: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: ``instance_id -> [(router_a, router_b, link subnet str), ...]``.
+    instance_edges: Dict[int, List[Tuple[str, str, str]]] = field(
+        default_factory=dict
+    )
+    converged: bool = True
+    iterations: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "pairs": len(self.pairs),
+            "instances": len(self.instance_members),
+            "converged": self.converged,
+            "iterations": self.iterations,
+        }
+
+
+def _reachability_pairs(
+    simulation: RoutingSimulation,
+) -> Tuple[Set[Pair], Dict[Pair, Optional[str]]]:
+    pairs: Set[Pair] = set()
+    next_hops: Dict[Pair, Optional[str]] = {}
+    for router, rib in simulation.router_ribs.items():
+        for prefix, route in rib.items():
+            pair = (router, str(prefix))
+            pairs.add(pair)
+            next_hops[pair] = route.via_router
+    return pairs, next_hops
+
+
+def compute_baseline(
+    network: Network,
+    max_iterations: int = 1000,
+    instances: Optional[List[RoutingInstance]] = None,
+) -> BaselineSnapshot:
+    """Run the no-failure simulation and snapshot it for delta queries."""
+    simulation = RoutingSimulation(network).run(
+        max_iterations=max_iterations, on_divergence="degrade"
+    )
+    pairs, next_hops = _reachability_pairs(simulation)
+    if instances is None:
+        instances = compute_instances(network)
+    members = {
+        instance.instance_id: frozenset(instance.routers) for instance in instances
+    }
+    edges: Dict[int, List[Tuple[str, str, str]]] = {
+        instance_id: [] for instance_id in members
+    }
+    for link in network.links:
+        routers = link.routers
+        subnet = str(link.subnet)
+        for instance_id, instance_routers in members.items():
+            on_link = [router for router in routers if router in instance_routers]
+            for i, a in enumerate(on_link):
+                for b in on_link[i + 1:]:
+                    edges[instance_id].append((a, b, subnet))
+    return BaselineSnapshot(
+        pairs=frozenset(pairs),
+        next_hops=next_hops,
+        instance_members=members,
+        instance_edges=edges,
+        converged=simulation.converged,
+        iterations=simulation.iterations,
+    )
+
+
+def partitioned_instances(
+    baseline: BaselineSnapshot,
+    failed_routers: Tuple[str, ...],
+    failed_subnets: Tuple[str, ...],
+) -> List[int]:
+    """Instance ids whose surviving members are no longer connected.
+
+    An instance is *partitioned* when, after removing the failed routers
+    and the links over failed subnets, its surviving members fall into
+    more than one connected component — the instance's interior route
+    flooding can no longer stitch them together.
+    """
+    failed_router_set = set(failed_routers)
+    failed_subnet_set = set(failed_subnets)
+    partitioned: List[int] = []
+    for instance_id, members in sorted(baseline.instance_members.items()):
+        alive = members - failed_router_set
+        if len(alive) < 2:
+            continue
+        adjacency: Dict[str, Set[str]] = {router: set() for router in alive}
+        for a, b, subnet in baseline.instance_edges.get(instance_id, ()):
+            if subnet in failed_subnet_set:
+                continue
+            if a in adjacency and b in adjacency:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        start = next(iter(sorted(alive)))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            for neighbor in adjacency[queue.popleft()]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        if len(seen) != len(alive):
+            partitioned.append(instance_id)
+    return partitioned
+
+
+def scenario_delta(
+    baseline: BaselineSnapshot,
+    simulation: RoutingSimulation,
+    scenario: Scenario,
+    sample_limit: int = SAMPLE_LIMIT,
+) -> Dict[str, Any]:
+    """The JSON-ready delta of one simulated scenario vs. the baseline.
+
+    All counts are over *surviving* routers; ``failed_router_pairs``
+    separately accounts for the pairs that vanished with the failed
+    routers themselves.
+    """
+    failed = set(scenario.failed_routers)
+    scenario_pairs, scenario_hops = _reachability_pairs(simulation)
+    base_pairs = {pair for pair in baseline.pairs if pair[0] not in failed}
+    failed_router_pairs = len(baseline.pairs) - len(base_pairs)
+    lost = sorted(base_pairs - scenario_pairs)
+    gained = sorted(scenario_pairs - base_pairs)
+    changed_paths = sum(
+        1
+        for pair in base_pairs & scenario_pairs
+        if baseline.next_hops.get(pair) != scenario_hops.get(pair)
+    )
+    partitioned = partitioned_instances(
+        baseline, scenario.failed_routers, scenario.failed_subnets
+    )
+    return {
+        "lost_pairs": len(lost),
+        "lost_sample": [f"{router}->{prefix}" for router, prefix in lost[:sample_limit]],
+        "gained_pairs": len(gained),
+        "gained_sample": [
+            f"{router}->{prefix}" for router, prefix in gained[:sample_limit]
+        ],
+        "failed_router_pairs": failed_router_pairs,
+        "changed_paths": changed_paths,
+        "partitioned_instances": partitioned,
+        "converged": simulation.converged,
+        "iterations": simulation.iterations,
+    }
+
+
+def severity_key(row: Dict[str, Any]) -> Tuple[int, int, int, str]:
+    """Sort key ranking scenario rows most-damaging first.
+
+    Lost reachability dominates, then instance partitions, then pathway
+    churn; the scenario id breaks ties so ranking is total and
+    deterministic whatever order the rows were produced in.
+    """
+    delta = row.get("delta") or {}
+    return (
+        -int(delta.get("lost_pairs") or 0),
+        -len(delta.get("partitioned_instances") or ()),
+        -int(delta.get("changed_paths") or 0),
+        str(row.get("scenario")),
+    )
+
+
+__all__ = [
+    "BaselineSnapshot",
+    "SAMPLE_LIMIT",
+    "compute_baseline",
+    "partitioned_instances",
+    "scenario_delta",
+    "severity_key",
+]

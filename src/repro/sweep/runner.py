@@ -1,0 +1,472 @@
+"""The resumable failure-sweep runner.
+
+One sweep = one network × one enumerated scenario list.  Every scenario
+is simulated under the executor's robustness contract:
+
+* **exception barrier** — a scenario whose simulation raises becomes a
+  ``status: failed`` row; the sweep keeps going;
+* **deadlines** — with a scenario deadline configured, the simulation
+  runs under :func:`~repro.exec.watchdog.run_with_deadline`; a hang
+  becomes a ``status: timeout`` row;
+* **chaos** — :class:`~repro.exec.chaos.ChaosPlan` triggers fire at the
+  top of every scenario with ``stage = scenario_id`` (ids are fnmatch-
+  and ``REPRO_CHAOS``-safe by construction);
+* **checkpoints** — finished rows (``ok``/``degraded``) persist their
+  delta into the :class:`~repro.exec.checkpoint.CheckpointStore` under
+  ``(archive digest, "sweep1.<scenario_id>")``; ``resume=True`` replays
+  them without re-simulating;
+* **kill semantics** — :class:`~repro.exec.chaos.SimulatedKill` (and any
+  other non-``Exception``) is never converted to a row; it propagates
+  out of the sweep with whatever checkpoints were already written.
+
+Determinism: scenario outcomes depend only on the network and the chaos
+rules, never on worker interleaving, so the ranked row list — sorted by
+:func:`~repro.sweep.baseline.severity_key` — is identical at any
+``jobs`` value and for any permutation of the scenario list.  Under
+``fail_fast`` every scenario *after* the first unfinished one (in
+enumeration order) reports ``skipped``, even if a racing worker had
+already finished it — discarding those results is what keeps the
+payload jobs-invariant.
+
+Parallel execution ships the pickled network + baseline to each worker
+process once (initializer), then streams scenarios through the pool; the
+pure-Python simulation holds the GIL, so threads would serialize and
+processes are the only parallelism that pays.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.survivability import SurvivabilityReport
+from repro.exec.chaos import ChaosPlan
+from repro.exec.checkpoint import CheckpointStore, archive_digest
+from repro.exec.stage import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    StageResult,
+    status_counts,
+    worst_status,
+)
+from repro.exec.watchdog import run_with_deadline
+from repro.ingest.parallel import WorkerBudget, resolve_jobs
+from repro.model.network import Network
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.routing.engine import RoutingSimulation
+from repro.sweep.baseline import (
+    SAMPLE_LIMIT,
+    BaselineSnapshot,
+    compute_baseline,
+    scenario_delta,
+    severity_key,
+)
+from repro.sweep.scenarios import (
+    DEFAULT_DOUBLE_BUDGET,
+    Scenario,
+    ScenarioPlan,
+    enumerate_scenarios,
+)
+
+_log = get_logger("sweep")
+
+#: Checkpoint stage-key prefix.  The ``1`` is the sweep schema version:
+#: bumping it orphans (and therefore invalidates) every older sweep
+#: checkpoint when delta semantics change.
+SCENARIO_STAGE_PREFIX = "sweep1."
+
+
+@dataclass
+class SweepConfig:
+    """Everything that shapes one sweep run.
+
+    The enumeration knobs (``depth``/``double_budget``/``seed``/
+    ``max_scenarios``) feed :func:`~repro.sweep.scenarios.enumerate_scenarios`;
+    the rest configure execution.
+    """
+
+    depth: int = 1
+    double_budget: int = DEFAULT_DOUBLE_BUDGET
+    seed: int = 0
+    max_scenarios: Optional[int] = None
+    max_iterations: int = 1000
+    jobs: Optional[int] = None
+    budget: Optional[WorkerBudget] = None
+    #: Hard per-scenario wall-clock deadline (seconds); ``None`` = none.
+    scenario_deadline: Optional[float] = None
+    #: Soft per-scenario deadline: logs + counts, never cancels.
+    scenario_soft_deadline: Optional[float] = None
+    fail_fast: bool = False
+    checkpoints: Optional[CheckpointStore] = None
+    resume: bool = False
+    chaos: ChaosPlan = field(default_factory=ChaosPlan)
+    sample_limit: int = SAMPLE_LIMIT
+
+
+@dataclass
+class SweepResult:
+    """One finished sweep: ranked rows plus run accounting."""
+
+    archive: str
+    plan: Dict[str, Any]
+    baseline: Dict[str, Any]
+    #: One dict per scenario, ranked most-damaging first (severity_key).
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    seconds: float = 0.0
+    workers: int = 1
+    replayed: int = 0
+    #: Scenario id of the fail-fast trigger, when the sweep stopped early.
+    stopped_after: Optional[str] = None
+
+    @property
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for row in self.rows:
+            counts[row["status"]] = counts.get(row["status"], 0) + 1
+        return counts
+
+    @property
+    def worst_status(self) -> Optional[str]:
+        return worst_status(row["status"] for row in self.rows)
+
+    @property
+    def degraded(self) -> bool:
+        return any(row["status"] != STATUS_OK for row in self.rows)
+
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "archive": self.archive,
+            "plan": dict(self.plan),
+            "baseline": dict(self.baseline),
+            "status_counts": self.status_counts,
+            "rows": [dict(row) for row in self.rows],
+            "seconds": round(self.seconds, 6),
+            "workers": self.workers,
+            "replayed": self.replayed,
+        }
+        if self.stopped_after is not None:
+            data["stopped_after"] = self.stopped_after
+        return data
+
+
+def _simulate(
+    network: Network,
+    scenario: Scenario,
+    baseline: BaselineSnapshot,
+    max_iterations: int,
+    sample_limit: int,
+) -> Dict[str, Any]:
+    """Simulate one scenario and return its delta payload.
+
+    ``validate=False``: the scenario enumerator derived the failure sets
+    from the network model itself, so re-validation could only reject
+    its own input.
+    """
+    simulation = RoutingSimulation(
+        network,
+        failed_routers=scenario.failed_routers,
+        failed_subnets=scenario.failed_subnets,
+        validate=False,
+    ).run(max_iterations=max_iterations, on_divergence="degrade")
+    return scenario_delta(baseline, simulation, scenario, sample_limit)
+
+
+def _execute_scenario(
+    network: Network,
+    archive: str,
+    scenario: Scenario,
+    baseline: BaselineSnapshot,
+    chaos: ChaosPlan,
+    max_iterations: int,
+    sample_limit: int,
+    hard_deadline: Optional[float],
+    soft_deadline: Optional[float],
+) -> StageResult:
+    """One scenario under chaos + deadline + exception barrier.
+
+    Runs on the calling thread (serial path) or inside a worker process
+    (parallel path) — the semantics are identical because the watchdog
+    wraps the attempt in both.  Non-``Exception`` escapees (SimulatedKill,
+    KeyboardInterrupt) are re-raised, never folded into a row.
+    """
+
+    def attempt() -> Dict[str, Any]:
+        chaos.trigger(archive, scenario.scenario_id, 0)
+        return _simulate(network, scenario, baseline, max_iterations, sample_limit)
+
+    outcome = run_with_deadline(
+        attempt,
+        name=scenario.scenario_id,
+        hard_deadline=hard_deadline,
+        soft_deadline=soft_deadline,
+    )
+    stage = SCENARIO_STAGE_PREFIX + scenario.scenario_id
+    if outcome.error is not None and not isinstance(outcome.error, Exception):
+        raise outcome.error
+    if outcome.timed_out:
+        return StageResult(
+            stage=stage,
+            status=STATUS_TIMEOUT,
+            seconds=outcome.seconds,
+            detail=f"hard deadline {hard_deadline}s",
+        )
+    if outcome.error is not None:
+        return StageResult(
+            stage=stage,
+            status=STATUS_FAILED,
+            seconds=outcome.seconds,
+            error=f"{type(outcome.error).__name__}: {outcome.error}",
+        )
+    delta = outcome.value
+    diverged = not delta.get("converged", True)
+    return StageResult(
+        stage=stage,
+        status=STATUS_DEGRADED if diverged else STATUS_OK,
+        seconds=outcome.seconds,
+        items=int(delta.get("lost_pairs", 0)),
+        degradation="diverged" if diverged else "",
+        data=delta,
+    )
+
+
+# -- process-pool plumbing ---------------------------------------------------
+#
+# The worker state is installed once per worker process by the pool
+# initializer; scenarios then cross the process boundary as the only
+# per-task payload.
+
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _init_sweep_worker(state: Dict[str, Any]) -> None:
+    _WORKER_STATE.update(state)
+
+
+def _sweep_worker(scenario: Scenario) -> StageResult:
+    state = _WORKER_STATE
+    return _execute_scenario(
+        network=state["network"],
+        archive=state["archive"],
+        scenario=scenario,
+        baseline=state["baseline"],
+        chaos=state["chaos"],
+        max_iterations=state["max_iterations"],
+        sample_limit=state["sample_limit"],
+        hard_deadline=state["hard_deadline"],
+        soft_deadline=state["soft_deadline"],
+    )
+
+
+def _build_row(scenario: Scenario, result: StageResult) -> Dict[str, Any]:
+    """The JSON-ready report row for one (scenario, result) pair."""
+    row: Dict[str, Any] = {
+        "scenario": scenario.scenario_id,
+        "kind": scenario.kind,
+        "failed_routers": list(scenario.failed_routers),
+        "failed_subnets": list(scenario.failed_subnets),
+        "tags": list(scenario.tags),
+        "status": result.status,
+        "seconds": round(result.seconds, 6),
+        "delta": dict(result.data) if result.data else None,
+    }
+    for key in ("detail", "error", "degradation"):
+        if getattr(result, key):
+            row[key] = getattr(result, key)
+    if result.from_checkpoint:
+        row["from_checkpoint"] = True
+    return row
+
+
+def run_network_sweep(
+    network: Network,
+    archive: str = "network",
+    inventory: Optional[List[Any]] = None,
+    survivability: Optional[SurvivabilityReport] = None,
+    config: Optional[SweepConfig] = None,
+    plan: Optional[ScenarioPlan] = None,
+) -> SweepResult:
+    """Sweep every failure scenario of one network.
+
+    *inventory* (``FileRecord``-like rows) keys the checkpoint store; a
+    sweep without one runs uncheckpointed even when a store is
+    configured.  *plan* overrides scenario enumeration (tests permute
+    it); the ranked output is order-invariant either way.  The baseline
+    is always recomputed — it is deterministic from the network and
+    cheap relative to the scenario fan-out, so checkpointing its
+    (potentially large) pair set buys nothing.
+    """
+    config = config or SweepConfig()
+    start = time.perf_counter()
+    if plan is None:
+        plan = enumerate_scenarios(
+            network,
+            depth=config.depth,
+            double_budget=config.double_budget,
+            seed=config.seed,
+            survivability=survivability,
+            max_scenarios=config.max_scenarios,
+        )
+    scenarios = list(plan.scenarios)
+    metrics = get_registry()
+
+    digest: Optional[str] = None
+    store = config.checkpoints
+    if store is not None and inventory is not None:
+        digest = archive_digest(inventory)
+
+    # Replay finished scenarios from the checkpoint store.
+    results: Dict[str, StageResult] = {}
+    replayed = 0
+    if config.resume and store is not None and digest is not None:
+        for scenario in scenarios:
+            loaded = store.load(digest, SCENARIO_STAGE_PREFIX + scenario.scenario_id)
+            if loaded is not None and loaded.finished:
+                results[scenario.scenario_id] = loaded
+                replayed += 1
+    pending = [s for s in scenarios if s.scenario_id not in results]
+
+    baseline = compute_baseline(network, max_iterations=config.max_iterations)
+
+    workers = resolve_jobs(config.jobs, len(pending))
+    if config.budget is not None:
+        workers = config.budget.grant(workers)
+
+    first_bad: Optional[int] = None  # enumeration index of the fail-fast trigger
+    index_of = {s.scenario_id: i for i, s in enumerate(scenarios)}
+
+    def note(scenario: Scenario, result: StageResult) -> None:
+        nonlocal first_bad
+        results[scenario.scenario_id] = result
+        if config.fail_fast and not result.finished:
+            index = index_of[scenario.scenario_id]
+            if first_bad is None or index < first_bad:
+                first_bad = index
+        if (
+            result.finished
+            and not result.from_checkpoint
+            and store is not None
+            and digest is not None
+            and first_bad is None
+        ):
+            store.store(digest, archive, result)
+
+    if workers <= 1 or len(pending) <= 1:
+        workers = 1
+        for scenario in pending:
+            if first_bad is not None and index_of[scenario.scenario_id] > first_bad:
+                break
+            note(
+                scenario,
+                _execute_scenario(
+                    network=network,
+                    archive=archive,
+                    scenario=scenario,
+                    baseline=baseline,
+                    chaos=config.chaos,
+                    max_iterations=config.max_iterations,
+                    sample_limit=config.sample_limit,
+                    hard_deadline=config.scenario_deadline,
+                    soft_deadline=config.scenario_soft_deadline,
+                ),
+            )
+    else:
+        state = {
+            "network": network,
+            "archive": archive,
+            "baseline": baseline,
+            "chaos": config.chaos,
+            "max_iterations": config.max_iterations,
+            "sample_limit": config.sample_limit,
+            "hard_deadline": config.scenario_deadline,
+            "soft_deadline": config.scenario_soft_deadline,
+        }
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_sweep_worker,
+            initargs=(state,),
+        )
+        futures: Dict[Any, Scenario] = {}
+        try:
+            futures = {pool.submit(_sweep_worker, s): s for s in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    # SimulatedKill (a BaseException) crosses the process
+                    # boundary and re-raises here — the kill path.
+                    note(futures[future], future.result())
+                if first_bad is not None:
+                    for future in remaining:
+                        future.cancel()
+                    remaining = {f for f in remaining if not f.cancelled()}
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+
+    # Fail-fast determinism: every scenario after the trigger reports
+    # skipped, even those a racing worker finished first.
+    stopped_after: Optional[str] = None
+    if first_bad is not None:
+        stopped_after = scenarios[first_bad].scenario_id
+        for scenario in scenarios[first_bad + 1:]:
+            results[scenario.scenario_id] = StageResult(
+                stage=SCENARIO_STAGE_PREFIX + scenario.scenario_id,
+                status=STATUS_SKIPPED,
+                detail=f"fail-fast after {stopped_after}",
+            )
+
+    # Metrics are recorded parent-side, in enumeration order, so the
+    # registry reads identically at any jobs value.
+    ordered: List[Tuple[Scenario, StageResult]] = [
+        (s, results[s.scenario_id]) for s in scenarios if s.scenario_id in results
+    ]
+    for _scenario, result in ordered:
+        metrics.counter(f"sweep.scenario.{result.status}").inc()
+        if result.from_checkpoint:
+            metrics.counter("sweep.scenario.replayed").inc()
+        else:
+            metrics.histogram("sweep.scenario.seconds").observe(result.seconds)
+
+    rows = sorted(
+        (_build_row(scenario, result) for scenario, result in ordered),
+        key=severity_key,
+    )
+    counts = status_counts(result for _s, result in ordered)
+    seconds = time.perf_counter() - start
+    _log.info(
+        "sweep done",
+        archive=archive,
+        scenarios=len(rows),
+        replayed=replayed,
+        workers=workers,
+        worst=worst_status(r["status"] for r in rows) if rows else None,
+        seconds=round(seconds, 3),
+        **{f"n_{k}": v for k, v in counts.items() if v},
+    )
+    return SweepResult(
+        archive=archive,
+        plan=plan.as_dict(),
+        baseline=baseline.as_dict(),
+        rows=rows,
+        seconds=seconds,
+        workers=workers,
+        replayed=replayed,
+        stopped_after=stopped_after,
+    )
+
+
+__all__ = [
+    "SCENARIO_STAGE_PREFIX",
+    "SweepConfig",
+    "SweepResult",
+    "run_network_sweep",
+]

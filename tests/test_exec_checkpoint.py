@@ -52,6 +52,23 @@ class TestStoreRoundtrip:
         assert store.stats.stores == 1
         assert store.stats.hits == 1
 
+    def test_data_payload_survives_the_store(self, tmp_path):
+        # Sweep scenario rows persist their reachability delta in
+        # ``data`` so a resumed run can rebuild the fragility report
+        # without re-simulating finished scenarios.
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            result = StageResult(
+                stage="sweep1.router-r1",
+                items=4,
+                data={"lost_pairs": 4, "converged": True},
+            )
+            assert store.store(digest, "alpha", result)
+            loaded = store.load(digest, "sweep1.router-r1")
+        assert loaded is not None
+        assert loaded.data == {"lost_pairs": 4, "converged": True}
+
     def test_absent_entry_is_a_miss(self, tmp_path):
         with use_registry(MetricsRegistry()):
             store = CheckpointStore(root=os.fspath(tmp_path))

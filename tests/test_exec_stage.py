@@ -76,6 +76,20 @@ class TestStageResult:
         assert "value" not in result.as_dict()
         assert result == StageResult(stage="links", value="different")
 
+    def test_data_payload_roundtrips(self):
+        original = StageResult(
+            stage="sweep1.router-r1",
+            status="ok",
+            items=4,
+            data={"lost_pairs": 4, "partitioned_instances": [1, 3]},
+        )
+        rebuilt = StageResult.from_dict(original.as_dict())
+        assert rebuilt.data == original.data
+        assert rebuilt == original
+
+    def test_empty_data_not_serialized(self):
+        assert "data" not in StageResult(stage="links").as_dict()
+
 
 class TestWorstStatus:
     def test_empty_is_none(self):

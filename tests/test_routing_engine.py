@@ -89,6 +89,62 @@ class TestFailures:
         assert sim.can_reach("r1", "10.3.0.50")
 
 
+class TestFailureValidation:
+    def test_unknown_router_rejected_with_near_miss(self):
+        net = Network.from_configs(CHAIN)
+        with pytest.raises(ValueError) as exc:
+            RoutingSimulation(net, failed_routers=["r22"])
+        assert "r22" in str(exc.value)
+        assert "r2" in str(exc.value)  # the near-miss is suggested
+
+    def test_unknown_subnet_rejected_with_overlap_hint(self):
+        net = Network.from_configs(CHAIN)
+        with pytest.raises(ValueError) as exc:
+            RoutingSimulation(net, failed_subnets=["10.0.0.0/24"])
+        message = str(exc.value)
+        assert "10.0.0.0/24" in message
+        assert "10.0.0.0/30" in message  # overlapping real link subnet
+
+    def test_unknown_subnet_without_overlap_still_named(self):
+        net = Network.from_configs(CHAIN)
+        with pytest.raises(ValueError, match="192.168.0.0/24"):
+            RoutingSimulation(net, failed_subnets=["192.168.0.0/24"])
+
+    def test_interface_prefix_is_a_valid_failure_target(self):
+        # The r1 LAN matches no link (single-router subnet) but is a
+        # real interface prefix: failing it must be accepted.
+        sim = simulate(CHAIN, failed_subnets=["10.1.0.0/24"])
+        assert not sim.can_reach("r3", "10.1.0.50")
+
+    def test_validate_false_skips_the_check(self):
+        net = Network.from_configs(CHAIN)
+        sim = RoutingSimulation(net, failed_routers=["ghost"], validate=False)
+        assert sim.run().can_reach("r1", "10.3.0.50")
+
+
+class TestDivergenceHandling:
+    def test_default_raises_on_divergence(self):
+        net = Network.from_configs(CHAIN)
+        with pytest.raises(RuntimeError, match="no convergence"):
+            RoutingSimulation(net).run(max_iterations=1)
+
+    def test_degrade_mode_returns_partial_result(self):
+        net = Network.from_configs(CHAIN)
+        sim = RoutingSimulation(net).run(max_iterations=1, on_divergence="degrade")
+        assert sim.diverged and not sim.converged
+        # Queries work on the partial RIBs instead of raising.
+        assert sim.lookup("r1", "10.1.0.5") is not None
+
+    def test_converged_run_reports_converged(self):
+        sim = simulate(CHAIN)
+        assert sim.converged and not sim.diverged
+
+    def test_unknown_policy_rejected(self):
+        net = Network.from_configs(CHAIN)
+        with pytest.raises(ValueError, match="on_divergence"):
+            RoutingSimulation(net).run(on_divergence="explode")
+
+
 class TestStaticAndRedistribution:
     def test_static_route_in_rib(self):
         configs = dict(CHAIN)
