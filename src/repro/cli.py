@@ -37,8 +37,9 @@ and exit code are identical to the serial run.
 
 Archive-reading commands also accept ``--jobs N`` (parse with N worker
 processes; 0 auto-detects), ``--cache-dir PATH`` (persistent parse cache,
-default ``~/.cache/repro``), and ``--no-cache``.  Results are identical
-whatever the jobs/cache settings — only the wall time changes.
+default ``~/.cache/repro``), ``--no-cache``, and ``--no-block-cache``
+(keep the file-level cache but skip the stanza-level tier).  Results are
+identical whatever the jobs/cache settings — only the wall time changes.
 
 Observability (every command): ``--log-level debug|info|warning|error``
 and ``--log-json`` control structured logging on stderr.  Archive
@@ -69,7 +70,8 @@ from repro.core import (
 from repro.core.filters import analyze_filter_placement
 from repro.core.roles import classify_roles
 from repro.diag import EXIT_ERRORS, PHASE_ANALYSIS
-from repro.ingest import ParseCache, StageTimer
+from repro.ingest import ParseCache, StageTimer, pool_economics
+from repro.ios import blockcache
 from repro.model import Network
 from repro.obs import (
     MetricsRegistry,
@@ -963,6 +965,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent parse cache",
     )
     ingest.add_argument(
+        "--no-block-cache",
+        action="store_true",
+        help="disable the stanza-level parse cache (file-level cache unaffected)",
+    )
+    ingest.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -1212,6 +1219,12 @@ def _emit_run_report(
         "jobs": getattr(args, "jobs", None),
         "mode": getattr(args, "mode", None),
         "cache": cache.stats.as_dict() if cache is not None else None,
+        "block_cache": (
+            blockcache.shared_stats()
+            if getattr(args, "_block_cache_enabled", blockcache.is_enabled())
+            else None
+        ),
+        "pool": pool_economics(),
     }
     sweep_summary = getattr(args, "_sweep_summary", None)
     if sweep_summary is not None:
@@ -1263,13 +1276,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     # calls (tests, embedding) from bleeding counters into each other.
     registry = MetricsRegistry()
     tracer = Tracer() if (trace_path or report_path) else None
+    # --no-block-cache toggles process-wide state; restore it afterwards so
+    # repeated in-process main() calls (tests, embedding) stay independent.
+    blocks_were_enabled = blockcache.is_enabled()
+    if getattr(args, "no_block_cache", False):
+        blockcache.set_enabled(False)
+    args._block_cache_enabled = blockcache.is_enabled()
     start = time.perf_counter()
-    with use_registry(registry), activate_tracer(tracer):
-        if tracer is not None:
-            with tracer.span("run", command=args.command):
+    try:
+        with use_registry(registry), activate_tracer(tracer):
+            if tracer is not None:
+                with tracer.span("run", command=args.command):
+                    code = args.func(args)
+            else:
                 code = args.func(args)
-        else:
-            code = args.func(args)
+    finally:
+        blockcache.set_enabled(blocks_were_enabled)
     if args.func is not cmd_lint:
         for _path, network in getattr(args, "_loaded_networks", []):
             code = max(code, network.diagnostics.exit_code())

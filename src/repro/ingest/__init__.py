@@ -11,7 +11,8 @@ time went.  This package provides those three pieces:
   in submission order);
 * :mod:`repro.ingest.cache` — a persistent content-addressed parse cache
   keyed by file bytes + parser version + mode, replaying diagnostics
-  faithfully on hits;
+  faithfully on hits (with a stanza-level tier, see
+  :mod:`repro.ios.blockcache`, that survives single-stanza edits);
 * :mod:`repro.ingest.timer` — per-stage wall-time/item-count
   instrumentation surfaced by ``repro corpus``.
 
@@ -37,7 +38,9 @@ from repro.ingest.parallel import (
     available_cpus,
     parse_many,
     parse_one,
+    pool_economics,
     resolve_jobs,
+    shutdown_pool,
 )
 from repro.ingest.timer import StageRecord, StageTimer
 
@@ -58,5 +61,7 @@ __all__ = [
     "default_cache_dir",
     "parse_many",
     "parse_one",
+    "pool_economics",
     "resolve_jobs",
+    "shutdown_pool",
 ]

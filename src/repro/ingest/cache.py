@@ -23,6 +23,13 @@ Entries are pickle files under ``<root>/objects/<aa>/<digest>`` where
 through a temp file + :func:`os.replace`, so concurrent runs sharing a
 cache directory see only complete entries.  A corrupt or unreadable
 entry is treated as a miss and deleted.
+
+The same directory also hosts the **block-level** tier under
+``<root>/blocks`` (see :mod:`repro.ios.blockcache`): when a file-level
+lookup misses — one edited stanza re-keys the whole file — the parse
+that follows replays every *unchanged* stanza from the block store
+instead of re-parsing all 2,000 lines.  File-level hits stay
+authoritative and never consult the block tier.
 """
 
 from __future__ import annotations
@@ -129,6 +136,17 @@ class ParseCache:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, "objects", key[:2], key)
+
+    def block_cache(self):
+        """The stanza-level cache rooted in this directory (or ``None``).
+
+        Returns a :class:`repro.ios.blockcache.BlockCache` whose
+        persistent tier lives under ``<root>/blocks``, or ``None`` when
+        block caching is disabled process-wide.
+        """
+        from repro.ios.blockcache import get_block_cache  # noqa: PLC0415 — cycle
+
+        return get_block_cache(self.root)
 
     # -- access ------------------------------------------------------------
 

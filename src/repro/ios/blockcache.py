@@ -1,0 +1,234 @@
+"""Block-level parse cache: never parse the same *stanza* twice.
+
+The file-level :class:`~repro.ingest.cache.ParseCache` replays whole
+files whose bytes are unchanged.  This cache works one level down: it
+keys individual stanzas (one ``interface``/``router``/ACL/route-map
+block) by their lexed content, so editing one interface stanza in a
+2,000-line config re-parses only that stanza — and identical stanzas
+*across* files (real archives repeat 35–40% of their stanzas verbatim)
+parse once per process.
+
+Two tiers:
+
+* an in-process **memo** — a dict from stanza key to the stanza's
+  encoded model fragment (:func:`repro.ios.payload.encode_config`
+  primitives, immutable and therefore safe to share); the memo persists
+  for the life of the process, including warm pool workers;
+* an optional **persistent tier** under ``<cache root>/blocks`` for
+  stanzas of :data:`DISK_MIN_LINES` or more lines, written atomically in
+  the same temp-file + ``os.replace`` style as the file-level cache.
+
+Key contract (see ARCHITECTURE.md):
+
+* the key is the stanza's ``(indent, line)`` sequence — line numbers and
+  surrounding file content are excluded, which is sound because only
+  *position-free, state-free* stanza kinds are ever cached: the parser
+  never consults this cache for ``ip prefix-list`` (sequence numbers
+  depend on earlier stanzas) or ``router rip`` (merges into prior
+  state), and a fragment is only stored when its parse succeeded
+  without diagnostics (diagnostic messages embed absolute positions);
+* :data:`~repro.model.dialect.PARSER_VERSION` and :data:`BLOCK_FORMAT`
+  are folded into every persistent digest, so parser changes age the
+  disk tier out exactly like the file-level cache;
+* entries are mode-independent: a cached fragment is the result of a
+  *successful* stanza parse, which is identical under strict and
+  lenient modes.
+
+Disable globally with ``REPRO_BLOCK_CACHE=0`` (or ``repro --no-block-cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional
+
+#: Bump when the payload encoding changes (independent of the parser).
+BLOCK_FORMAT = 1
+
+#: Stanzas below this many lines stay memo-only: one-liners are cheap to
+#: re-parse and would flood the disk tier with millions of tiny files.
+DISK_MIN_LINES = 4
+
+#: Memo entry ceiling; the memo is cleared wholesale when it fills
+#: (entries are cheap to rebuild and wholesale clearing keeps the hot
+#: path to a single dict probe).
+MEMO_CAP = 131072
+
+_ENABLED = os.environ.get("REPRO_BLOCK_CACHE", "1") not in ("0", "false", "no")
+
+#: The process-wide memo, shared by every BlockCache instance unless a
+#: private one is requested (tests).
+_SHARED_MEMO: Dict[str, tuple] = {}
+
+
+def set_enabled(enabled: bool) -> None:
+    """Process-wide kill switch (the ``--no-block-cache`` CLI flag)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+class BlockCache:
+    """Two-tier stanza cache: process memo plus optional disk store."""
+
+    __slots__ = ("memo", "root", "hits", "misses", "stores", "disk_hits")
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        memo: Optional[Dict[str, tuple]] = None,
+    ):
+        self.memo = _SHARED_MEMO if memo is None else memo
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disk_hits = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        from repro.model.dialect import PARSER_VERSION  # noqa: PLC0415 — cycle
+
+        digest = hashlib.sha256(
+            f"repro-block:{BLOCK_FORMAT}:{PARSER_VERSION}:{key}".encode("utf-8")
+        ).hexdigest()
+        return os.path.join(self.root, "blocks", digest[:2], digest)
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[tuple]:
+        payload = self.memo.get(key)
+        if payload is not None:
+            self.hits += 1
+            return payload
+        if self.root is not None:
+            payload = self._read_disk(key)
+            if payload is not None:
+                if len(self.memo) >= MEMO_CAP:
+                    self.memo.clear()
+                self.memo[key] = payload
+                self.hits += 1
+                self.disk_hits += 1
+                return payload
+        self.misses += 1
+        return None
+
+    def put(self, key: str, payload: tuple, n_lines: int) -> None:
+        if len(self.memo) >= MEMO_CAP:
+            self.memo.clear()
+        self.memo[key] = payload
+        self.stores += 1
+        if self.root is not None and n_lines >= DISK_MIN_LINES:
+            self._write_disk(key, payload)
+
+    def _read_disk(self, key: str) -> Optional[tuple]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 — any damage degrades to a miss
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, tuple):
+            return None
+        return payload
+
+    def _write_disk(self, key: str, payload: tuple) -> None:
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:  # noqa: BLE001 — a read-only cache is still a cache
+            pass
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "memo_entries": len(self.memo),
+        }
+
+
+#: Lifetime stats of the shared default instances (observability only).
+_SHARED_STATS = {"hits": 0, "misses": 0, "stores": 0, "disk_hits": 0}
+
+
+class _SharedBlockCache(BlockCache):
+    """A BlockCache over the shared memo that also feeds global stats."""
+
+    __slots__ = ()
+
+    def get(self, key: str) -> Optional[tuple]:
+        payload = super().get(key)
+        if payload is None:
+            _SHARED_STATS["misses"] += 1
+        else:
+            _SHARED_STATS["hits"] += 1
+        return payload
+
+    def put(self, key: str, payload: tuple, n_lines: int) -> None:
+        super().put(key, payload, n_lines)
+        _SHARED_STATS["stores"] += 1
+
+
+def get_block_cache(root: Optional[str] = None) -> Optional[BlockCache]:
+    """The default stanza cache: shared memo, optional persistent root.
+
+    Returns ``None`` when block caching is disabled, which callers treat
+    as "parse every stanza directly".
+    """
+    if not _ENABLED:
+        return None
+    return _SharedBlockCache(root=root)
+
+
+def shared_stats() -> dict:
+    """Process-lifetime hit/miss/store counts of the shared memo."""
+    stats = dict(_SHARED_STATS)
+    stats["memo_entries"] = len(_SHARED_MEMO)
+    stats["enabled"] = _ENABLED
+    return stats
+
+
+def clear_shared_memo() -> None:
+    """Drop every memoized stanza (tests, or after a parser hot-reload)."""
+    _SHARED_MEMO.clear()
+
+
+__all__ = [
+    "BLOCK_FORMAT",
+    "BlockCache",
+    "DISK_MIN_LINES",
+    "MEMO_CAP",
+    "clear_shared_memo",
+    "get_block_cache",
+    "is_enabled",
+    "set_enabled",
+    "shared_stats",
+]

@@ -2,15 +2,19 @@
 
 IOS configurations are line oriented: top-level commands start in column
 zero and mode sub-commands are indented beneath them.  ``!`` introduces a
-comment (and, standing alone, a stanza separator).  This module turns raw
-text into a forest of :class:`ConfigBlock` nodes, which the stanza parsers
-in :mod:`repro.ios.parser` consume.
+comment (and, standing alone, a stanza separator).  The single-pass lexer
+in :mod:`repro.ios.lexer` turns raw text into a stanza token stream; this
+module materializes those stanzas into :class:`ConfigBlock` trees for the
+stanza parsers in :mod:`repro.ios.parser` — lazily, so unmodeled stanzas
+never pay for node construction or word splitting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
+
+from repro.ios.lexer import Stanza, lex_config
 
 
 @dataclass
@@ -20,10 +24,21 @@ class ConfigBlock:
     line: str
     line_number: int
     children: List["ConfigBlock"] = field(default_factory=list)
+    #: Leading-space count, 0 for top-level blocks (a real field now —
+    #: historically this was a dynamic ``_indent`` attribute bolted on by
+    #: ``split_blocks``).
+    indent: int = 0
+    _words: Optional[List[str]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def words(self) -> List[str]:
-        return self.line.split()
+        """The line's whitespace-split words, computed once per block."""
+        words = self._words
+        if words is None:
+            words = self._words = self.line.split()
+        return words
 
     def child_lines(self) -> List[str]:
         return [child.line for child in self.children]
@@ -34,8 +49,26 @@ class ConfigBlock:
             yield from child.walk()
 
 
-def _indent_of(line: str) -> int:
-    return len(line) - len(line.lstrip(" "))
+def materialize_stanza(tokens: Stanza) -> ConfigBlock:
+    """Build one :class:`ConfigBlock` tree from a lexed stanza.
+
+    Nesting replicates the historical stack loop: a line attaches to the
+    nearest open line with a strictly smaller indent.
+    """
+    number, indent, line = tokens[0]
+    top = ConfigBlock(line=line, line_number=number, indent=indent)
+    if len(tokens) == 1:
+        return top
+    stack = [top]
+    for number, indent, line in tokens[1:]:
+        block = ConfigBlock(line=line, line_number=number, indent=indent)
+        # The top block has indent 0 and sub-lines always have indent >= 1,
+        # so the stack never empties.
+        while stack[-1].indent >= indent:
+            stack.pop()
+        stack[-1].children.append(block)
+        stack.append(block)
+    return top
 
 
 def split_blocks(text: str) -> Tuple[List[ConfigBlock], int, int]:
@@ -46,34 +79,8 @@ def split_blocks(text: str) -> Tuple[List[ConfigBlock], int, int]:
     archives are sized) and ``command_count`` is the number of command lines
     (comments excluded) — the quantities behind Figure 4.
     """
-    blocks: List[ConfigBlock] = []
-    stack: List[ConfigBlock] = []
-    line_count = 0
-    command_count = 0
-    for number, raw in enumerate(text.splitlines(), start=1):
-        if not raw.strip():
-            continue
-        line_count += 1
-        stripped = raw.strip()
-        if stripped.startswith("!"):
-            # Comment or separator: ends any open stanza.
-            stack.clear()
-            continue
-        command_count += 1
-        indent = _indent_of(raw)
-        block = ConfigBlock(line=stripped, line_number=number)
-        while stack and _indent_of_block(stack[-1]) >= indent:
-            stack.pop()
-        if indent == 0 or not stack:
-            blocks.append(block)
-            stack = [block]
-            block._indent = 0  # type: ignore[attr-defined]
-        else:
-            stack[-1].children.append(block)
-            stack.append(block)
-            block._indent = indent  # type: ignore[attr-defined]
-    return blocks, line_count, command_count
+    stanzas, line_count, command_count = lex_config(text)
+    return [materialize_stanza(tokens) for tokens in stanzas], line_count, command_count
 
 
-def _indent_of_block(block: ConfigBlock) -> int:
-    return getattr(block, "_indent", 0)
+__all__ = ["ConfigBlock", "materialize_stanza", "split_blocks"]

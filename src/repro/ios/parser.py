@@ -6,6 +6,22 @@ and named access lists, route maps, and static routes.  Anything else is
 retained verbatim in :attr:`RouterConfig.unmodeled_lines` so that nothing is
 silently dropped and source-level statistics stay exact.
 
+Hot-path structure (see ARCHITECTURE.md "Performance envelope"):
+
+* the single-pass lexer (:mod:`repro.ios.lexer`) scans the text once into
+  a stanza token stream; unmodeled stanzas — most lines of a real config —
+  are retained straight from the stream without word-splitting or
+  :class:`ConfigBlock` construction;
+* dispatch is a dict lookup on the interned head keyword
+  (:data:`_TOP_DISPATCH`), not a cascade of ``words[0] ==`` comparisons;
+* *state-free* stanza kinds (interfaces, ospf/eigrp/bgp processes, ACLs,
+  route maps, static routes) parse into a private fragment that is folded
+  into the config and memoized in the block-level cache
+  (:mod:`repro.ios.blockcache`), so a repeated stanza — within a file,
+  across files, or across runs via the persistent tier — parses once.
+  ``ip prefix-list`` (sequence numbers depend on accumulated state) and
+  ``router rip`` (merges into prior state) always parse directly.
+
 Two error-handling modes:
 
 * ``mode="strict"`` (the default) raises :class:`ConfigParseError` on the
@@ -19,11 +35,12 @@ Two error-handling modes:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.diag import PHASE_PARSE, DiagnosticSink
 
-from repro.ios.blocks import ConfigBlock, split_blocks
+from repro.ios.blockcache import BlockCache, get_block_cache
+from repro.ios.blocks import ConfigBlock, materialize_stanza
 from repro.ios.config import (
     AccessList,
     AclRule,
@@ -41,6 +58,8 @@ from repro.ios.config import (
     RouterConfig,
     StaticRoute,
 )
+from repro.ios.lexer import Stanza, lex_config, stanza_key
+from repro.ios.payload import decode_config, encode_config, merge_fragment
 from repro.net import IPv4Address, Prefix
 from repro.net.ipv4 import AddressError
 
@@ -65,36 +84,66 @@ class ConfigParseError(ValueError):
         return (type(self), (self.message, self.line_number, self.line))
 
 
+#: Sentinel: "use the process-default block cache".
+_DEFAULT_CACHE = object()
+
+
 def parse_config(
     text: str,
     *,
     mode: str = "strict",
     sink: Optional[DiagnosticSink] = None,
     source: Optional[str] = None,
+    block_cache: object = _DEFAULT_CACHE,
 ) -> RouterConfig:
     """Parse one router's configuration file.
 
     ``mode`` selects error handling (see module docstring); in lenient mode
     skipped blocks and unmodeled commands are reported into ``sink``, with
-    ``source`` as the diagnostics' file name.
+    ``source`` as the diagnostics' file name.  ``block_cache`` overrides
+    the stanza-level cache: a :class:`~repro.ios.blockcache.BlockCache`
+    instance, ``None`` to disable, or unset for the process default.
     """
     if mode not in ("strict", "lenient"):
         raise ValueError(f"unknown parse mode: {mode!r}")
     lenient = mode == "lenient"
-    blocks, line_count, command_count = split_blocks(text)
+    if block_cache is _DEFAULT_CACHE:
+        cache: Optional[BlockCache] = get_block_cache()
+    else:
+        cache = block_cache  # type: ignore[assignment]
+    stanzas, line_count, command_count = lex_config(text)
     config = RouterConfig(line_count=line_count, command_count=command_count)
-    for block in blocks:
-        if not lenient:
-            _dispatch_block(config, block, sink=sink, source=source)
+    unmodeled = config.unmodeled_lines
+    dispatch = _TOP_DISPATCH
+    for tokens in stanzas:
+        head_token = tokens[0]
+        head_line = head_token[2]
+        head = head_line.split(None, 1)[0]
+        handler = dispatch.get(head)
+        if handler is None:
+            # Unmodeled stanza: retained verbatim, never split or
+            # materialized.
+            if sink is not None:
+                sink.info(
+                    PHASE_PARSE,
+                    f"unmodeled command: {head}",
+                    file=source,
+                    line_number=head_token[0],
+                    line=head_line,
+                )
+            for token in tokens:
+                unmodeled.append(token[2])
             continue
         try:
-            _dispatch_block(config, block, sink=sink, source=source)
+            handler(config, tokens, sink, source, cache)
         except (ValueError, IndexError, KeyError) as exc:
             # ConfigParseError and AddressError both subclass ValueError;
             # IndexError/KeyError from short or garbled lines are equally
             # block-local — skip the stanza, keep the file.
-            line_number = getattr(exc, "line_number", 0) or block.line_number
-            line = getattr(exc, "line", "") or block.line
+            if not lenient:
+                raise
+            line_number = getattr(exc, "line_number", 0) or head_token[0]
+            line = getattr(exc, "line", "") or head_line
             if sink is not None:
                 sink.error(
                     PHASE_PARSE,
@@ -103,7 +152,8 @@ def parse_config(
                     line_number=line_number,
                     line=line,
                 )
-            _retain_block(config, block)
+            for token in tokens:
+                unmodeled.append(token[2])
     return config
 
 
@@ -111,49 +161,120 @@ def parse_config(
 # dispatch
 
 
-def _retain_block(config: RouterConfig, block: ConfigBlock) -> None:
-    """Keep a skipped block's text so nothing is silently dropped."""
-    config.unmodeled_lines.extend(node.line for node in block.walk())
-
-
-def _dispatch_block(
+def _run_fragment(
     config: RouterConfig,
-    block: ConfigBlock,
-    sink: Optional[DiagnosticSink] = None,
-    source: Optional[str] = None,
+    tokens: Stanza,
+    handler,
+    cache: Optional[BlockCache],
 ) -> None:
-    words = block.words
-    head = words[0]
-    if head == "hostname" and len(words) >= 2:
+    """Parse a state-free stanza through the block-level cache.
+
+    The stanza is parsed into a private fragment config so its effect can
+    be captured, memoized, and replayed.  On a handler exception the
+    partial fragment is still folded in — exactly the partial mutations a
+    direct parse would have left behind — before the error propagates to
+    the strict/lenient policy above.  Only clean parses are cached, and
+    clean parses of these stanza kinds never emit diagnostics, so cached
+    fragments are position- and mode-independent.
+    """
+    if cache is None:
+        handler(config, materialize_stanza(tokens))
+        return
+    key = stanza_key(tokens)
+    payload = cache.get(key)
+    if payload is not None:
+        merge_fragment(config, decode_config(payload))
+        return
+    fragment = RouterConfig()
+    try:
+        handler(fragment, materialize_stanza(tokens))
+    except BaseException:
+        merge_fragment(config, fragment)
+        raise
+    cache.put(key, encode_config(fragment), len(tokens))
+    merge_fragment(config, fragment)
+
+
+def _retain_stanza(
+    config: RouterConfig,
+    tokens: Stanza,
+    sink: Optional[DiagnosticSink],
+    source: Optional[str],
+) -> None:
+    """Keep an unmodeled stanza's text so nothing is silently dropped."""
+    head_token = tokens[0]
+    if sink is not None:
+        sink.info(
+            PHASE_PARSE,
+            f"unmodeled command: {head_token[2].split(None, 1)[0]}",
+            file=source,
+            line_number=head_token[0],
+            line=head_token[2],
+        )
+    for token in tokens:
+        config.unmodeled_lines.append(token[2])
+
+
+def _top_hostname(config, tokens, sink, source, cache) -> None:
+    words = tokens[0][2].split()
+    if len(words) >= 2:
         config.hostname = words[1]
-    elif head == "interface":
-        _parse_interface(config, block)
-    elif head == "router":
-        _parse_router(config, block, sink=sink, source=source)
-    elif head == "access-list":
-        _parse_access_list(config, block)
-    elif head == "ip" and len(words) >= 2 and words[1] == "route":
-        _parse_static_route(config, block)
-    elif head == "ip" and len(words) >= 3 and words[1] == "access-list":
-        _parse_named_access_list(config, block)
-    elif head == "ip" and len(words) >= 3 and words[1] == "prefix-list":
-        _parse_prefix_list(config, block)
-    elif head == "ip" and len(words) >= 3 and words[1] == "community-list":
-        _parse_community_list(config, block)
-    elif head == "route-map":
-        _parse_route_map(config, block)
     else:
-        if sink is not None:
-            sink.info(
-                PHASE_PARSE,
-                f"unmodeled command: {head}",
-                file=source,
-                line_number=block.line_number,
-                line=block.line,
-            )
-        config.unmodeled_lines.append(block.line)
-        for child in block.children:
-            config.unmodeled_lines.extend(node.line for node in child.walk())
+        _retain_stanza(config, tokens, sink, source)
+
+
+def _top_interface(config, tokens, sink, source, cache) -> None:
+    _run_fragment(config, tokens, _parse_interface, cache)
+
+
+_CACHEABLE_PROTOCOLS = frozenset(("ospf", "eigrp", "igrp", "bgp"))
+
+
+def _top_router(config, tokens, sink, source, cache) -> None:
+    words = tokens[0][2].split()
+    if len(words) >= 2 and words[1] in _CACHEABLE_PROTOCOLS:
+        _run_fragment(config, tokens, _parse_router, cache)
+    else:
+        # rip merges into accumulated state; unknown protocols emit an
+        # info diagnostic; a bare "router" raises — none are cacheable.
+        _parse_router(config, materialize_stanza(tokens), sink=sink, source=source)
+
+
+def _top_access_list(config, tokens, sink, source, cache) -> None:
+    _run_fragment(config, tokens, _parse_access_list, cache)
+
+
+def _top_route_map(config, tokens, sink, source, cache) -> None:
+    _run_fragment(config, tokens, _parse_route_map, cache)
+
+
+def _top_ip(config, tokens, sink, source, cache) -> None:
+    words = tokens[0][2].split()
+    n = len(words)
+    if n >= 2 and words[1] == "route":
+        _run_fragment(config, tokens, _parse_static_route, cache)
+    elif n >= 3 and words[1] == "access-list":
+        _run_fragment(config, tokens, _parse_named_access_list, cache)
+    elif n >= 3 and words[1] == "prefix-list":
+        # Default sequence numbers depend on entries accumulated from
+        # earlier stanzas — never cached, parsed straight into config.
+        _parse_prefix_list(config, materialize_stanza(tokens))
+    elif n >= 3 and words[1] == "community-list":
+        _run_fragment(config, tokens, _parse_community_list, cache)
+    else:
+        _retain_stanza(config, tokens, sink, source)
+
+
+#: Interned head keyword → stanza dispatcher.  Anything absent is an
+#: unmodeled stanza.
+_TOP_DISPATCH: Dict[str, object] = {
+    "hostname": _top_hostname,
+    "interface": _top_interface,
+    "router": _top_router,
+    "access-list": _top_access_list,
+    "route-map": _top_route_map,
+    "ip": _top_ip,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -467,10 +588,10 @@ def _parse_acl_rule(words: List[str], extended: bool, block: ConfigBlock) -> Acl
     return rule
 
 
-_EXTENDED_ACL_PROTOCOLS = (
+_EXTENDED_ACL_PROTOCOLS = frozenset((
     "ip", "tcp", "udp", "icmp", "igmp", "gre", "esp", "ahp", "pim",
     "ospf", "eigrp", "nos", "ipinip",
-)
+))
 
 
 def _parse_acl_endpoint(
@@ -631,8 +752,21 @@ def _int(word: str, block: ConfigBlock) -> int:
         raise ConfigParseError(f"expected integer, got {word!r}", block.line_number, block.line) from exc
 
 
+#: Dotted-quad → shared immutable IPv4Address.  Real configs repeat the
+#: same netmasks/wildcards/addresses thousands of times per archive;
+#: IPv4Address is immutable and hashable, so instances are safe to share.
+_ADDRESS_MEMO: Dict[str, IPv4Address] = {}
+_ADDRESS_MEMO_CAP = 65536
+
+
 def _address(word: str, block: ConfigBlock) -> IPv4Address:
-    try:
-        return IPv4Address(word)
-    except AddressError as exc:
-        raise ConfigParseError(str(exc), block.line_number, block.line) from exc
+    addr = _ADDRESS_MEMO.get(word)
+    if addr is None:
+        try:
+            addr = IPv4Address(word)
+        except AddressError as exc:
+            raise ConfigParseError(str(exc), block.line_number, block.line) from exc
+        if len(_ADDRESS_MEMO) >= _ADDRESS_MEMO_CAP:
+            _ADDRESS_MEMO.clear()
+        _ADDRESS_MEMO[word] = addr
+    return addr

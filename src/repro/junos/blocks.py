@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -100,66 +101,50 @@ def parse_blocks(text: str) -> JunosNode:
     return root
 
 
+# Comments, matched in one scan: a ``/* */`` block (to ``*/`` or EOF),
+# else ``#`` to end of line.  Like the historical character loop this is
+# deliberately quote-unaware — a ``#`` or ``/*`` inside a quoted string
+# still starts a comment — and block comments are replaced by their
+# newlines so token line numbers stay exact.
+_COMMENT_RE = re.compile(r"/\*.*?(?:\*/|\Z)|#[^\n]*", re.S)
+
+
+def _replace_comment(match: "re.Match") -> str:
+    text = match.group()
+    if text[0] == "/":
+        return "\n" * text.count("\n")
+    return ""  # '#' comments stop before the newline, which survives
+
+
 def _strip_comments(text: str) -> str:
     """Remove ``#`` and ``/* */`` comments, preserving line structure."""
-    out = []
-    index = 0
-    length = len(text)
-    while index < length:
-        if text.startswith("/*", index):
-            end = text.find("*/", index + 2)
-            span = text[index:] if end < 0 else text[index : end + 2]
-            out.append("\n" * span.count("\n"))
-            index = length if end < 0 else end + 2
-        elif text[index] == "#":
-            end = text.find("\n", index)
-            index = length if end < 0 else end
-        else:
-            out.append(text[index])
-            index += 1
-    return "".join(out)
+    return _COMMENT_RE.sub(_replace_comment, text)
+
+
+# One token per match: a structural character, a quoted string (possibly
+# unterminated — no closing quote matched — which tokenizing rejects), or
+# a run of word characters.  ``[^"]`` spans newlines, matching the old
+# loop's multi-line quoted strings.
+_TOKEN_RE = re.compile(r'[{};]|"([^"]*)"?|[^\s{};"]+')
 
 
 def _tokenize(text: str) -> List[Tuple[str, int]]:
-    """Split into ``(token, line number)`` pairs."""
+    """Split into ``(token, line number)`` pairs (single regex pass)."""
     tokens: List[Tuple[str, int]] = []
-    current: List[str] = []
-    current_line = 1
+    append = tokens.append
     line = 1
-    in_quote = False
-
-    def flush() -> None:
-        if current:
-            tokens.append(("".join(current), current_line))
-            current.clear()
-
-    for char in text:
-        if in_quote:
-            if char == '"':
-                in_quote = False
-                tokens.append(("".join(current), current_line))
-                current.clear()
-            else:
-                current.append(char)
-                if char == "\n":
-                    line += 1
-            continue
-        if char == '"':
-            flush()
-            in_quote = True
-            current_line = line
-        elif char in "{};":
-            flush()
-            tokens.append((char, line))
-        elif char.isspace():
-            flush()
-            if char == "\n":
-                line += 1
+    last = 0
+    count_newlines = text.count
+    for match in _TOKEN_RE.finditer(text):
+        start = match.start()
+        if start > last:
+            line += count_newlines("\n", last, start)
+            last = start
+        token = match.group()
+        if token[0] == '"':
+            if len(token) < 2 or token[-1] != '"':
+                raise JunosSyntaxError("unterminated string literal", line)
+            append((match.group(1), line))
         else:
-            if not current:
-                current_line = line
-            current.append(char)
-    if in_quote:
-        raise JunosSyntaxError("unterminated string literal", current_line)
-    flush()
+            append((token, line))
     return tokens

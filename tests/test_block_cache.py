@@ -1,0 +1,218 @@
+"""The stanza-level parse cache: equivalence, persistence, exclusions.
+
+The cache is only sound if a cached parse is *indistinguishable* from a
+direct one — same config, same diagnostics, in both modes — so most of
+these tests compare a cache-off parse against cold and warm cached
+parses of the same text.
+"""
+
+import os
+
+import pytest
+
+from repro.diag import DiagnosticSink
+from repro.ios import blockcache
+from repro.ios.blockcache import DISK_MIN_LINES, BlockCache, get_block_cache
+from repro.ios.parser import parse_config
+
+GOOD = """\
+hostname r1
+interface Serial0/0
+ description uplink
+ ip address 10.1.0.1 255.255.255.252
+ bandwidth 1544
+router ospf 10
+ network 10.1.0.0 0.0.0.3 area 0
+ redistribute static metric 20 subnets
+access-list 5 permit 10.1.0.0 0.0.255.255
+route-map RM permit 10
+ match ip address 5
+ set local-preference 200
+ip route 0.0.0.0 0.0.0.0 10.1.0.2
+banner motd ^C not modeled ^C
+"""
+
+# The interface stanza has a malformed address: lenient mode must skip
+# the block with a diagnostic, identically with and without the cache.
+DAMAGED = """\
+hostname r2
+interface Serial0/0
+ ip address 999.1.0.1 255.255.255.252
+ bandwidth 1544
+router ospf 10
+ network 10.1.0.0 0.0.0.3 area 0
+"""
+
+
+def private_cache(root=None):
+    """A BlockCache with its own memo, isolated from the shared one."""
+    return BlockCache(root=root, memo={})
+
+
+def parse_pair(text, mode, cache):
+    sink = DiagnosticSink()
+    config = parse_config(text, mode=mode, sink=sink, source="t.cfg",
+                          block_cache=cache)
+    return config, tuple(sink.diagnostics)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("mode", ["strict", "lenient"])
+    @pytest.mark.parametrize("text", [GOOD, DAMAGED])
+    def test_cold_and_warm_match_uncached(self, mode, text):
+        if mode == "strict" and text is DAMAGED:
+            pytest.skip("strict mode raises on the damaged fixture")
+        cache = private_cache()
+        plain = parse_pair(text, mode, None)
+        cold = parse_pair(text, mode, cache)
+        warm = parse_pair(text, mode, cache)
+        assert cold == plain
+        assert warm == plain
+        assert cache.hits > 0  # the warm parse really did replay stanzas
+
+    def test_damaged_strict_raises_identically(self):
+        with pytest.raises(ValueError) as plain:
+            parse_config(DAMAGED, block_cache=None)
+        cache = private_cache()
+        with pytest.raises(ValueError) as cached:
+            parse_config(DAMAGED, block_cache=cache)
+        assert str(cached.value) == str(plain.value)
+
+    def test_fragment_cached_under_one_mode_replays_under_the_other(self):
+        cache = private_cache()
+        strict = parse_pair(GOOD, "strict", cache)
+        lenient = parse_pair(GOOD, "lenient", cache)
+        assert strict[0] == lenient[0]
+
+    def test_stanzas_shared_across_files(self):
+        shared = "interface Serial0/0\n ip address 10.1.0.1 255.255.255.252\n"
+        cache = private_cache()
+        parse_config("hostname a\n" + shared, block_cache=cache)
+        before = cache.hits
+        cached = parse_config("hostname b\n" + shared, block_cache=cache)
+        assert cache.hits > before
+        assert cached == parse_config("hostname b\n" + shared, block_cache=None)
+
+    def test_failed_stanzas_are_not_cached(self):
+        cache = private_cache()
+        sink = DiagnosticSink()
+        parse_config(DAMAGED, mode="lenient", sink=sink, block_cache=cache)
+        first = tuple(sink.diagnostics)
+        assert first  # the bad interface produced a diagnostic
+        sink = DiagnosticSink()
+        parse_config(DAMAGED, mode="lenient", sink=sink, block_cache=cache)
+        assert tuple(sink.diagnostics) == first  # replay did not eat it
+
+
+class TestExclusions:
+    def test_prefix_lists_never_cached(self):
+        # Default sequence numbers continue from earlier stanzas, so the
+        # same text parses differently depending on what came before it —
+        # caching by stanza content would replay the wrong sequence.
+        cache = private_cache()
+        text = (
+            "ip prefix-list PL permit 10.0.0.0/8\n"
+            "ip prefix-list PL permit 11.0.0.0/8\n"
+        )
+        config = parse_config(text, block_cache=cache)
+        assert [e.sequence for e in config.prefix_lists["PL"].entries] == [5, 10]
+        assert not cache.memo
+        again = parse_config(text, block_cache=cache)
+        assert [e.sequence for e in again.prefix_lists["PL"].entries] == [5, 10]
+
+    def test_router_rip_never_cached(self):
+        cache = private_cache()
+        text = "router rip\n version 2\n network 10.0.0.0\n"
+        parse_config(text, block_cache=cache)
+        assert not cache.memo
+
+    def test_unmodeled_stanzas_never_cached(self):
+        cache = private_cache()
+        parse_config("banner motd ^C hi ^C\nntp server 10.0.0.1\n",
+                     block_cache=cache)
+        assert not cache.memo
+
+
+class TestPersistentTier:
+    def test_large_stanzas_persist_and_replay_from_disk(self, tmp_path):
+        root = str(tmp_path)
+        first = private_cache(root=root)
+        plain = parse_config(GOOD, block_cache=None)
+        assert parse_config(GOOD, block_cache=first) == plain
+        entries = [
+            os.path.join(base, name)
+            for base, _dirs, names in os.walk(os.path.join(root, "blocks"))
+            for name in names
+        ]
+        assert entries  # the 4-line interface stanza reached the disk tier
+        # A fresh process (fresh memo) replays those stanzas from disk.
+        second = private_cache(root=root)
+        assert parse_config(GOOD, block_cache=second) == plain
+        assert second.disk_hits > 0
+
+    def test_small_stanzas_stay_memo_only(self, tmp_path):
+        root = str(tmp_path)
+        cache = private_cache(root=root)
+        short = "interface E0\n ip address 10.0.0.1 255.0.0.0\n"
+        assert len(short.splitlines()) < DISK_MIN_LINES
+        parse_config(short, block_cache=cache)
+        assert cache.memo  # memoized...
+        assert not os.path.isdir(os.path.join(root, "blocks"))  # ...not stored
+
+    def test_parser_version_keys_the_disk_tier(self, tmp_path, monkeypatch):
+        root = str(tmp_path)
+        parse_config(GOOD, block_cache=private_cache(root=root))
+        # After a (simulated) parser release, old entries must not load.
+        monkeypatch.setattr("repro.model.dialect.PARSER_VERSION", "9999.test")
+        aged = private_cache(root=root)
+        assert parse_config(GOOD, block_cache=aged) == parse_config(
+            GOOD, block_cache=None
+        )
+        assert aged.disk_hits == 0
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        root = str(tmp_path)
+        parse_config(GOOD, block_cache=private_cache(root=root))
+        blocks_dir = os.path.join(root, "blocks")
+        for base, _dirs, names in os.walk(blocks_dir):
+            for name in names:
+                with open(os.path.join(base, name), "wb") as handle:
+                    handle.write(b"not a pickle")
+        fresh = private_cache(root=root)
+        assert parse_config(GOOD, block_cache=fresh) == parse_config(
+            GOOD, block_cache=None
+        )
+        # The damaged entries were evicted and rewritten by the re-parse.
+        remaining = [
+            name for base, _dirs, names in os.walk(blocks_dir) for name in names
+        ]
+        assert remaining
+
+
+class TestProcessDefaults:
+    def test_disable_switch(self):
+        was = blockcache.is_enabled()
+        try:
+            blockcache.set_enabled(False)
+            assert get_block_cache() is None
+            blockcache.set_enabled(True)
+            assert get_block_cache() is not None
+        finally:
+            blockcache.set_enabled(was)
+
+    def test_shared_stats_accumulate(self):
+        blockcache.clear_shared_memo()
+        before = blockcache.shared_stats()
+        parse_config(GOOD)  # default cache: the shared memo
+        parse_config(GOOD)
+        after = blockcache.shared_stats()
+        assert after["stores"] > before["stores"]
+        assert after["hits"] > before["hits"]
+        assert after["memo_entries"] > 0
+        assert after["enabled"] is blockcache.is_enabled()
+
+    def test_memo_cap_clears_wholesale(self):
+        cache = private_cache()
+        cache.memo.update({f"k{i}": () for i in range(blockcache.MEMO_CAP)})
+        cache.put("fresh", ("payload",), n_lines=1)
+        assert list(cache.memo) == ["fresh"]

@@ -276,10 +276,19 @@ class TestParseMany:
             str(d) for d in warm[0].diagnostics
         ]
 
-    def test_timer_counts_workers(self):
+    def test_timer_counts_workers(self, monkeypatch):
+        # Worker counts are clamped to the usable CPUs, so pretend the
+        # host is wide enough for the requested pool.
+        monkeypatch.setattr("repro.ingest.parallel.available_cpus", lambda: 8)
         timer = StageTimer()
         parse_many(self._tasks(4), jobs=3, timer=timer)
         assert timer.counter("parse", "workers") == 3
+
+    def test_explicit_jobs_clamped_to_cpus(self, monkeypatch):
+        monkeypatch.setattr("repro.ingest.parallel.available_cpus", lambda: 2)
+        timer = StageTimer()
+        parse_many(self._tasks(4), jobs=8, timer=timer)
+        assert timer.counter("parse", "workers") == 2
 
 
 class TestWorkerSinkIsolation:

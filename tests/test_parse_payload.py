@@ -1,0 +1,217 @@
+"""The compact payload codec: encode/decode fidelity and fragment merging.
+
+These tuples cross process boundaries (warm-pool workers) and live in the
+block-level cache, so the round trip must be exact for every modeled
+class — a silent field drop here corrupts configs only on cache hits or
+only under ``--jobs N``, the worst kind of bug to chase.
+"""
+
+from hypothesis import given, settings
+
+from repro.diag import PHASE_PARSE, Diagnostic
+from repro.ios.config import (
+    AccessList,
+    AclRule,
+    CommunityList,
+    InterfaceConfig,
+    OspfProcess,
+    PrefixList,
+    PrefixListEntry,
+    RouterConfig,
+)
+from repro.ios.parser import parse_config
+from repro.ios.payload import (
+    decode_config,
+    decode_diagnostics,
+    encode_config,
+    encode_diagnostics,
+    merge_fragment,
+)
+from repro.net import Prefix
+
+from tests.test_property_roundtrip import router_configs
+
+# A fixture exercising every stanza family the codec must carry,
+# including the kinds the hypothesis strategy does not generate
+# (RIP, prefix lists, community lists, named ACLs, unmodeled lines).
+KITCHEN_SINK = """\
+hostname sink
+interface Serial0/0
+ description uplink
+ ip address 10.1.0.1 255.255.255.252
+ ip access-group 101 in
+ bandwidth 1544
+ ip ospf cost 10
+router ospf 10
+ router-id 10.1.0.1
+ network 10.1.0.0 0.0.0.3 area 0
+ passive-interface Serial0/0
+ redistribute static metric 20 subnets tag 7
+ distribute-list 5 in Serial0/0
+ default-information originate
+router eigrp 100
+ network 10.2.0.0
+ no auto-summary
+router rip
+ version 2
+ network 10.3.0.0
+router bgp 65000
+ neighbor 10.9.0.2 remote-as 65001
+ neighbor 10.9.0.2 route-map RM-OUT out
+ neighbor 10.9.0.2 next-hop-self
+ network 10.1.0.0 mask 255.255.0.0
+access-list 5 permit 10.1.0.0 0.0.255.255
+access-list 101 permit tcp any host 10.1.0.1 eq 179
+ip access-list extended NAMED
+ permit ip 10.0.0.0 0.0.0.255 any
+ deny ip any any
+ip prefix-list PL seq 5 permit 10.0.0.0/8 le 24
+ip community-list 7 permit 65000:100
+route-map RM-OUT permit 10
+ match ip address 101
+ set local-preference 200
+ set community 65000:100 additive
+ip route 0.0.0.0 0.0.0.0 10.1.0.2 tag 42
+banner motd ^C unmodeled ^C
+"""
+
+
+class TestConfigRoundTrip:
+    def test_kitchen_sink_round_trip(self):
+        config = parse_config(KITCHEN_SINK, block_cache=None)
+        # The fixture really does reach every family.
+        assert config.interfaces and config.ospf_processes
+        assert config.eigrp_processes and config.rip_process
+        assert config.bgp_process and config.access_lists
+        assert config.prefix_lists and config.community_lists
+        assert config.route_maps and config.static_routes
+        assert config.unmodeled_lines
+        assert decode_config(encode_config(config)) == config
+
+    def test_decoded_config_is_independent(self):
+        config = parse_config(KITCHEN_SINK, block_cache=None)
+        payload = encode_config(config)
+        first = decode_config(payload)
+        second = decode_config(payload)
+        # Decodes are fresh objects: downstream passes mutate configs, and
+        # a shared instance would leak edits between cache hits.
+        assert first == second
+        assert first is not second
+        assert first.interfaces["Serial0/0"] is not second.interfaces["Serial0/0"]
+        first.interfaces["Serial0/0"].description = "mutated"
+        assert decode_config(payload) == config
+
+    def test_counts_survive(self):
+        config = parse_config(KITCHEN_SINK, block_cache=None)
+        decoded = decode_config(encode_config(config))
+        assert decoded.line_count == config.line_count
+        assert decoded.command_count == config.command_count
+
+    @settings(max_examples=60, deadline=None)
+    @given(router_configs())
+    def test_generated_configs_round_trip(self, config):
+        assert decode_config(encode_config(config)) == config
+
+    def test_payload_is_primitives_only(self):
+        def flatten(value):
+            if isinstance(value, (tuple, list)):
+                for item in value:
+                    yield from flatten(item)
+            else:
+                yield value
+
+        payload = encode_config(parse_config(KITCHEN_SINK, block_cache=None))
+        for leaf in flatten(payload):
+            assert leaf is None or isinstance(leaf, (int, str, bool)), leaf
+
+
+class TestDiagnosticsRoundTrip:
+    def test_round_trip(self):
+        diags = (
+            Diagnostic("error", PHASE_PARSE, "skipped block: boom",
+                       file="r1.cfg", line_number=7, line="interface E0"),
+            Diagnostic("info", PHASE_PARSE, "unmodeled command: banner",
+                       router="r1"),
+        )
+        assert decode_diagnostics(encode_diagnostics(diags)) == diags
+
+
+class TestMergeFragment:
+    def test_lists_extend_and_dicts_update(self):
+        config = RouterConfig()
+        config.ospf_processes.append(OspfProcess(process_id=1))
+        fragment = RouterConfig()
+        fragment.interfaces["E0"] = InterfaceConfig(name="E0")
+        fragment.ospf_processes.append(OspfProcess(process_id=2))
+        merge_fragment(config, fragment)
+        assert list(config.interfaces) == ["E0"]
+        assert [p.process_id for p in config.ospf_processes] == [1, 2]
+
+    def test_acl_rules_append_to_existing_list(self):
+        # "access-list 5 ..." stanzas accumulate one rule per line, across
+        # stanzas; the merge must extend, not replace.
+        config = RouterConfig()
+        config.access_lists["5"] = AccessList(
+            name="5", rules=[AclRule(action="permit", source_any=True)]
+        )
+        fragment = RouterConfig()
+        fragment.access_lists["5"] = AccessList(
+            name="5", rules=[AclRule(action="deny", source_any=True)]
+        )
+        merge_fragment(config, fragment)
+        assert [r.action for r in config.access_lists["5"].rules] == [
+            "permit",
+            "deny",
+        ]
+
+    def test_prefix_list_entries_extend(self):
+        config = RouterConfig()
+        config.prefix_lists["PL"] = PrefixList(
+            name="PL",
+            entries=[
+                PrefixListEntry(sequence=5, action="permit",
+                                prefix=Prefix(0x0A000000, 8))
+            ],
+        )
+        fragment = RouterConfig()
+        fragment.prefix_lists["PL"] = PrefixList(
+            name="PL",
+            entries=[
+                PrefixListEntry(sequence=10, action="deny",
+                                prefix=Prefix(0, 0))
+            ],
+        )
+        merge_fragment(config, fragment)
+        assert [e.sequence for e in config.prefix_lists["PL"].entries] == [5, 10]
+
+    def test_scalars_overwrite_only_when_set(self):
+        config = RouterConfig(hostname="keep")
+        merge_fragment(config, RouterConfig())
+        assert config.hostname == "keep"
+        merge_fragment(config, RouterConfig(hostname="new"))
+        assert config.hostname == "new"
+
+    def test_community_lists_extend(self):
+        config = RouterConfig()
+        config.community_lists["7"] = CommunityList(
+            name="7", entries=[("permit", "65000:100")]
+        )
+        fragment = RouterConfig()
+        fragment.community_lists["7"] = CommunityList(
+            name="7", entries=[("deny", "65000:200")]
+        )
+        merge_fragment(config, fragment)
+        assert len(config.community_lists["7"].entries) == 2
+
+    def test_unmodeled_lines_extend(self):
+        config = RouterConfig(unmodeled_lines=["a"])
+        merge_fragment(config, RouterConfig(unmodeled_lines=["b"]))
+        assert config.unmodeled_lines == ["a", "b"]
+
+    def test_merge_equals_direct_parse(self):
+        whole = parse_config(KITCHEN_SINK, block_cache=None)
+        merged = RouterConfig(
+            line_count=whole.line_count, command_count=whole.command_count
+        )
+        merge_fragment(merged, whole)
+        assert merged == whole

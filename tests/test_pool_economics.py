@@ -1,0 +1,144 @@
+"""The warm parse pool: reuse across calls, economics, wire fidelity.
+
+``--jobs N`` must never lose to serial just because each ``parse_many``
+call paid a fresh fork-and-import bill; these tests pin the pool's
+lifecycle (built once, reused while the width holds, rebuilt on change)
+and the cost/benefit numbers surfaced to manifests.
+"""
+
+import pytest
+
+from repro.ingest import ParseTask, parse_many, pool_economics, shutdown_pool
+from repro.ingest.parallel import _ECON_MIN_FILES
+from repro.obs.metrics import use_registry
+
+IOS_OK = """\
+hostname {name}
+interface Ethernet0
+ ip address 10.0.{i}.1 255.255.255.0
+router ospf 10
+ network 10.0.{i}.0 0.0.0.255 area 0
+"""
+
+IOS_BAD = """\
+hostname bad
+interface Ethernet0
+ ip address 999.0.0.1 255.255.255.0
+"""
+
+
+def make_tasks(count, on_error="strict"):
+    return [
+        ParseTask(f"r{i}", IOS_OK.format(name=f"r{i}", i=i), on_error)
+        for i in range(count)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def cold_pool(monkeypatch):
+    # Pool widths are clamped to the usable CPUs; pretend the host is
+    # wide so jobs=2/3 genuinely exercise the multi-process path even on
+    # single-CPU CI boxes.
+    monkeypatch.setattr("repro.ingest.parallel.available_cpus", lambda: 8)
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+class TestWarmPool:
+    def test_pool_survives_across_calls(self):
+        tasks = make_tasks(_ECON_MIN_FILES)
+        before = pool_economics()["pool_builds"]
+        with use_registry() as registry:
+            parse_many(tasks, jobs=2)
+            first_warmup = registry.gauge("ingest.pool.warmup.seconds").value
+        assert pool_economics()["pool_builds"] == before + 1
+        assert first_warmup > 0
+        with use_registry() as registry:
+            parse_many(tasks, jobs=2)
+            second_warmup = registry.gauge("ingest.pool.warmup.seconds").value
+        # Same width: no rebuild, no warmup bill.
+        assert pool_economics()["pool_builds"] == before + 1
+        assert second_warmup == 0.0
+
+    def test_width_change_rebuilds(self):
+        tasks = make_tasks(_ECON_MIN_FILES)
+        before = pool_economics()["pool_builds"]
+        parse_many(tasks, jobs=2)
+        parse_many(tasks, jobs=3)
+        assert pool_economics()["pool_builds"] == before + 2
+
+    def test_shutdown_forces_cold_start(self):
+        tasks = make_tasks(_ECON_MIN_FILES)
+        before = pool_economics()["pool_builds"]
+        parse_many(tasks, jobs=2)
+        shutdown_pool()
+        parse_many(tasks, jobs=2)
+        assert pool_economics()["pool_builds"] == before + 2
+
+
+class TestEconomics:
+    def test_serial_then_parallel_yields_net_win_verdict(self):
+        tasks = make_tasks(_ECON_MIN_FILES * 2)
+        with use_registry():
+            parse_many(tasks, jobs=1)
+        economics = pool_economics()
+        assert economics["serial_files_per_second"] > 0
+        with use_registry() as registry:
+            parse_many(tasks, jobs=2)
+            economics = pool_economics()
+            assert economics["parallel_files_per_second"] > 0
+            assert economics["pool_net_win"] is not None
+            gauge = registry.gauge("ingest.pool.net_win").value
+            assert gauge == (1.0 if economics["pool_net_win"] else 0.0)
+
+    def test_tiny_runs_do_not_move_the_baselines(self):
+        tasks = make_tasks(max(1, _ECON_MIN_FILES - 2))
+        with use_registry():
+            parse_many(tasks, jobs=1)
+        before = pool_economics()
+        with use_registry():
+            parse_many(tasks, jobs=1)
+        after = pool_economics()
+        assert after["serial_files_per_second"] == before["serial_files_per_second"]
+
+    def test_snapshot_is_a_copy(self):
+        snapshot = pool_economics()
+        snapshot["pool_builds"] = -1
+        assert pool_economics()["pool_builds"] != -1
+
+
+class TestWireFidelity:
+    """Pooled results cross the process boundary as primitive tuples;
+    they must decode to exactly what the serial path produces."""
+
+    def test_pooled_equals_serial_with_damaged_files(self):
+        tasks = make_tasks(6, on_error="skip-block") + [
+            ParseTask("bad1", IOS_BAD, "skip-block"),
+            ParseTask("bad2", IOS_BAD, "skip-file"),
+        ]
+        with use_registry():
+            serial = parse_many(tasks, jobs=1)
+            pooled = parse_many(tasks, jobs=2)
+        assert pooled == serial
+        by_source = {o.source: o for o in pooled}
+        assert by_source["bad1"].diagnostics  # skip-block kept the diag
+        assert by_source["bad2"].quarantined  # skip-file quarantined
+
+    def test_pooled_strict_error_round_trips(self):
+        tasks = make_tasks(4) + [ParseTask("bad", IOS_BAD, "strict")]
+        with use_registry():
+            serial = parse_many(tasks, jobs=1)
+            pooled = parse_many(tasks, jobs=2)
+        for a, b in zip(pooled, serial):
+            # Exceptions compare by identity, so check them field-wise.
+            assert (a.source, a.config, a.diagnostics, a.quarantined) == (
+                b.source,
+                b.config,
+                b.diagnostics,
+                b.quarantined,
+            )
+            assert type(a.error) is type(b.error)
+            assert str(a.error) == str(b.error)
+        error = {o.source: o for o in pooled}["bad"].error
+        assert error is not None
