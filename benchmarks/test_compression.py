@@ -1,0 +1,88 @@
+"""Quotient-vs-direct analysis benchmark on the replicated pod fabric.
+
+The compression claim, measured: on a pod fabric of ``10,000 × scale``
+routers, the full analysis with one pathway per equivalence class must
+beat the per-router direct analysis by ``MIN_SPEEDUP`` while producing a
+byte-identical normalized payload.  Records JSON under
+``benchmarks/results/compression_quotient.json`` so the README's quoted
+numbers are regenerable.
+
+The direct pathway stage is O(routers × processes) — every
+:func:`route_pathway` call rebuilds the process-membership index — so
+the speedup *grows* with fabric size; the floor is asserted only at
+sizes where the quadratic term dominates the shared linear stages.
+"""
+
+import json
+import time
+
+from repro.compress import analyze_compressed, analyze_direct
+from repro.compress.payload import normalize_analysis_payload, payload_digest
+from repro.compress.plan import build_compression_plan
+from repro.model import Network
+from repro.synth.templates.pods import build_pods
+
+from benchmarks.conftest import BENCH_SCALE, record, record_json
+
+#: Full-scale fabric size (routers) at BENCH_SCALE=1.0.
+FULL_ROUTERS = 10_000
+
+#: Speedup floor, asserted when the scaled fabric still has enough
+#: routers for the quadratic pathway term to dominate.
+MIN_SPEEDUP = 5.0
+MIN_ROUTERS_FOR_FLOOR = 5_000
+
+
+def test_compression_speedup_and_equivalence():
+    n_routers = max(40, int(FULL_ROUTERS * BENCH_SCALE))
+    configs, _spec = build_pods("pod", 1, n_routers)
+
+    def fresh():
+        network = Network.from_configs(configs, name="pod-bench", jobs=0)
+        # Warm the shared lazy indexes so both timings cover analysis
+        # only, not parsing or link inference.
+        network.links
+        network.processes
+        return network
+
+    network = fresh()
+    start = time.perf_counter()
+    compressed = analyze_compressed(network)
+    compressed_seconds = time.perf_counter() - start
+
+    network = fresh()
+    start = time.perf_counter()
+    direct = analyze_direct(network)
+    direct_seconds = time.perf_counter() - start
+
+    digest_direct = payload_digest(normalize_analysis_payload(direct))
+    digest_compressed = payload_digest(normalize_analysis_payload(compressed))
+    assert digest_direct == digest_compressed
+
+    plan = build_compression_plan(Network.from_configs(configs, name="pod-bench"))
+    speedup = direct_seconds / compressed_seconds if compressed_seconds else 0.0
+    payload = {
+        "routers": plan.n_routers,
+        "classes": plan.n_classes,
+        "compression_ratio": round(plan.ratio, 2),
+        "direct_seconds": round(direct_seconds, 3),
+        "compressed_seconds": round(compressed_seconds, 3),
+        "speedup": round(speedup, 2),
+        "payloads_identical": True,
+        "payload_digest": digest_direct,
+    }
+    record_json("compression_quotient", payload)
+    record(
+        "compression_quotient",
+        "quotient-vs-direct analysis — pod fabric\n"
+        f"routers {plan.n_routers}, classes {plan.n_classes} "
+        f"(ratio {plan.ratio:.0f}x)\n"
+        f"direct {direct_seconds:.2f}s, compressed {compressed_seconds:.2f}s "
+        f"-> {speedup:.1f}x\n"
+        f"normalized payloads byte-identical: {digest_direct[:16]}…",
+    )
+    if plan.n_routers >= MIN_ROUTERS_FOR_FLOOR:
+        assert speedup >= MIN_SPEEDUP, (
+            f"compression bought only {speedup:.1f}x on "
+            f"{plan.n_routers} routers (floor {MIN_SPEEDUP}x)"
+        )

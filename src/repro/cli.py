@@ -439,6 +439,11 @@ def _corpus_executor(args: argparse.Namespace):
         store = CheckpointStore(root=checkpoint_dir) if checkpoint_dir else CheckpointStore()
     if getattr(args, "resume", False) and store is None:
         raise SystemExit("error: --resume needs checkpointing (drop --no-checkpoint)")
+    kwargs = {}
+    if bool(getattr(args, "compress", None)):
+        from repro.compress import compressed_stage_runners  # noqa: PLC0415
+
+        kwargs["runners"] = compressed_stage_runners()
     config = ExecutorConfig(
         stage_deadline=stage_deadline,
         soft_deadline=getattr(args, "soft_deadline", None),
@@ -447,6 +452,7 @@ def _corpus_executor(args: argparse.Namespace):
         fail_fast=getattr(args, "fail_fast", False),
         checkpoints=store,
         chaos=ChaosPlan.from_env(),
+        **kwargs,
     )
     args._exec_config = config
     args._exec_suggestion = suggestion
@@ -645,6 +651,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             "fail_fast": args._exec_config.fail_fast,
             "checkpoints": store.stats.as_dict() if store is not None else None,
         },
+        "compress": bool(getattr(args, "compress", None)),
         "archives": report,
         "totals": {
             "archives": len(report),
@@ -882,12 +889,14 @@ def cmd_generate(args: argparse.Namespace) -> int:
     from repro.synth.templates.example_fig1 import build_example_networks
     from repro.synth.templates.net5 import build_net5
     from repro.synth.templates.net15 import build_net15
+    from repro.synth.templates.pods import build_pods
 
     builders = {
         "enterprise": lambda: build_enterprise("gen", 1, args.routers, seed=args.seed),
         "backbone": lambda: build_backbone("gen", 2, args.routers, seed=args.seed),
         "net5": lambda: build_net5(scale=args.routers / 881.0, seed=args.seed),
         "net15": lambda: build_net15(scale=args.routers / 79.0, seed=args.seed),
+        "pod": lambda: build_pods("pod", 3, args.routers, seed=args.seed),
         "fig1": lambda: (build_example_networks()[0], None),
     }
     if args.template not in builders:
@@ -980,6 +989,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a run manifest (file inventory, metrics, spans) to PATH",
+    )
+    compress_group = ingest.add_mutually_exclusive_group()
+    compress_group.add_argument(
+        "--compress",
+        dest="compress",
+        action="store_const",
+        const=True,
+        default=None,
+        help="collapse equivalent routers before the pathway analysis "
+        "(certified-identical output, one pathway per equivalence class)",
+    )
+    compress_group.add_argument(
+        "--no-compress",
+        dest="compress",
+        action="store_const",
+        const=False,
+        help="force the direct per-router pathway analysis (default)",
     )
     archive = [mode, ingest, obs]
 
@@ -1189,7 +1215,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser("generate", help="emit a synthetic network", parents=[obs])
-    p.add_argument("template", help="enterprise|backbone|net5|net15|fig1")
+    p.add_argument("template", help="enterprise|backbone|net5|net15|pod|fig1")
     p.add_argument("outdir")
     p.add_argument("--routers", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
@@ -1225,6 +1251,7 @@ def _emit_run_report(
             else None
         ),
         "pool": pool_economics(),
+        "compress": bool(getattr(args, "compress", None)),
     }
     sweep_summary = getattr(args, "_sweep_summary", None)
     if sweep_summary is not None:

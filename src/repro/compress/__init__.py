@@ -1,0 +1,57 @@
+"""Role-based topology compression (Control Plane Compression, applied).
+
+The paper analyzes ~500-router networks whose operators think in terms
+of a handful of router *roles*; *Control Plane Compression* (SIGCOMM
+2018) shows such role symmetries can be exploited mechanically: collapse
+equivalent routers into a quotient network, analyze that, and expand the
+results back to concrete-router granularity.  This package does exactly
+that for the per-router analyses of this repository:
+
+* :mod:`repro.compress.signature` — the equivalence signature (role,
+  process set, policy digest, degree profile) plus Weisfeiler-Lehman
+  color refinement over the link topology;
+* :mod:`repro.compress.plan` — :func:`build_compression_plan`, grouping
+  routers into :class:`EquivalenceClass`\\ es;
+* :mod:`repro.compress.quotient` — the quotient :class:`Network` with
+  multiplicity-weighted links;
+* :mod:`repro.compress.analysis` — direct vs. compressed analysis
+  producing identical normalized payloads, with ``expanded_from``
+  provenance on every expanded result;
+* :mod:`repro.compress.certify` — the certification contract:
+  quotient-then-expand must equal direct analysis byte-for-byte after
+  normalization, with a ``KNOWN_GAPS`` escape hatch that ships empty.
+"""
+
+from repro.compress.analysis import (
+    analyze_compressed,
+    analyze_direct,
+    compressed_stage_runners,
+)
+from repro.compress.certify import KNOWN_GAPS, CertificationResult, certify_compression
+from repro.compress.payload import (
+    build_analysis_payload,
+    normalize_analysis_payload,
+    payload_digest,
+)
+from repro.compress.plan import CompressionPlan, EquivalenceClass, build_compression_plan
+from repro.compress.quotient import QuotientSummary, build_quotient
+from repro.compress.signature import local_signature, signature_colors
+
+__all__ = [
+    "KNOWN_GAPS",
+    "CertificationResult",
+    "CompressionPlan",
+    "EquivalenceClass",
+    "QuotientSummary",
+    "analyze_compressed",
+    "analyze_direct",
+    "build_analysis_payload",
+    "build_compression_plan",
+    "build_quotient",
+    "certify_compression",
+    "compressed_stage_runners",
+    "local_signature",
+    "normalize_analysis_payload",
+    "payload_digest",
+    "signature_colors",
+]

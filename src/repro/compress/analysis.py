@@ -1,0 +1,177 @@
+"""Direct vs. compressed analysis pipelines.
+
+``analyze_direct`` runs the five per-network analyses the way the
+executor does — the pathway stage iterates every router.  That loop is
+the super-linear hot spot: each :func:`~repro.core.pathways.route_pathway`
+call rebuilds the process-membership index, so the stage costs
+O(routers × processes) — quadratic on designs where most routers run a
+routing process.
+
+``analyze_compressed`` computes one pathway per equivalence class
+representative and expands it to every member with ``expanded_from``
+provenance, turning the stage into O(classes × processes) + one linear
+planning pass.  The linear-time analyses (links, instances, process
+graph, address space, survivability) are shared verbatim between the two
+pipelines — they are already cheap, and reusing them is what makes the
+certification diff meaningful rather than vacuous.
+
+``compressed_stage_runners`` adapts the same substitution to the
+resilient executor: only the ``pathways`` stage runner changes, and it
+reports the same item count (routers, not classes) and the same
+``truncated`` detail, so normalized corpus payloads are byte-identical
+between ``--compress`` and direct runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.compress.payload import build_analysis_payload, pathway_payload
+from repro.compress.plan import CompressionPlan, build_compression_plan
+from repro.compress.quotient import build_quotient
+from repro.core.address_space import extract_address_space
+from repro.core.instances import (
+    RoutingInstance,
+    build_instance_graph,
+    compute_instances,
+)
+from repro.core.pathways import route_pathway
+from repro.core.process_graph import build_process_graph
+from repro.core.survivability import analyze_survivability
+from repro.model.network import Network
+from repro.obs.metrics import get_registry
+
+
+def _shared_analyses(network: Network, instances: List[RoutingInstance]):
+    process_graph = build_process_graph(network)
+    address_blocks = extract_address_space(network)
+    survivability = analyze_survivability(network, instances=instances)
+    return process_graph, address_blocks, survivability
+
+
+def analyze_direct(
+    network: Network,
+    max_depth: Optional[int] = None,
+    instances: Optional[List[RoutingInstance]] = None,
+) -> Dict[str, Any]:
+    """The reference pipeline: one pathway per concrete router."""
+    if instances is None:
+        instances = compute_instances(network)
+    instance_graph = build_instance_graph(network, instances)
+    pathways: Dict[str, Dict[str, Any]] = {}
+    for router in sorted(network.routers):
+        pathway = route_pathway(
+            network,
+            router,
+            instances=instances,
+            instance_graph=instance_graph,
+            max_depth=max_depth,
+        )
+        pathways[router] = pathway_payload(pathway)
+    process_graph, address_blocks, survivability = _shared_analyses(network, instances)
+    return build_analysis_payload(
+        network,
+        instances=instances,
+        process_graph=process_graph,
+        pathways=pathways,
+        address_blocks=address_blocks,
+        survivability=survivability,
+    )
+
+
+def analyze_compressed(
+    network: Network,
+    max_depth: Optional[int] = None,
+    instances: Optional[List[RoutingInstance]] = None,
+    plan: Optional[CompressionPlan] = None,
+) -> Dict[str, Any]:
+    """The compressed pipeline: one pathway per equivalence class.
+
+    Every expanded pathway carries ``expanded_from: <class id>``; the
+    top-level ``compression`` block records the plan, the quotient link
+    multiplicities, and the per-class membership — everything the
+    normalizer strips before the certification diff.
+    """
+    if instances is None:
+        instances = compute_instances(network)
+    if plan is None:
+        plan = build_compression_plan(network, instances=instances)
+    quotient = build_quotient(network, plan)
+    instance_graph = build_instance_graph(network, instances)
+    pathways: Dict[str, Dict[str, Any]] = {}
+    for cls in plan.classes:
+        pathway = route_pathway(
+            network,
+            cls.representative,
+            instances=instances,
+            instance_graph=instance_graph,
+            max_depth=max_depth,
+        )
+        class_payload = pathway_payload(pathway)
+        for member in cls.members:
+            pathways[member] = dict(class_payload, expanded_from=cls.class_id)
+    pathways = {router: pathways[router] for router in sorted(pathways)}
+    process_graph, address_blocks, survivability = _shared_analyses(network, instances)
+    compression = quotient.as_dict()
+    compression["class_members"] = {
+        cls.class_id: {
+            "members": list(cls.members),
+            "representative": cls.representative,
+            "role": cls.role,
+            "instance_ids": list(cls.instance_ids),
+        }
+        for cls in plan.classes
+    }
+    compression["link_multiplicity"] = {
+        "|".join(classes): count
+        for classes, count in quotient.link_multiplicity.items()
+    }
+    return build_analysis_payload(
+        network,
+        instances=instances,
+        process_graph=process_graph,
+        pathways=pathways,
+        address_blocks=address_blocks,
+        survivability=survivability,
+        compression=compression,
+    )
+
+
+def _run_pathways_compressed(ctx, params: Dict[str, Any]):
+    """Drop-in replacement for the executor's ``pathways`` stage runner.
+
+    Reports the same item count (concrete routers) and the same
+    ``truncated`` marker as the direct runner: class representatives
+    cover every router and the truncation flag is class-invariant, so
+    the OR over representatives equals the OR over routers.  The saved
+    per-member calls are accounted under ``analysis.pathways.expanded``.
+    """
+    instances = ctx.instances()
+    plan = build_compression_plan(ctx.network, instances=instances)
+    instance_graph = build_instance_graph(ctx.network, instances)
+    truncated = False
+    for cls in plan.classes:
+        pathway = route_pathway(
+            ctx.network,
+            cls.representative,
+            instances=instances,
+            instance_graph=instance_graph,
+            **params,
+        )
+        truncated = truncated or pathway.truncated
+    expanded = plan.n_routers - plan.n_classes
+    if expanded > 0:
+        get_registry().counter("analysis.pathways.expanded").inc(expanded)
+    return None, len(ctx.network.routers), "truncated" if truncated else ""
+
+
+def compressed_stage_runners() -> Dict[str, Callable]:
+    """The executor stage-runner table with compression enabled."""
+    from repro.exec.executor import STAGE_RUNNERS  # noqa: PLC0415 — keep exec optional
+
+    runners = dict(STAGE_RUNNERS)
+    runners["pathways"] = _run_pathways_compressed
+    return runners
+
+
+__all__ = ["analyze_compressed", "analyze_direct", "compressed_stage_runners"]

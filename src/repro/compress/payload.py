@@ -1,0 +1,181 @@
+"""Canonical analysis payloads for the certification diff.
+
+The certification contract (see :mod:`repro.compress.certify`) compares
+*normalized payload bytes*: the direct and compressed pipelines each
+produce the dict built here, the ``compression`` provenance block and
+per-pathway ``expanded_from`` markers are stripped, and the JSON
+serializations (sorted keys) must be byte-identical.
+
+Everything in the payload is canonically ordered — router lists sorted,
+pathway policies and edges sorted, instance members sorted — so the
+payload is a function of the *network*, not of traversal order.  The
+pathway payload deliberately contains no router-specific node labels
+(the RIB label embeds the router name); the router appears only as the
+payload key, which is what lets one class-level pathway expand verbatim
+to every member.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.instances import (
+    RoutingInstance,
+    find_external_adjacent_instances,
+)
+from repro.core.pathways import RoutePathway
+from repro.core.process_graph import NodeKind
+from repro.core.survivability import SurvivabilityReport
+from repro.model.network import Network
+
+
+def pathway_payload(pathway: RoutePathway) -> Dict[str, Any]:
+    """The canonical, router-label-free payload of one route pathway."""
+    external_depth = pathway.external_depth()
+    return {
+        "layers": {str(node): depth for node, depth in pathway.layers.items()},
+        "instances": pathway.instances,
+        "policies": sorted(
+            [str(source), str(node), route_map]
+            for source, node, route_map in pathway.policies
+        ),
+        "edges": sorted(
+            [str(u), str(v), str(data.get("kind", ""))]
+            for u, v, data in pathway.graph.edges(data=True)
+        ),
+        "depth": pathway.depth,
+        "external_depth": external_depth,
+        "reaches_external": pathway.reaches_external,
+        "truncated": pathway.truncated,
+    }
+
+
+def instances_payload(
+    network: Network, instances: List[RoutingInstance]
+) -> List[Dict[str, Any]]:
+    external = find_external_adjacent_instances(network, instances)
+    return [
+        {
+            "id": instance.instance_id,
+            "protocol": instance.protocol,
+            "size": instance.size,
+            "routers": sorted(instance.routers),
+            "asn": instance.asn,
+            "external": instance.instance_id in external,
+        }
+        for instance in instances
+    ]
+
+
+def process_graph_payload(graph) -> Dict[str, Any]:
+    by_kind: Dict[str, int] = {}
+    for _u, _v, data in graph.edges(data=True):
+        kind = str(data.get("kind", ""))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    nodes_by_kind: Dict[str, int] = {}
+    for _node, data in graph.nodes(data=True):
+        kind = data.get("kind")
+        kind = kind.value if isinstance(kind, NodeKind) else str(kind)
+        nodes_by_kind[kind] = nodes_by_kind.get(kind, 0) + 1
+    return {
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "nodes_by_kind": dict(sorted(nodes_by_kind.items())),
+        "edges_by_kind": dict(sorted(by_kind.items())),
+        "truncated": bool(graph.graph.get("truncated", False)),
+    }
+
+
+def survivability_payload(report: SurvivabilityReport) -> Dict[str, Any]:
+    return {
+        "articulation_routers": list(report.articulation_routers),
+        "bridge_links": [str(subnet) for subnet in report.bridge_links],
+        "couplings": [
+            {
+                "instance_a": coupling.instance_a,
+                "instance_b": coupling.instance_b,
+                "routers": sorted(coupling.routers),
+                "mechanisms": sorted(coupling.mechanisms),
+                "redundancy": coupling.redundancy,
+            }
+            for coupling in report.couplings
+        ],
+        "static_route_conflicts": {
+            str(prefix): list(routers)
+            for prefix, routers in report.static_route_conflicts.items()
+        },
+        "truncated": report.truncated,
+    }
+
+
+def address_space_payload(blocks) -> List[Dict[str, Any]]:
+    return [
+        {
+            "prefix": str(block.prefix),
+            "subnets": len(block.subnets),
+            "utilization": round(block.utilization, 6),
+        }
+        for block in blocks
+    ]
+
+
+def build_analysis_payload(
+    network: Network,
+    *,
+    instances: List[RoutingInstance],
+    process_graph,
+    pathways: Dict[str, Dict[str, Any]],
+    address_blocks,
+    survivability: SurvivabilityReport,
+    compression: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the full per-network analysis payload."""
+    payload: Dict[str, Any] = {
+        "network": network.name,
+        "routers": len(network),
+        "links": len(network.links),
+        "instances": instances_payload(network, instances),
+        "process_graph": process_graph_payload(process_graph),
+        "pathways": pathways,
+        "address_space": address_space_payload(address_blocks),
+        "survivability": survivability_payload(survivability),
+    }
+    if compression is not None:
+        payload["compression"] = compression
+    return payload
+
+
+def normalize_analysis_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip compression provenance, leaving the comparable core.
+
+    Removes the top-level ``compression`` block and every per-pathway
+    ``expanded_from`` marker — the only fields the compressed pipeline
+    is allowed to add.  Everything else must match the direct pipeline
+    byte-for-byte.
+    """
+    normalized = json.loads(json.dumps(payload))
+    normalized.pop("compression", None)
+    for pathway in normalized.get("pathways", {}).values():
+        if isinstance(pathway, dict):
+            pathway.pop("expanded_from", None)
+    return normalized
+
+
+def payload_digest(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON bytes of *payload*."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+__all__ = [
+    "address_space_payload",
+    "build_analysis_payload",
+    "instances_payload",
+    "normalize_analysis_payload",
+    "pathway_payload",
+    "payload_digest",
+    "process_graph_payload",
+    "survivability_payload",
+]

@@ -1,0 +1,74 @@
+"""The quotient network: one representative router per equivalence class.
+
+The quotient is a real :class:`~repro.model.network.Network` assembled
+from the representative routers (their parsed configurations are shared,
+not copied), so every existing analysis runs on it unchanged.  Collapsed
+topology is summarized separately as multiplicity-weighted links: for
+each unordered pair of classes, how many concrete links connect their
+members.  Expansion uses the plan's ``router_class`` map to fan
+class-level results back out to concrete routers with ``expanded_from``
+provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.compress.plan import CompressionPlan, build_compression_plan
+from repro.model.network import Network
+
+
+@dataclass
+class QuotientSummary:
+    """A quotient network plus the multiplicities it collapsed."""
+
+    plan: CompressionPlan
+    quotient: Network
+    #: Sorted class-id pair -> number of concrete links between members.
+    link_multiplicity: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+
+    @property
+    def n_quotient_links(self) -> int:
+        return len(self.link_multiplicity)
+
+    @property
+    def n_concrete_links(self) -> int:
+        return sum(self.link_multiplicity.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        data = self.plan.as_dict()
+        data["quotient_links"] = self.n_quotient_links
+        data["concrete_links"] = self.n_concrete_links
+        return data
+
+
+def build_quotient(
+    network: Network, plan: Optional[CompressionPlan] = None
+) -> QuotientSummary:
+    """Collapse *network* down to one router per equivalence class."""
+    if plan is None:
+        plan = build_compression_plan(network)
+    representatives = [
+        network.routers[cls.representative]
+        for cls in plan.classes
+    ]
+    quotient = Network(
+        representatives,
+        name=f"{network.name}/quotient",
+        on_duplicate="error",
+    )
+    multiplicity: Dict[Tuple[str, ...], int] = {}
+    for link in network.links:
+        classes = tuple(
+            sorted({plan.router_class[router] for router in link.routers})
+        )
+        multiplicity[classes] = multiplicity.get(classes, 0) + 1
+    return QuotientSummary(
+        plan=plan,
+        quotient=quotient,
+        link_multiplicity=dict(sorted(multiplicity.items())),
+    )
+
+
+__all__ = ["QuotientSummary", "build_quotient"]

@@ -41,7 +41,12 @@ from repro.core.process_graph import (
     router_rib_node,
 )
 from repro.core.reachability import ReachabilityAnalysis, RouteSet
-from repro.core.roles import RoleCensus, classify_roles
+from repro.core.roles import (
+    RoleCensus,
+    RouterRole,
+    classify_roles,
+    classify_router_roles,
+)
 
 __all__ = [
     "AddressBlock",
@@ -65,7 +70,9 @@ __all__ = [
     "build_instance_graph",
     "build_process_graph",
     "classify_design",
+    "RouterRole",
     "classify_roles",
+    "classify_router_roles",
     "compute_instances",
     "config_size_distribution",
     "extract_address_space",

@@ -102,10 +102,13 @@ def build_process_graph(
     graph.graph["truncated"] = False
     graph.add_node(EXTERNAL_NODE, kind=NodeKind.EXTERNAL, router=None, protocol="external")
 
-    # Vertices: process RIBs, local RIBs, router RIBs.
-    for key in network.processes:
+    # Vertices: process RIBs, local RIBs, router RIBs.  All iteration here
+    # and below is sorted so the construction order — which decides what
+    # survives a ``max_edges`` truncation — is a function of the network,
+    # not of config ingestion order.
+    for key in sorted(network.processes, key=_process_sort_key):
         graph.add_node(key, kind=NodeKind.PROCESS, router=key[0], protocol=key[1])
-    for router in network.routers:
+    for router in sorted(network.routers):
         graph.add_node(local_rib_node(router), kind=NodeKind.LOCAL, router=router, protocol="local")
         graph.add_node(
             router_rib_node(router), kind=NodeKind.ROUTER_RIB, router=router, protocol="rib"
@@ -119,12 +122,22 @@ def build_process_graph(
     return graph
 
 
+def _process_sort_key(key: ProcessKey) -> Tuple[str, str, int]:
+    """Total order over process keys (process ids may be None)."""
+    return (key[0], key[1], -1 if key[2] is None else key[2])
+
+
 def _add_selection_edges(graph: nx.MultiDiGraph, network: Network) -> None:
-    for router in network.routers:
+    # One pass over the process table instead of a per-router
+    # ``processes_on`` scan (which is quadratic on large networks).
+    per_router: dict = {}
+    for key in network.processes:
+        per_router.setdefault(key[0], []).append(key)
+    for router in sorted(network.routers):
         rib = router_rib_node(router)
         graph.add_edge(local_rib_node(router), rib, kind="selection")
-        for proc in network.processes_on(router):
-            graph.add_edge(proc.key, rib, kind="selection")
+        for key in sorted(per_router.get(router, ()), key=_process_sort_key):
+            graph.add_edge(key, rib, kind="selection")
 
 
 def _resolve_redistribute_source(
@@ -140,15 +153,26 @@ def _resolve_redistribute_source(
     if candidate in network.processes:
         return candidate
     # An id-less "redistribute ospf" style statement: match by protocol.
+    # Candidates come from the per-router process list (not a full-table
+    # scan) and are sorted so the winner is ingestion-order independent.
     if source_id is None:
-        for key in network.processes:
-            if key[0] == router and key[1] == source_protocol:
-                return key
+        candidates = sorted(
+            (
+                proc.key
+                for proc in network.processes_on(router)
+                if proc.key[1] == source_protocol
+            ),
+            key=_process_sort_key,
+        )
+        if candidates:
+            return candidates[0]
     return None
 
 
 def _add_redistribution_edges(graph: nx.MultiDiGraph, network: Network) -> None:
-    for key, proc in network.processes.items():
+    for key, proc in sorted(
+        network.processes.items(), key=lambda item: _process_sort_key(item[0])
+    ):
         router = key[0]
         for redist in proc.config.redistributes:
             source = _resolve_redistribute_source(
@@ -172,9 +196,16 @@ def _add_igp_adjacency_edges(graph: nx.MultiDiGraph, network: Network) -> None:
         graph.add_edge(key_b, key_a, kind="adjacency", subnet=str(link.subnet))
 
 
+def _bgp_session_sort_key(session) -> Tuple:
+    return (
+        _process_sort_key(session.local),
+        session.neighbor_address.value,
+    )
+
+
 def _add_bgp_session_edges(graph: nx.MultiDiGraph, network: Network) -> None:
     seen = set()
-    for session in network.bgp_sessions:
+    for session in sorted(network.bgp_sessions, key=_bgp_session_sort_key):
         if session.remote_key is not None:
             pair = tuple(sorted((session.local, session.remote_key)))
             if pair in seen:
@@ -203,7 +234,9 @@ def _add_bgp_session_edges(graph: nx.MultiDiGraph, network: Network) -> None:
 def _add_external_igp_edges(graph: nx.MultiDiGraph, network: Network) -> None:
     """IGP processes that actively cover external-facing interfaces talk to
     the external world — the unconventional usage §5.2 quantifies."""
-    for key, proc in network.processes.items():
+    for key, proc in sorted(
+        network.processes.items(), key=lambda item: _process_sort_key(item[0])
+    ):
         if proc.is_bgp:
             continue
         for name in proc.active_interfaces():

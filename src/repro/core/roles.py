@@ -10,7 +10,7 @@ intra-domain when both ends are inside.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.instances import (
     RoutingInstance,
@@ -21,6 +21,80 @@ from repro.model.network import Network
 
 #: Protocols reported in Table 1's IGP columns.
 IGP_PROTOCOLS = ("ospf", "eigrp", "rip")
+
+#: Router-level role names (the §5 hand-classification, mechanized).
+ROLE_BORDER = "border"
+ROLE_GLUE = "glue"
+ROLE_INTERIOR = "interior"
+ROLE_HOST = "host"
+
+
+@dataclass(frozen=True)
+class RouterRole:
+    """The routing role of a single router.
+
+    The paper's operators classify routers by hand into a handful of
+    roles — border routers facing other networks, glue routers joining
+    routing instances, plain interior routers.  This signature is the
+    mechanized version: it is derived once per network in a single pass
+    and is hashable, so the topology-compression pass can bucket routers
+    by it.
+    """
+
+    #: Folded (IGRP→EIGRP), sorted, deduplicated protocols running here.
+    protocols: Tuple[str, ...] = ()
+    #: The router terminates an external-facing interface or a BGP
+    #: session whose peer is outside the data set.
+    external: bool = False
+    #: The router redistributes between RIBs.
+    redistributor: bool = False
+    #: The router terminates an in-network EBGP session.
+    ebgp: bool = False
+
+    @property
+    def role(self) -> str:
+        if self.external:
+            return ROLE_BORDER
+        if self.redistributor or self.ebgp:
+            return ROLE_GLUE
+        if self.protocols:
+            return ROLE_INTERIOR
+        return ROLE_HOST
+
+
+def classify_router_roles(network: Network) -> Dict[str, RouterRole]:
+    """Assign a :class:`RouterRole` to every router, in one linear pass.
+
+    Unlike :func:`classify_roles` (the Table 1 census over *instances*),
+    this classifies individual *routers* — the bucketing key the
+    ``repro.compress`` quotient construction starts from.  Complexity is
+    O(processes + sessions + interfaces); nothing here iterates processes
+    per router.
+    """
+    protocols: Dict[str, set] = {name: set() for name in network.routers}
+    external = set()
+    redistributor = set()
+    ebgp = set()
+    for key, proc in network.processes.items():
+        protocols[key[0]].add(_fold_protocol(key[1]))
+        if proc.config.redistributes:
+            redistributor.add(key[0])
+    for router, _interface in network.external_interfaces:
+        external.add(router)
+    for session in network.bgp_sessions:
+        if session.remote_key is None:
+            external.add(session.local[0])
+        elif session.is_ebgp:
+            ebgp.add(session.local[0])
+    return {
+        name: RouterRole(
+            protocols=tuple(sorted(protocols[name])),
+            external=name in external,
+            redistributor=name in redistributor,
+            ebgp=name in ebgp,
+        )
+        for name in network.routers
+    }
 
 
 @dataclass

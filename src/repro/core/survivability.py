@@ -29,7 +29,7 @@ import networkx as nx
 
 from repro.core.instances import RoutingInstance, compute_instances, instance_of
 from repro.obs.trace import traced
-from repro.core.process_graph import _resolve_redistribute_source
+from repro.core.process_graph import _process_sort_key, _resolve_redistribute_source
 from repro.model.network import Network
 from repro.net import Prefix
 
@@ -140,7 +140,11 @@ def instance_couplings(
         coupling.routers.add(router)
         coupling.mechanisms.add(mechanism)
 
-    for key, proc in network.processes.items():
+    # Sorted iteration: under a ``max_couplings`` bound, which instance
+    # pairs make the cut must not depend on config ingestion order.
+    for key, proc in sorted(
+        network.processes.items(), key=lambda item: _process_sort_key(item[0])
+    ):
         for redist in proc.config.redistributes:
             source = _resolve_redistribute_source(
                 network, key[0], redist.source_protocol, redist.source_id
@@ -152,7 +156,10 @@ def instance_couplings(
             if a != b:
                 touch(a, b, key[0], "redistribution")
 
-    for session in network.bgp_sessions:
+    for session in sorted(
+        network.bgp_sessions,
+        key=lambda s: (_process_sort_key(s.local), s.neighbor_address.value),
+    ):
         if session.remote_key is None or not session.is_ebgp:
             continue
         a = membership[session.local].instance_id

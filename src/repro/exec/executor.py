@@ -228,6 +228,11 @@ class ExecutorConfig:
     ladders: Mapping[str, Tuple[Rung, ...]] = field(
         default_factory=lambda: dict(DEFAULT_LADDERS)
     )
+    #: Stage name -> runner; swap entries to substitute a stage
+    #: implementation (e.g. the compressed pathway runner).
+    runners: Mapping[str, Callable[["StageContext", Dict[str, Any]], tuple]] = field(
+        default_factory=lambda: dict(STAGE_RUNNERS)
+    )
 
 
 @dataclass
@@ -356,7 +361,7 @@ class AnalysisExecutor:
 
     def _execute_ladder(self, ctx: StageContext, stage: str) -> StageResult:
         ladder = tuple(self.config.ladders.get(stage) or (Rung("full"),))
-        runner = STAGE_RUNNERS[stage]
+        runner = self.config.runners.get(stage) or STAGE_RUNNERS[stage]
         metrics = get_registry()
         total_seconds = 0.0
         last_error = ""

@@ -72,6 +72,10 @@ def infer_links(
     links: List[Link] = []
     unmatched: List[Tuple[str, str]] = []
     for subnet, members in sorted(by_subnet.items()):
+        # Member order must not leak the interface-index insertion order:
+        # link ends (and the unmatched list) feed order-sensitive
+        # consumers downstream.
+        members = sorted(members, key=lambda m: (m[0], m[1]))
         distinct_routers = {router for router, _, _ in members}
         if len(distinct_routers) < 2:
             # All members on one router (usually exactly one interface):

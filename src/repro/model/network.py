@@ -230,6 +230,7 @@ class Network:
         self._unmatched: Optional[List[Tuple[str, str]]] = None
         self._external: Optional[Set[Tuple[str, str]]] = None
         self._processes: Optional[Dict[ProcessKey, RoutingProcess]] = None
+        self._processes_by_router: Optional[Dict[str, List[RoutingProcess]]] = None
         self._igp_adjacencies: Optional[List[Tuple[ProcessKey, ProcessKey, Link]]] = None
         self._bgp_sessions: Optional[List[BgpSession]] = None
         self._internal_space: Optional[List[Prefix]] = None
@@ -441,11 +442,13 @@ class Network:
         """Interface address (as int) → ``(router, interface name)``."""
         if self._address_map is None:
             addresses: Dict[int, Tuple[str, str]] = {}
-            for (router, name), iface in self.interface_index.items():
+            # Sorted + first-wins: on (misconfigured) duplicate addresses
+            # the owner must not depend on router ingestion order.
+            for (router, name), iface in sorted(self.interface_index.items()):
                 if iface.is_numbered and not iface.shutdown:
-                    addresses[iface.address.value] = (router, name)
+                    addresses.setdefault(iface.address.value, (router, name))
                 for secondary, _mask in iface.secondary_addresses:
-                    addresses[secondary.value] = (router, name)
+                    addresses.setdefault(secondary.value, (router, name))
             self._address_map = addresses
         return self._address_map
 
@@ -571,7 +574,19 @@ class Network:
         return self._processes
 
     def processes_on(self, router: str) -> List[RoutingProcess]:
-        return [proc for proc in self.processes.values() if proc.router == router]
+        """Processes configured on *router*.
+
+        Backed by a per-router index built on first use: analyses that
+        consult every router's processes (route pathways, the process
+        graph) would otherwise rescan the full process table per router —
+        quadratic on large networks.
+        """
+        if self._processes_by_router is None:
+            by_router: Dict[str, List[RoutingProcess]] = {}
+            for proc in self.processes.values():
+                by_router.setdefault(proc.router, []).append(proc)
+            self._processes_by_router = by_router
+        return list(self._processes_by_router.get(router, ()))
 
     # -- adjacencies ---------------------------------------------------------
 

@@ -71,6 +71,7 @@ from repro.sweep.scenarios import (
     DEFAULT_DOUBLE_BUDGET,
     Scenario,
     ScenarioPlan,
+    dedupe_scenario_ids,
     enumerate_scenarios,
 )
 
@@ -312,7 +313,10 @@ def run_network_sweep(
             survivability=survivability,
             max_scenarios=config.max_scenarios,
         )
-    scenarios = list(plan.scenarios)
+    # Defensive for caller-supplied plans: the result table and the
+    # checkpoint keys are scenario-id keyed, so duplicates would silently
+    # overwrite each other's verdicts.
+    scenarios = dedupe_scenario_ids(list(plan.scenarios), network)
     metrics = get_registry()
 
     digest: Optional[str] = None

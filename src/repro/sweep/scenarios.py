@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import random
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.survivability import SurvivabilityReport, analyze_survivability
+from repro.diag import PHASE_ANALYSIS
 from repro.model.network import Network
 
 #: Default budget for sampled double-failure scenarios.
@@ -121,6 +122,44 @@ def _router_tags(report: SurvivabilityReport) -> Dict[str, Set[str]]:
     return tags
 
 
+def dedupe_scenario_ids(
+    scenarios: List[Scenario], network: Optional[Network] = None
+) -> List[Scenario]:
+    """Make scenario ids unique, deterministically.
+
+    The ``_safe`` sanitizer is lossy — ``r 1`` and ``r.1`` both map to a
+    token colliding with a literal ``r_1`` — and scenario ids key the
+    checkpoint store and the result table, where a collision silently
+    overwrites one scenario's verdict with another's.  Colliding ids get
+    a ``.2``, ``.3``, ... suffix in list order (which is already
+    deterministic), and each rename is reported as a diagnostic instead
+    of being swallowed.
+    """
+    counts: Dict[str, int] = {}
+    result: List[Scenario] = []
+    for scenario in scenarios:
+        seen = counts.get(scenario.scenario_id, 0) + 1
+        counts[scenario.scenario_id] = seen
+        if seen == 1:
+            result.append(scenario)
+            continue
+        unique = f"{scenario.scenario_id}.{seen}"
+        while unique in counts:
+            seen += 1
+            counts[scenario.scenario_id] = seen
+            unique = f"{scenario.scenario_id}.{seen}"
+        counts[unique] = 1
+        if network is not None:
+            network.diagnostics.warning(
+                PHASE_ANALYSIS,
+                "scenario id collision: renamed duplicate "
+                f"{scenario.scenario_id!r} to {unique!r} ({scenario.description})",
+                router=scenario.failed_routers[0] if scenario.failed_routers else None,
+            )
+        result.append(replace(scenario, scenario_id=unique))
+    return result
+
+
 def _sample_pair_indices(total: int, budget: int, seed: int) -> List[int]:
     """A deterministic sorted sample of ``budget`` indices in [0, total)."""
     if total <= budget:
@@ -187,6 +226,10 @@ def enumerate_scenarios(
             )
         )
 
+    # Dedup before the doubles are derived: double ids concatenate the
+    # single ids, so unique singles make unique doubles.
+    singles = dedupe_scenario_ids(singles, network)
+
     plan = ScenarioPlan(scenarios=list(singles), singles=len(singles))
 
     if depth == 2 and len(singles) >= 2:
@@ -227,6 +270,7 @@ __all__ = [
     "TAG_BRIDGE",
     "TAG_FRAGILE_COUPLING",
     "TAG_REDISTRIBUTION",
+    "dedupe_scenario_ids",
     "enumerate_scenarios",
     "link_scenario_id",
     "router_scenario_id",

@@ -6,6 +6,7 @@ from repro.synth.templates.example_fig1 import build_example_networks
 from repro.synth.templates.hybrid import build_hybrid
 from repro.synth.templates.net5 import build_net5
 from repro.synth.templates.net15 import build_net15
+from repro.synth.templates.pods import build_pods
 from repro.synth.templates.tier2 import build_tier2
 
 __all__ = [
@@ -15,5 +16,6 @@ __all__ = [
     "build_hybrid",
     "build_net5",
     "build_net15",
+    "build_pods",
     "build_tier2",
 ]

@@ -1,0 +1,82 @@
+"""Property tests: role/signature assignment over random pod fabrics.
+
+The compression planner is only sound if the equivalence machinery is
+*stable over the template family*, not just on one lucky instance: for
+any pod fabric, routers occupying the same template position must get
+identical local signatures (and land in one class), and routers in
+different roles must never merge.  Hypothesis drives the template
+parameters; the properties must hold for every draw.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compress import build_compression_plan
+from repro.compress.signature import local_signature
+from repro.core.roles import ROLE_BORDER, classify_router_roles
+from repro.model import Network
+from repro.synth.templates.pods import build_pods
+
+fabrics = st.builds(
+    lambda pods, access, index: (4 + pods * (2 + access), access, index),
+    pods=st.integers(min_value=1, max_value=4),
+    access=st.integers(min_value=2, max_value=6),
+    index=st.integers(min_value=0, max_value=9),
+)
+
+
+def _network(n_routers, access, index):
+    configs, _spec = build_pods(
+        "hyp", index, n_routers, access_per_pod=access
+    )
+    return Network.from_configs(configs, name=f"hyp-{index}")
+
+
+@settings(max_examples=12, deadline=None)
+@given(fabrics)
+def test_same_position_same_signature(params):
+    n_routers, access, index = params
+    network = _network(n_routers, access, index)
+    positions = {}
+    for router in network.routers:
+        # pod-position key: strip the pod number out of the name.
+        if "-p" in router:
+            position = router.split("-")[-1].rstrip("0123456789")
+        else:
+            position = router.rstrip("0123456789")
+        positions.setdefault(position, []).append(router)
+    for position, members in positions.items():
+        signatures = {local_signature(network, m) for m in members}
+        assert len(signatures) == 1, (position, members)
+
+
+@settings(max_examples=12, deadline=None)
+@given(fabrics)
+def test_distinct_roles_never_merge(params):
+    n_routers, access, index = params
+    network = _network(n_routers, access, index)
+    roles = classify_router_roles(network)
+    plan = build_compression_plan(network)
+    for cls in plan.classes:
+        member_roles = {roles[m].role for m in cls.members}
+        assert len(member_roles) == 1, cls
+    # Borders (EBGP + redistribution) must be isolated from pure-IGP
+    # routers in every draw.
+    border_classes = {
+        plan.router_class[r] for r, role in roles.items() if role.role == ROLE_BORDER
+    }
+    interior_classes = {
+        plan.router_class[r] for r, role in roles.items() if role.role != ROLE_BORDER
+    }
+    assert border_classes.isdisjoint(interior_classes)
+
+
+@settings(max_examples=8, deadline=None)
+@given(fabrics)
+def test_class_count_is_independent_of_fabric_size(params):
+    # The whole point of the template: class count stays O(positions)
+    # while the router count grows with pods × access.
+    n_routers, access, index = params
+    network = _network(n_routers, access, index)
+    plan = build_compression_plan(network)
+    assert plan.n_classes <= 6
+    assert plan.n_routers == len(network)

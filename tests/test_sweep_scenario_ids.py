@@ -1,0 +1,95 @@
+"""Scenario ids stay unique when hostname sanitization collides.
+
+``_safe`` maps every unsafe character to ``_``, so hostnames like
+``r 1``, ``r.1``... wait — ``.`` is safe — like ``r 1`` and ``r:1``
+collide with a literal ``r_1``.  Scenario ids key the sweep result
+table and the checkpoint store; a collision silently overwrote one
+scenario's verdict with another's.  Now colliding ids get deterministic
+``.2``/``.3`` suffixes and each rename emits a diagnostic.
+"""
+
+from repro.model import Network
+from repro.sweep.scenarios import (
+    Scenario,
+    dedupe_scenario_ids,
+    enumerate_scenarios,
+    router_scenario_id,
+)
+
+# Three hostnames whose sanitized forms all collide on "router-r_1".
+COLLIDING = """\
+hostname {name}
+interface Serial0/0
+ ip address {address} 255.255.255.252
+router ospf 1
+ network 0.0.0.0 255.255.255.255 area 0
+"""
+
+
+def _network():
+    configs = {
+        "r_1": COLLIDING.format(name="r_1", address="10.0.0.1"),
+        "r 1": COLLIDING.format(name="r 1", address="10.0.0.2"),
+        "r:1": COLLIDING.format(name="r:1", address="10.0.1.1"),
+        "peer": COLLIDING.format(name="peer", address="10.0.1.2"),
+    }
+    return Network.from_configs(configs, name="collide")
+
+
+def test_sanitizer_really_collides():
+    assert router_scenario_id("r 1") == router_scenario_id("r_1") == "router-r_1"
+
+
+def test_enumerate_scenarios_keeps_every_router():
+    network = _network()
+    plan = enumerate_scenarios(network)
+    router_scenarios = [s for s in plan.scenarios if s.kind == "router"]
+    assert len(router_scenarios) == len(network)
+    ids = [s.scenario_id for s in plan.scenarios]
+    assert len(ids) == len(set(ids))
+    # Deterministic suffixes in sorted-router order.
+    colliding = sorted(
+        s.scenario_id for s in router_scenarios if s.scenario_id.startswith("router-r_1")
+    )
+    assert colliding == ["router-r_1", "router-r_1.2", "router-r_1.3"]
+
+
+def test_collision_emits_diagnostic_not_silence():
+    network = _network()
+    before = len(network.diagnostics)
+    enumerate_scenarios(network)
+    messages = [
+        d.message for d in network.diagnostics.diagnostics[before:]
+        if "scenario id collision" in d.message
+    ]
+    assert len(messages) == 2  # two of the three colliders were renamed
+
+
+def test_each_renamed_scenario_keeps_its_own_failure_set():
+    network = _network()
+    plan = enumerate_scenarios(network)
+    by_id = {s.scenario_id: s for s in plan.scenarios if s.kind == "router"}
+    failed = {by_id[i].failed_routers[0] for i in by_id}
+    assert failed == set(network.routers)
+
+
+def test_doubles_inherit_unique_ids():
+    network = _network()
+    plan = enumerate_scenarios(network, depth=2, double_budget=100, seed=1)
+    ids = [s.scenario_id for s in plan.scenarios]
+    assert len(ids) == len(set(ids))
+
+
+def test_dedupe_is_deterministic_and_suffixes_are_safe():
+    scenarios = [
+        Scenario(scenario_id="router-x", kind="router", failed_routers=(n,))
+        for n in ("a", "b", "c")
+    ]
+    deduped = dedupe_scenario_ids(list(scenarios))
+    assert [s.scenario_id for s in deduped] == [
+        "router-x", "router-x.2", "router-x.3"
+    ]
+    # Suffixed ids stay checkpoint-key safe (no unsafe characters).
+    import re
+    for s in deduped:
+        assert not re.search(r"[^A-Za-z0-9_.+-]", s.scenario_id)
