@@ -1,0 +1,114 @@
+"""Incremental-recompute economics: cold generation vs 1-file-edit rebuild.
+
+The serve daemon's value proposition is that a corpus edit costs a
+*delta*, not a re-analysis: the parse cache replays unchanged files and
+the checkpoint store replays unaffected stages, so the rebuild after a
+one-file edit should be meaningfully cheaper than the cold generation —
+and an untouched-corpus rebuild (all files cached, all stages
+checkpointed) cheaper still.
+
+Records JSON under ``benchmarks/results/serve_incremental.json``: cold
+seconds, one-edit seconds, replay seconds, and the files-reparsed
+accounting that proves each tier did its job.  The assertions are
+correctness-shaped (exact disposition counts) plus one generous cost
+floor — the all-replay rebuild must not cost more than the cold run —
+because wall-clock ratios on a loaded CI box are noise.
+"""
+
+import os
+import time
+
+from repro.exec.checkpoint import CheckpointStore
+from repro.exec.executor import AnalysisExecutor, ExecutorConfig
+from repro.ingest.cache import ParseCache
+from repro.ingest.snapshot import snapshot_corpus
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.report import format_table
+from repro.serve.generation import run_generation
+from repro.synth.templates.backbone import build_backbone
+
+from benchmarks.conftest import record, record_json
+
+N_ROUTERS = 48
+
+
+def _write_corpus(root: str) -> None:
+    configs, _spec = build_backbone("serve-bench", 1, N_ROUTERS, seed=7, pop_size=6)
+    os.makedirs(root, exist_ok=True)
+    for name, text in sorted(configs.items()):
+        with open(os.path.join(root, name), "w") as handle:
+            handle.write(text)
+
+
+def _generation(corpus, cache, checkpoints):
+    executor = AnalysisExecutor(
+        ExecutorConfig(resume=True, checkpoints=checkpoints)
+    )
+    digest = snapshot_corpus(corpus).digest
+    with use_registry(MetricsRegistry()):
+        start = time.perf_counter()
+        outcome = run_generation(corpus, digest, executor=executor, cache=cache)
+        seconds = time.perf_counter() - start
+    assert outcome.complete, outcome.error
+    return outcome, seconds
+
+
+def test_incremental_generation_cost(tmp_path):
+    corpus = str(tmp_path / "corpus")
+    _write_corpus(corpus)
+    cache = ParseCache(root=str(tmp_path / "cache"))
+    checkpoints = CheckpointStore(root=str(tmp_path / "ckpt"))
+
+    cold, cold_seconds = _generation(corpus, cache, checkpoints)
+    dispositions = cold.payload["manifest"]["dispositions"]
+    assert dispositions["parsed"] == N_ROUTERS
+
+    # One-file edit: exactly one file re-parses, the rest replay.
+    target = sorted(os.listdir(corpus))[0]
+    with open(os.path.join(corpus, target), "a") as handle:
+        handle.write("! serve benchmark edit\n")
+    edited, edited_seconds = _generation(corpus, cache, checkpoints)
+    edited_dispositions = edited.payload["manifest"]["dispositions"]
+    assert edited_dispositions["parsed"] == 1
+    assert edited_dispositions["cached"] == N_ROUTERS - 1
+
+    # Untouched corpus: everything replays — files from the parse cache,
+    # stages from the checkpoint store.
+    replay, replay_seconds = _generation(corpus, cache, checkpoints)
+    replay_dispositions = replay.payload["manifest"]["dispositions"]
+    assert replay_dispositions["parsed"] == 0
+    assert all(
+        r.from_checkpoint for r in replay.execution.results
+    ), "warm rebuild must replay every checkpointed stage"
+    assert replay_seconds <= max(cold_seconds, 0.5), (
+        f"all-replay rebuild ({replay_seconds:.2f}s) cost more than the "
+        f"cold generation ({cold_seconds:.2f}s)"
+    )
+
+    rows = [
+        ("cold generation", f"{cold_seconds:.3f}", N_ROUTERS),
+        ("after 1-file edit", f"{edited_seconds:.3f}", 1),
+        ("untouched replay", f"{replay_seconds:.3f}", 0),
+    ]
+    record(
+        "serve_incremental",
+        format_table(
+            ["generation", "seconds", "files re-parsed"],
+            [[label, seconds, parsed] for label, seconds, parsed in rows],
+        ),
+    )
+    record_json(
+        "serve_incremental",
+        {
+            "routers": N_ROUTERS,
+            "cold_seconds": round(cold_seconds, 6),
+            "edited_seconds": round(edited_seconds, 6),
+            "replay_seconds": round(replay_seconds, 6),
+            "edited_parsed": edited_dispositions["parsed"],
+            "edited_cached": edited_dispositions["cached"],
+            "replay_parsed": replay_dispositions["parsed"],
+            "replay_stage_checkpoint_hits": sum(
+                1 for r in replay.execution.results if r.from_checkpoint
+            ),
+        },
+    )

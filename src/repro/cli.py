@@ -883,6 +883,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on analysis daemon over one corpus directory.
+
+    Blocks until SIGTERM/SIGINT, then drains (the in-flight generation
+    gets ``--grace`` seconds to finish and publish before being
+    abandoned) and exits 0.  The bound URL is printed on stdout before
+    blocking so scripts launching ``--port 0`` can discover the port.
+    """
+    from repro.exec import CheckpointStore  # noqa: PLC0415
+    from repro.obs.metrics import get_registry  # noqa: PLC0415
+    from repro.serve import ServeConfig, ServeDaemon  # noqa: PLC0415
+
+    if not os.path.isdir(args.configdir):
+        raise SystemExit(f"error: {args.configdir} is not a directory of config files")
+    stage_deadline, _suggestion = _resolve_stage_deadline(args)
+    store = None
+    if not args.no_checkpoint:
+        store = (
+            CheckpointStore(root=args.checkpoint_dir)
+            if args.checkpoint_dir
+            else CheckpointStore()
+        )
+    config = ServeConfig(
+        corpus=args.configdir,
+        host=args.host,
+        port=args.port,
+        poll_interval=args.poll_interval,
+        grace=args.grace,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
+        checkpoints=store,
+        stage_deadline=stage_deadline,
+        soft_deadline=args.soft_deadline,
+        generation_deadline=args.generation_deadline,
+        backoff=args.backoff,
+        max_backoff=args.max_backoff,
+        # The invocation registry main() scoped for this command: the
+        # daemon worker adopts it, so /metrics sees every subsystem.
+        registry=get_registry(),
+    )
+    daemon = ServeDaemon(config)
+    daemon.start()
+    print(f"serving {args.configdir} on {daemon.http.url}", flush=True)
+    return daemon.run()
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.synth.templates.backbone import build_backbone
     from repro.synth.templates.enterprise import build_enterprise
@@ -1213,6 +1259,106 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("before")
     p.add_argument("after")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="always-on analysis daemon with incremental recompute",
+        parents=[obs],
+    )
+    p.add_argument("configdir", help="corpus directory to watch and analyze")
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address of the HTTP query surface (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks an ephemeral port and prints it (default: 0)",
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="corpus poll cadence (default: 2.0)",
+    )
+    p.add_argument(
+        "--grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="drain budget for the in-flight generation on SIGTERM/SIGINT "
+        "(default: 10.0)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse fan-out inside a generation (default 1 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="parse-cache directory (default: ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent parse cache (every generation re-parses)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help="checkpoint store directory (default: <cache-dir>/checkpoints)",
+    )
+    p.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable per-stage checkpointing (no warm kill -9 recovery)",
+    )
+    p.add_argument(
+        "--stage-deadline",
+        default=None,
+        metavar="SECONDS|auto",
+        help="hard per-stage wall-clock deadline inside a generation; "
+        "'auto' derives one from the benchmark timing results",
+    )
+    p.add_argument(
+        "--soft-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-stage warning threshold (diagnostic only)",
+    )
+    p.add_argument(
+        "--generation-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="whole-generation budget; stages beyond it are skipped and "
+        "the generation does not publish",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="first-failure circuit-breaker backoff; doubles per "
+        "consecutive failure (default: 1.0)",
+    )
+    p.add_argument(
+        "--max-backoff",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="circuit-breaker backoff ceiling (default: 60.0)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("generate", help="emit a synthetic network", parents=[obs])
     p.add_argument("template", help="enterprise|backbone|net5|net15|pod|fig1")

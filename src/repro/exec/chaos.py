@@ -22,9 +22,23 @@ without code changes)::
     path),
   - ``kill`` — raise :class:`SimulatedKill` (a ``BaseException`` that
     no barrier catches), aborting the whole run mid-flight the way
-    SIGKILL would, with whatever checkpoints were already written;
+    SIGKILL would, with whatever checkpoints were already written,
+  - ``io-error`` — raise :class:`OSError` from *store writes* instead
+    of stage attempts: the clause's first field fnmatch-targets the
+    destination **path**, its second the store kind (``cache`` for
+    :meth:`repro.ingest.cache.ParseCache.put`, ``checkpoint`` for
+    :meth:`repro.exec.checkpoint.CheckpointStore.store`,
+    ``blockcache`` for the stanza tier's disk writes).  Those writes
+    are best-effort by contract, so the injected error exercises the
+    degrade-silently-never-crash paths (``*.write_failures`` metrics);
 * ``action@N`` — only fire on attempt ``N`` (0 = the full-fidelity
   attempt), so degradation-ladder retries can be made to succeed.
+
+``REPRO_CHAOS=@/path/to/spec`` reads the spec from a file **at plan
+build time**: a long-running daemon (``repro serve``) builds a fresh
+plan per analysis generation, so editing the file flips chaos on or off
+in a live process whose environment cannot be changed from outside.  A
+missing file is an empty plan.
 
 Hangs sleep in small pure-Python slices so the watchdog's injected
 :class:`~repro.exec.watchdog.StageCancelled` lands at the next bytecode
@@ -61,7 +75,7 @@ class ChaosRule:
 
     archive: str
     stage: str
-    action: str  # "raise" | "hang" | "kill"
+    action: str  # "raise" | "hang" | "kill" | "io-error"
     seconds: Optional[float] = None  # hang duration; None = forever
     attempt: Optional[int] = None  # only fire on this attempt index
 
@@ -95,7 +109,7 @@ def parse_chaos(spec: str) -> List[ChaosRule]:
         if action.startswith("hang:"):
             seconds = float(action.split(":", 1)[1])
             action = "hang"
-        if action not in ("raise", "hang", "kill"):
+        if action not in ("raise", "hang", "kill", "io-error"):
             raise ValueError(f"unknown chaos action {action!r} in {clause!r}")
         rules.append(
             ChaosRule(
@@ -121,8 +135,26 @@ class ChaosPlan:
 
     @classmethod
     def from_env(cls) -> "ChaosPlan":
-        """The plan demanded by ``$REPRO_CHAOS`` (empty when unset)."""
-        return cls.from_spec(os.environ.get(CHAOS_ENV))
+        """The plan demanded by ``$REPRO_CHAOS`` (empty when unset).
+
+        A value of ``@/path`` is indirection: the spec is re-read from
+        that file on every call, so a live daemon rebuilding its plan per
+        generation picks up edits.  A missing or unreadable file — and a
+        malformed spec inside one, since chaos must never take down the
+        process it is probing — yields the empty plan.
+        """
+        spec = os.environ.get(CHAOS_ENV)
+        if spec and spec.startswith("@"):
+            try:
+                with open(spec[1:], "r", encoding="utf-8") as handle:
+                    spec = handle.read().strip()
+            except OSError:
+                return cls()
+            try:
+                return cls.from_spec(spec)
+            except ValueError:
+                return cls()
+        return cls.from_spec(spec)
 
     def __bool__(self) -> bool:
         return bool(self.rules)
@@ -131,6 +163,8 @@ class ChaosPlan:
         """Misbehave if any rule matches; called at the top of a stage
         attempt, inside the watchdog-guarded thread."""
         for rule in self.rules:
+            if rule.action == "io-error":
+                continue  # fires from store writes, not stage attempts
             if not rule.matches(archive, stage, attempt):
                 continue
             if rule.action == "raise":
@@ -151,6 +185,52 @@ class ChaosPlan:
                 time.sleep(_HANG_SLICE_SECONDS)
             return
 
+    def io_error(self, kind: str, path: str) -> None:
+        """Raise :class:`OSError` if an ``io-error`` rule targets this
+        store write.  ``kind`` is the store (``cache`` / ``checkpoint`` /
+        ``blockcache``) matched against the rule's stage field; ``path``
+        is the destination file matched against its archive field."""
+        for rule in self.rules:
+            if rule.action != "io-error":
+                continue
+            if fnmatch(str(path), rule.archive) and fnmatch(kind, rule.stage):
+                raise OSError(
+                    f"injected io-error writing {kind} entry {path!r}"
+                )
+
+
+# Store writes are hot paths scattered across modules that must not each
+# re-parse $REPRO_CHAOS; memoize plain specs (file-indirected @specs are
+# deliberately re-read so a daemon can be retargeted live, but those are
+# test-only configurations where the open() cost is acceptable).
+_io_plan_cache: Tuple[Optional[str], Optional[ChaosPlan]] = (None, None)
+
+
+def maybe_io_error(kind: str, path: str) -> None:
+    """Module-level hook for store writes: raise an injected ``OSError``
+    when ``$REPRO_CHAOS`` carries a matching ``io-error`` rule.
+
+    Returns instantly when the variable is unset; tolerates malformed
+    specs (chaos must never break the write path it probes).
+    """
+    global _io_plan_cache
+    spec = os.environ.get(CHAOS_ENV)
+    if not spec:
+        return
+    if spec.startswith("@"):
+        plan = ChaosPlan.from_env()
+    else:
+        cached_spec, cached_plan = _io_plan_cache
+        if cached_spec == spec and cached_plan is not None:
+            plan = cached_plan
+        else:
+            try:
+                plan = ChaosPlan.from_spec(spec)
+            except ValueError:
+                plan = ChaosPlan()
+            _io_plan_cache = (spec, plan)
+    plan.io_error(kind, path)
+
 
 __all__ = [
     "CHAOS_ENV",
@@ -158,5 +238,6 @@ __all__ = [
     "ChaosPlan",
     "ChaosRule",
     "SimulatedKill",
+    "maybe_io_error",
     "parse_chaos",
 ]

@@ -81,6 +81,7 @@ class CheckpointStats:
     misses: int = 0
     stores: int = 0
     invalidated: int = 0
+    write_failures: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -96,6 +97,7 @@ class CheckpointStats:
                 "misses": self.misses,
                 "stores": self.stores,
                 "invalidated": self.invalidated,
+                "write_failures": self.write_failures,
             }
 
 
@@ -105,6 +107,7 @@ class CheckpointStore:
 
     root: str = field(default_factory=default_checkpoint_dir)
     stats: CheckpointStats = field(default_factory=CheckpointStats)
+    _write_failure_logged: bool = field(default=False, repr=False, compare=False)
 
     def _key(self, digest: str, stage: str) -> str:
         return os.path.join(self.root, digest[:2], f"{digest}-{stage}.json")
@@ -161,7 +164,13 @@ class CheckpointStore:
         self.stats.count("invalidated")
         metrics.counter("exec.checkpoint.misses").inc()
         metrics.counter("exec.checkpoint.invalidated").inc()
-        _log.info("invalidated checkpoint", path=path, reason=reason)
+        if reason in ("unreadable", "malformed"):
+            # Damaged on disk (vs merely stale) — parity with the parse
+            # cache's ``cache.corrupt`` accounting.
+            metrics.counter("checkpoint.corrupt").inc()
+            _log.warning("corrupt checkpoint evicted", path=path, reason=reason)
+        else:
+            _log.info("invalidated checkpoint", path=path, reason=reason)
         try:
             os.remove(path)
         except OSError:
@@ -179,6 +188,9 @@ class CheckpointStore:
             "result": result.as_dict(),
         }
         try:
+            from repro.exec.chaos import maybe_io_error  # noqa: PLC0415 — cycle
+
+            maybe_io_error("checkpoint", path)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
@@ -193,7 +205,17 @@ class CheckpointStore:
                 except OSError:
                     pass
                 raise
-        except Exception:  # noqa: BLE001 — a read-only store is still a store
+        except Exception as error:  # noqa: BLE001 — a read-only store is still a store
+            self.stats.count("write_failures")
+            get_registry().counter("checkpoint.write_failures").inc()
+            if not self._write_failure_logged:
+                self._write_failure_logged = True
+                _log.warning(
+                    "checkpoint.write_failed",
+                    root=self.root,
+                    error=f"{type(error).__name__}: {error}",
+                    note="further failures counted, not logged",
+                )
             return False
         self.stats.count("stores")
         get_registry().counter("exec.checkpoint.stores").inc()

@@ -42,26 +42,40 @@ from repro.ingest.parallel import (
     resolve_jobs,
     shutdown_pool,
 )
+from repro.ingest.snapshot import (
+    CorpusSnapshot,
+    FileStat,
+    SnapshotDiff,
+    diff_snapshots,
+    scan_stats,
+    snapshot_corpus,
+)
 from repro.ingest.timer import StageRecord, StageTimer
 
 __all__ = [
     "CACHE_FORMAT",
     "CacheEntry",
     "CacheStats",
+    "CorpusSnapshot",
+    "FileStat",
     "MAX_AUTO_JOBS",
     "ON_ERROR_POLICIES",
     "PARALLEL_THRESHOLD",
     "ParseCache",
     "ParseOutcome",
     "ParseTask",
+    "SnapshotDiff",
     "StageRecord",
     "StageTimer",
     "WorkerBudget",
     "available_cpus",
     "default_cache_dir",
+    "diff_snapshots",
     "parse_many",
     "parse_one",
     "pool_economics",
     "resolve_jobs",
+    "scan_stats",
     "shutdown_pool",
+    "snapshot_corpus",
 ]

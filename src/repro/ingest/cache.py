@@ -44,6 +44,7 @@ from typing import Optional, Tuple, Union
 
 from repro.diag import Diagnostic
 from repro.ios.config import RouterConfig
+from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 
 #: Bump when the on-disk entry layout changes (independent of the parser).
@@ -84,6 +85,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    write_failures: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -99,6 +101,7 @@ class CacheStats:
                 "misses": self.misses,
                 "stores": self.stores,
                 "evictions": self.evictions,
+                "write_failures": self.write_failures,
             }
 
 
@@ -113,6 +116,7 @@ class ParseCache:
 
     root: str = field(default_factory=default_cache_dir)
     stats: CacheStats = field(default_factory=CacheStats)
+    _write_failure_logged: bool = field(default=False, repr=False, compare=False)
 
     @classmethod
     def coerce(cls, cache: Union["ParseCache", str, None]) -> Optional["ParseCache"]:
@@ -182,9 +186,20 @@ class ParseCache:
             pass
 
     def put(self, key: str, entry: CacheEntry) -> bool:
-        """Store ``entry`` atomically; ``False`` when the write failed."""
+        """Store ``entry`` atomically; ``False`` when the write failed.
+
+        A failed write (read-only dir, ``ENOSPC``, injected ``io-error``
+        chaos) degrades silently by contract, but not *invisibly*: it
+        counts ``cache.write_failures`` and logs one warning per cache
+        instance so operators can tell caching is off.
+        """
+        # Lazy import — repro.exec.__init__ pulls in the scheduler, which
+        # imports repro.ingest; a module-level import here would cycle.
+        from repro.exec.chaos import maybe_io_error  # noqa: PLC0415 — cycle
+
         path = self._path(key)
         try:
+            maybe_io_error("cache", path)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=os.path.dirname(path), prefix=".tmp-", suffix=".pkl"
@@ -199,7 +214,17 @@ class ParseCache:
                 except OSError:
                     pass
                 raise
-        except Exception:  # noqa: BLE001 — a read-only cache is still a cache
+        except Exception as error:  # noqa: BLE001 — a read-only cache is still a cache
+            self.stats.count("write_failures")
+            get_registry().counter("cache.write_failures").inc()
+            if not self._write_failure_logged:
+                self._write_failure_logged = True
+                get_logger("ingest.cache").warning(
+                    "cache.write_failed",
+                    root=self.root,
+                    error=f"{type(error).__name__}: {error}",
+                    note="further failures counted, not logged",
+                )
             return False
         self.stats.count("stores")
         get_registry().counter("cache.stores").inc()

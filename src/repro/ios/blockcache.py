@@ -63,6 +63,17 @@ _ENABLED = os.environ.get("REPRO_BLOCK_CACHE", "1") not in ("0", "false", "no")
 #: private one is requested (tests).
 _SHARED_MEMO: Dict[str, tuple] = {}
 
+# BlockCache instances are created per parse, so the once-per-instance
+# rate limit the file-level caches use would log on every parse; this
+# module-level flag makes the write-failure warning once-per-process.
+_write_failure_logged = False
+
+
+def _reset_write_failure_log() -> None:
+    """Re-arm the one-shot write-failure warning (tests only)."""
+    global _write_failure_logged
+    _write_failure_logged = False
+
 
 def set_enabled(enabled: bool) -> None:
     """Process-wide kill switch (the ``--no-block-cache`` CLI flag)."""
@@ -136,18 +147,33 @@ class BlockCache:
         except FileNotFoundError:
             return None
         except Exception:  # noqa: BLE001 — any damage degrades to a miss
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._evict_corrupt(path)
             return None
         if not isinstance(payload, tuple):
+            # Readable pickle, wrong shape: still corruption — evict, or
+            # the entry would be re-read (and rejected) on every lookup.
+            self._evict_corrupt(path)
             return None
         return payload
 
+    def _evict_corrupt(self, path: str) -> None:
+        from repro.obs.logging import get_logger  # noqa: PLC0415 — cycle
+        from repro.obs.metrics import get_registry  # noqa: PLC0415 — cycle
+
+        get_registry().counter("blockcache.corrupt").inc()
+        get_logger("ios.blockcache").warning("corrupt block evicted", path=path)
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
     def _write_disk(self, key: str, payload: tuple) -> None:
+        global _write_failure_logged
         path = self._path(key)
         try:
+            from repro.exec.chaos import maybe_io_error  # noqa: PLC0415 — cycle
+
+            maybe_io_error("blockcache", path)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=os.path.dirname(path), prefix=".tmp-", suffix=".pkl"
@@ -162,8 +188,19 @@ class BlockCache:
                 except OSError:
                     pass
                 raise
-        except Exception:  # noqa: BLE001 — a read-only cache is still a cache
-            pass
+        except Exception as error:  # noqa: BLE001 — a read-only cache is still a cache
+            from repro.obs.logging import get_logger  # noqa: PLC0415 — cycle
+            from repro.obs.metrics import get_registry  # noqa: PLC0415 — cycle
+
+            get_registry().counter("blockcache.write_failures").inc()
+            if not _write_failure_logged:
+                _write_failure_logged = True
+                get_logger("ios.blockcache").warning(
+                    "blockcache.write_failed",
+                    root=self.root,
+                    error=f"{type(error).__name__}: {error}",
+                    note="further failures counted, not logged",
+                )
 
     def stats(self) -> dict:
         return {

@@ -196,7 +196,7 @@ def normalize_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
                 "diagnostics": entry.get("diagnostics"),
                 "exit_code": entry.get("exit_code"),
                 "inventory": entry.get("inventory"),
-                "execution": _normalize_execution(entry.get("execution")),
+                "execution": normalize_execution(entry.get("execution")),
             }
             for entry in manifest.get("archives", [])
         ],
@@ -205,13 +205,14 @@ def normalize_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _normalize_execution(execution: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+def normalize_execution(execution: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
     """The deterministic core of an archive's execution block.
 
     Stage *statuses* must agree between runs over the same bytes; wall
     seconds and checkpoint provenance (``from_checkpoint``) legitimately
     differ between an uninterrupted run and an interrupted-then-resumed
-    one, so they are stripped here.
+    one, so they are stripped here.  Public because the serve layer's
+    generation normalizer reuses the same stripping rules.
     """
     if not execution:
         return None
@@ -237,6 +238,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "archive_entry",
     "build_manifest",
+    "normalize_execution",
     "normalize_manifest",
     "write_manifest",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.obs.manifest import _normalize_execution
+from repro.obs.manifest import normalize_execution
 
 #: Stage counters that depend on scheduling, not on input bytes.  The
 #: parse pool records how many workers it used; a budget-capped archive
@@ -52,7 +52,7 @@ def _normalize_archive(entry: Dict[str, Any]) -> Dict[str, Any]:
         "exit_code": entry.get("exit_code"),
         "status": entry.get("status"),
         "stage_counts": entry.get("stage_counts"),
-        "execution": _normalize_execution(entry.get("execution")),
+        "execution": normalize_execution(entry.get("execution")),
         "stages": [_normalize_stage(stage) for stage in entry.get("stages", [])],
     }
 

@@ -1,0 +1,61 @@
+"""Always-on analysis service with crash-safe incremental recompute.
+
+The paper's subject networks *evolve* — §2 notes the studied
+configurations are snapshots of archives that operators change daily.
+Every other entry point in this repo is a one-shot batch run; this
+package is the long-lived counterpart: ``repro serve <corpus-dir>``
+watches a corpus directory, re-analyzes **only what changed** (the
+content-addressed :class:`~repro.ingest.cache.ParseCache` replays
+unchanged files; the checkpoint store replays finished stages), and
+serves the latest complete analysis over a stdlib HTTP JSON surface.
+
+Layers, smallest to largest:
+
+* :mod:`repro.serve.watcher` — debounced stat-gated corpus snapshots
+  (built on :mod:`repro.ingest.snapshot`);
+* :mod:`repro.serve.state` — the lock-protected last-known-good store:
+  atomic publish, staleness metadata, consecutive-failure counter,
+  exponential-backoff circuit breaker;
+* :mod:`repro.serve.generation` — one ingest + execute + payload pass
+  with an all-stages-finished publish gate and the
+  :func:`~repro.serve.generation.normalize_generation` equivalence
+  normalizer (incremental must equal cold, byte for byte);
+* :mod:`repro.serve.http` — ``/health`` ``/ready`` ``/status``
+  ``/manifest`` ``/instances`` ``/pathways`` ``/diagnostics``
+  ``/metrics``;
+* :mod:`repro.serve.daemon` — the supervisor tying them together, with
+  SIGTERM/SIGINT drain-then-exit and warm ``kill -9`` recovery.
+
+See ARCHITECTURE.md, "Serving & incremental recompute".
+"""
+
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.generation import (
+    GENERATION_SCHEMA,
+    GenerationOutcome,
+    build_generation_payload,
+    normalize_generation,
+    run_generation,
+)
+from repro.serve.http import ServeHTTP
+from repro.serve.state import (
+    HEALTH_DEGRADED,
+    HEALTH_OK,
+    ServeState,
+)
+from repro.serve.watcher import CorpusWatcher
+
+__all__ = [
+    "CorpusWatcher",
+    "GENERATION_SCHEMA",
+    "GenerationOutcome",
+    "HEALTH_DEGRADED",
+    "HEALTH_OK",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeHTTP",
+    "ServeState",
+    "build_generation_payload",
+    "normalize_generation",
+    "run_generation",
+]

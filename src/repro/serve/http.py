@@ -1,0 +1,155 @@
+"""The daemon's stdlib-only JSON query surface.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no framework, no
+dependency — because the contract is small: every endpoint is a GET
+returning a JSON document derived from the lock-protected
+:class:`~repro.serve.state.ServeState`.
+
+Endpoints:
+
+* ``/health`` — **liveness**: 200 from the moment the socket binds,
+  even before the first generation.  A supervisor restarts the process
+  when this fails.
+* ``/ready`` — **readiness**: 200 only once a generation is published
+  (503 before); load balancers route traffic on this.  Stays 200 while
+  serving stale results — staleness is visible in ``/status``, but a
+  stale answer beats no answer.
+* ``/status`` — health, generation number, staleness, failure counter,
+  circuit-breaker state.
+* ``/manifest``, ``/instances``, ``/pathways`` (optionally
+  ``?router=NAME``), ``/diagnostics`` — slices of the published
+  generation payload; 503 until one exists.
+* ``/metrics`` — the daemon registry's
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+
+Port 0 requests an ephemeral port; the bound port is on
+:attr:`ServeHTTP.port` (the CLI prints it so scripts can connect).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.logging import get_logger
+from repro.serve.state import ServeState
+
+_log = get_logger("serve.http")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send_json(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=False).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _log.debug("request", client=self.address_string(), line=format % args)
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler contract
+        state: ServeState = self.server.state  # type: ignore[attr-defined]
+        registry = self.server.registry  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if registry is not None:
+            registry.counter("serve.http.requests").inc()
+        if route == "/health":
+            self._send_json(200, {"status": "alive"})
+            return
+        if route == "/ready":
+            if state.ready:
+                self._send_json(200, {"ready": True})
+            else:
+                self._send_json(503, {"ready": False, "reason": "no generation"})
+            return
+        if route == "/status":
+            self._send_json(200, state.status_payload())
+            return
+        if route == "/metrics":
+            snapshot = registry.snapshot() if registry is not None else {}
+            self._send_json(200, snapshot)
+            return
+        if route in ("/manifest", "/instances", "/pathways", "/diagnostics"):
+            published = state.published
+            if published is None:
+                self._send_json(
+                    503, {"error": "no generation published yet"}
+                )
+                return
+            section = published.get(route.lstrip("/"))
+            if route == "/pathways":
+                query = parse_qs(parsed.query)
+                routers = query.get("router")
+                if routers:
+                    router = routers[0]
+                    if router not in section:
+                        self._send_json(
+                            404, {"error": f"unknown router {router!r}"}
+                        )
+                        return
+                    section = {router: section[router]}
+            self._send_json(200, section)
+            return
+        self._send_json(404, {"error": f"unknown endpoint {route!r}"})
+
+
+class ServeHTTP:
+    """The daemon's HTTP listener: bind, serve on a thread, shut down."""
+
+    def __init__(
+        self,
+        state: ServeState,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[Any] = None,
+    ) -> None:
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.state = state  # type: ignore[attr-defined]
+        self._server.registry = registry  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("listening", url=self.url)
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+__all__ = ["ServeHTTP"]

@@ -1,0 +1,203 @@
+"""The daemon's published-generation store: last-known-good, always.
+
+One :class:`ServeState` instance is the only thing the HTTP surface
+reads and the only thing the generation worker writes, under one lock:
+
+* :meth:`publish` atomically swaps in a *complete* generation — every
+  query thereafter sees the new payload or the old one, never a blend;
+* :meth:`record_failure` keeps the previous generation serving, bumps a
+  consecutive-failure counter (``health`` flips to ``degraded``), and
+  arms a **circuit breaker**: exponential backoff between rebuild
+  attempts of the *same* corpus content, so a corpus that reliably
+  crashes the analyzer does not hot-loop the worker.  A *different*
+  corpus digest clears the breaker immediately — new content deserves a
+  fresh attempt;
+* :meth:`status_payload` is the ``/status`` document: health, readiness,
+  staleness (seconds since last publish **and** whether the served
+  generation still matches the corpus on disk), failure counts, breaker
+  state.
+
+Liveness vs readiness (the ``/health`` vs ``/ready`` split): the daemon
+is *alive* from the moment it binds, but only *ready* once a first
+generation has published.  It stays ready while serving stale results —
+staleness is a quality signal, not an outage.
+
+The clock is injectable so backoff tests do not sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"
+
+#: First-failure backoff; doubles per consecutive failure.
+DEFAULT_BACKOFF_SECONDS = 1.0
+#: Backoff ceiling — a permanently broken corpus is retried this often.
+DEFAULT_MAX_BACKOFF_SECONDS = 60.0
+
+
+class ServeState:
+    """Lock-protected last-known-good generation plus failure accounting."""
+
+    def __init__(
+        self,
+        *,
+        backoff: float = DEFAULT_BACKOFF_SECONDS,
+        max_backoff: float = DEFAULT_MAX_BACKOFF_SECONDS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self._published: Optional[Dict[str, Any]] = None
+        self._published_digest: Optional[str] = None
+        self._published_at: Optional[float] = None
+        self._generation = 0
+        self._consecutive_failures = 0
+        self._breaker_until: Optional[float] = None
+        self._failed_digest: Optional[str] = None
+        self._last_error: Optional[str] = None
+        self._current_digest: Optional[str] = None  # what is on disk now
+
+    # -- writes (generation worker) -----------------------------------------
+
+    def publish(self, payload: Dict[str, Any], digest: str) -> int:
+        """Swap in a complete generation; returns its generation number."""
+        with self._lock:
+            self._generation += 1
+            self._published = payload
+            self._published_digest = digest
+            self._published_at = self._clock()
+            self._current_digest = digest
+            self._consecutive_failures = 0
+            self._breaker_until = None
+            self._failed_digest = None
+            self._last_error = None
+            return self._generation
+
+    def record_failure(self, digest: str, error: str) -> float:
+        """Count a failed generation attempt; returns the backoff applied.
+
+        The previous generation (if any) keeps serving untouched.
+        """
+        with self._lock:
+            self._consecutive_failures += 1
+            self._failed_digest = digest
+            self._last_error = error
+            delay = min(
+                self._max_backoff,
+                self._backoff * (2 ** (self._consecutive_failures - 1)),
+            )
+            self._breaker_until = self._clock() + delay
+            return delay
+
+    def observe_corpus(self, digest: str) -> None:
+        """Record what the corpus on disk currently digests to (staleness)."""
+        with self._lock:
+            self._current_digest = digest
+
+    def should_attempt(self, digest: str) -> bool:
+        """Whether the worker may rebuild for ``digest`` right now.
+
+        False only while the breaker is armed *and* the digest is the one
+        that failed — changed content resets the breaker on the spot.
+        """
+        with self._lock:
+            if digest == self._published_digest:
+                return False  # already serving exactly this content
+            if self._breaker_until is None:
+                return True
+            if digest != self._failed_digest:
+                self._breaker_until = None
+                self._failed_digest = None
+                return True
+            if self._clock() >= self._breaker_until:
+                self._breaker_until = None
+                return True
+            return False
+
+    # -- reads (HTTP surface) -----------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        with self._lock:
+            return self._published is not None
+
+    @property
+    def published(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._published
+
+    @property
+    def published_digest(self) -> Optional[str]:
+        with self._lock:
+            return self._published_digest
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    @property
+    def health(self) -> str:
+        with self._lock:
+            return HEALTH_DEGRADED if self._consecutive_failures else HEALTH_OK
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``/status`` document (see the module docstring)."""
+        with self._lock:
+            now = self._clock()
+            breaker_remaining = None
+            if self._breaker_until is not None:
+                breaker_remaining = max(0.0, self._breaker_until - now)
+            return {
+                "health": (
+                    HEALTH_DEGRADED if self._consecutive_failures else HEALTH_OK
+                ),
+                "ready": self._published is not None,
+                "generation": self._generation,
+                "published_digest": self._published_digest,
+                "staleness": {
+                    "seconds_since_publish": (
+                        round(now - self._published_at, 3)
+                        if self._published_at is not None
+                        else None
+                    ),
+                    "current_corpus_digest": self._current_digest,
+                    "serving_current_corpus": (
+                        self._published_digest == self._current_digest
+                        if self._published_digest is not None
+                        else False
+                    ),
+                },
+                "consecutive_failures": self._consecutive_failures,
+                "breaker": {
+                    "armed": breaker_remaining is not None
+                    and breaker_remaining > 0,
+                    "seconds_remaining": (
+                        round(breaker_remaining, 3)
+                        if breaker_remaining is not None
+                        else None
+                    ),
+                },
+                "last_error": self._last_error,
+            }
+
+
+__all__ = [
+    "DEFAULT_BACKOFF_SECONDS",
+    "DEFAULT_MAX_BACKOFF_SECONDS",
+    "HEALTH_DEGRADED",
+    "HEALTH_OK",
+    "ServeState",
+]

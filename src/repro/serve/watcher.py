@@ -1,0 +1,66 @@
+"""Corpus change detection with a mid-edit debounce.
+
+The daemon must notice edits quickly but must never analyze a corpus
+that an operator (or ``rsync``) is still writing.  The watcher therefore
+separates *cheap* detection from *expensive* identification:
+
+* every poll runs :func:`repro.ingest.snapshot.scan_stats` — pure
+  ``os.stat``, no file reads;
+* content is only re-hashed (:func:`~repro.ingest.snapshot.snapshot_corpus`)
+  once **two consecutive scans agree** — a corpus whose stats are still
+  moving is mid-edit, and the watcher keeps serving its previous stable
+  snapshot until the dust settles;
+* when the stats are stable *and* unchanged since the last hash, the
+  cached snapshot is returned without touching file contents at all —
+  the steady-state poll cost is one ``listdir`` plus one ``stat`` per
+  file.
+
+The watcher only *identifies* corpus states; deciding whether a state
+warrants a rebuild (digest comparison, circuit breaker) is the daemon's
+job, via :class:`~repro.serve.state.ServeState`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ingest.snapshot import (
+    CorpusSnapshot,
+    FileStat,
+    scan_stats,
+    snapshot_corpus,
+)
+
+
+class CorpusWatcher:
+    """Debounced, stat-gated corpus snapshotter for one directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._last_stats: Optional[Dict[str, FileStat]] = None
+        self._snapshot: Optional[CorpusSnapshot] = None
+        self._snapshot_stats: Optional[Dict[str, FileStat]] = None
+        self.rescans = 0  # content re-hashes performed (observability)
+
+    def poll(self) -> Optional[CorpusSnapshot]:
+        """The latest *stable* snapshot, or ``None`` before the first one.
+
+        Call once per poll tick.  Returns the previous stable snapshot
+        (not a fresh one) while the corpus is mid-edit.
+        """
+        stats = scan_stats(self.root)
+        previous = self._last_stats
+        self._last_stats = stats
+        if stats != previous:
+            # Unstable: something changed since the last scan.  Serve the
+            # old stable view; re-hash only once the change settles.
+            return self._snapshot
+        if self._snapshot is not None and stats == self._snapshot_stats:
+            return self._snapshot
+        self._snapshot = snapshot_corpus(self.root)
+        self._snapshot_stats = stats
+        self.rescans += 1
+        return self._snapshot
+
+
+__all__ = ["CorpusWatcher"]

@@ -188,6 +188,60 @@ class TestPersistentTier:
         ]
         assert remaining
 
+    def test_corrupt_entry_counts_and_is_removed(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        cache = private_cache(root=str(tmp_path))
+        cache.put("key", ("payload",), DISK_MIN_LINES)
+        path = cache._path("key")
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert BlockCache(root=str(tmp_path), memo={}).get("key") is None
+        assert not os.path.exists(path)  # evicted, not left to re-fail
+        counters = registry.snapshot()["counters"]
+        assert counters.get("blockcache.corrupt") == 1
+
+    def test_wrong_shape_pickle_is_corruption_too(self, tmp_path):
+        # A readable pickle of the wrong type must be evicted like a torn
+        # one — otherwise it is re-read and rejected on every lookup.
+        import pickle
+
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        cache = private_cache(root=str(tmp_path))
+        cache.put("key", ("payload",), DISK_MIN_LINES)
+        path = cache._path("key")
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a tuple"}, handle)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert BlockCache(root=str(tmp_path), memo={}).get("key") is None
+        assert not os.path.exists(path)
+        assert registry.snapshot()["counters"].get("blockcache.corrupt") == 1
+
+    def test_injected_write_failure_counts_and_degrades(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        blockcache._reset_write_failure_log()
+        monkeypatch.setenv("REPRO_CHAOS", "*:blockcache=io-error")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = private_cache(root=str(tmp_path))
+            cache.put("key", ("payload",), DISK_MIN_LINES)  # must not raise
+        assert cache.memo["key"] == ("payload",)  # memo tier still serves
+        assert not os.path.isdir(os.path.join(str(tmp_path), "blocks"))
+        counters = registry.snapshot()["counters"]
+        assert counters.get("blockcache.write_failures") == 1
+        # Chaos cleared: the same put persists normally again.
+        monkeypatch.delenv("REPRO_CHAOS")
+        with use_registry(MetricsRegistry()):
+            cache.put("key2", ("payload2",), DISK_MIN_LINES)
+        assert os.path.isdir(os.path.join(str(tmp_path), "blocks"))
+
 
 class TestProcessDefaults:
     def test_disable_switch(self):

@@ -4,11 +4,13 @@ import time
 
 import pytest
 
+from repro.exec import chaos as chaos_module
 from repro.exec.chaos import (
     CHAOS_ENV,
     ChaosError,
     ChaosPlan,
     SimulatedKill,
+    maybe_io_error,
     parse_chaos,
 )
 
@@ -88,3 +90,81 @@ class TestPlan:
         with pytest.raises(ChaosError):
             plan.trigger("net17", "pathways", 0)
         plan.trigger("corp", "pathways", 0)
+
+
+class TestIoError:
+    def test_parses_as_an_action(self):
+        (rule,) = parse_chaos("*:cache=io-error")
+        assert rule.action == "io-error"
+        assert rule.stage == "cache"
+
+    def test_trigger_skips_io_error_rules(self):
+        # A stage attempt must sail through an io-error rule — in
+        # particular it must NOT fall through to the hang branch.
+        plan = ChaosPlan.from_spec("*:*=io-error")
+        start = time.perf_counter()
+        plan.trigger("any", "links", 0)
+        assert time.perf_counter() - start < 0.5
+
+    def test_io_error_matches_kind_and_path(self):
+        plan = ChaosPlan.from_spec("*/cache/*:cache=io-error")
+        with pytest.raises(OSError, match="injected io-error"):
+            plan.io_error("cache", "/tmp/cache/ab/entry.json")
+        plan.io_error("checkpoint", "/tmp/cache/ab/entry.json")  # wrong kind
+        plan.io_error("cache", "/elsewhere/entry.json")  # wrong path
+
+    def test_other_actions_never_fire_from_writes(self):
+        plan = ChaosPlan.from_spec("*:*=raise")
+        plan.io_error("cache", "/any/path")  # raise targets stages only
+
+
+class TestMaybeIoError:
+    def test_noop_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        maybe_io_error("cache", "/any/path")
+
+    def test_fires_and_memoizes_plain_specs(self, monkeypatch):
+        monkeypatch.setattr(chaos_module, "_io_plan_cache", (None, None))
+        monkeypatch.setenv(CHAOS_ENV, "*:checkpoint=io-error")
+        with pytest.raises(OSError):
+            maybe_io_error("checkpoint", "/ckpt/entry.json")
+        cached_spec, cached_plan = chaos_module._io_plan_cache
+        assert cached_spec == "*:checkpoint=io-error"
+        assert cached_plan is not None
+        with pytest.raises(OSError):  # second call uses the memo
+            maybe_io_error("checkpoint", "/ckpt/entry.json")
+        maybe_io_error("cache", "/ckpt/entry.json")  # other kinds unaffected
+
+    def test_malformed_spec_never_breaks_the_write_path(self, monkeypatch):
+        monkeypatch.setattr(chaos_module, "_io_plan_cache", (None, None))
+        monkeypatch.setenv(CHAOS_ENV, "total junk !!!")
+        maybe_io_error("cache", "/any/path")  # swallowed, not raised
+
+    def test_file_indirection_reread_each_call(self, monkeypatch, tmp_path):
+        spec_file = tmp_path / "chaos.spec"
+        monkeypatch.setenv(CHAOS_ENV, f"@{spec_file}")
+        maybe_io_error("cache", "/any/path")  # missing file: empty plan
+        spec_file.write_text("*:cache=io-error\n")
+        with pytest.raises(OSError):
+            maybe_io_error("cache", "/any/path")
+        spec_file.write_text("")  # live disarm: next call sees it
+        maybe_io_error("cache", "/any/path")
+
+
+class TestFileIndirection:
+    def test_from_env_reads_spec_file(self, monkeypatch, tmp_path):
+        spec_file = tmp_path / "chaos.spec"
+        spec_file.write_text("alpha:links=raise")
+        monkeypatch.setenv(CHAOS_ENV, f"@{spec_file}")
+        plan = ChaosPlan.from_env()
+        assert plan.rules[0].archive == "alpha"
+
+    def test_missing_file_is_empty_plan(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CHAOS_ENV, f"@{tmp_path / 'nope.spec'}")
+        assert not ChaosPlan.from_env()
+
+    def test_malformed_file_is_empty_plan(self, monkeypatch, tmp_path):
+        spec_file = tmp_path / "chaos.spec"
+        spec_file.write_text("garbage without structure")
+        monkeypatch.setenv(CHAOS_ENV, f"@{spec_file}")
+        assert not ChaosPlan.from_env()

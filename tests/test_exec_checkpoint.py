@@ -162,3 +162,62 @@ def test_broken_root_degrades_to_store_failure(tmp_path):
         ok = store.store("0" * 64, "alpha", StageResult(stage="links"))
     assert not ok
     assert store.stats.stores == 0
+
+
+class TestCorruptionAccounting:
+    def test_corrupt_entry_counts_and_evicts(self, tmp_path):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            store.store(digest, "alpha", StageResult(stage="links"))
+            path = store._key(digest, "links")
+            with open(path, "w") as handle:
+                handle.write("torn write {{{")
+            assert store.load(digest, "links") is None
+            assert not os.path.exists(path)  # evicted, not left to rot
+        counters = registry.snapshot()["counters"]
+        assert counters.get("checkpoint.corrupt") == 1
+
+    def test_stale_invalidation_is_not_corruption(self, tmp_path):
+        # A parser-version eviction is routine bookkeeping, not damage:
+        # it must not inflate the corruption counter.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            store.store(digest, "alpha", StageResult(stage="links"))
+            path = store._key(digest, "links")
+            entry = json.loads(open(path).read())
+            entry["parser_version"] = -1
+            with open(path, "w") as handle:
+                json.dump(entry, handle)
+            assert store.load(digest, "links") is None
+        counters = registry.snapshot()["counters"]
+        assert "checkpoint.corrupt" not in counters
+
+
+class TestInjectedWriteFailure:
+    def test_io_error_chaos_counts_write_failures(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "*:checkpoint=io-error")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            assert not store.store(digest, "alpha", StageResult(stage="links"))
+            assert not store.store(digest, "alpha", StageResult(stage="instances"))
+            # The failed write degrades to a miss, never an exception.
+            assert store.load(digest, "links") is None
+        assert store.stats.write_failures == 2
+        counters = registry.snapshot()["counters"]
+        assert counters.get("checkpoint.write_failures") == 2
+
+    def test_writes_succeed_once_chaos_clears(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "*:checkpoint=io-error")
+        with use_registry(MetricsRegistry()):
+            store = CheckpointStore(root=os.fspath(tmp_path))
+            digest = archive_digest(_inventory())
+            assert not store.store(digest, "alpha", StageResult(stage="links"))
+            monkeypatch.delenv("REPRO_CHAOS")
+            assert store.store(digest, "alpha", StageResult(stage="links"))
+            assert store.load(digest, "links") is not None

@@ -221,6 +221,27 @@ class TestParseCache:
         assert isinstance(coerced, ParseCache)
         assert coerced.root == str(tmp_path)
 
+    def test_write_failures_are_counted_and_metered(self, tmp_path, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        monkeypatch.setenv("REPRO_CHAOS", "*:cache=io-error")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = ParseCache(root=str(tmp_path))
+            key = cache.key(b"abc", "strict")
+            assert cache.put(key, CacheEntry(None, (), True)) is False
+            assert cache.put(key, CacheEntry(None, (), True)) is False
+            assert cache.get(key) is None  # degraded to a plain miss
+        assert cache.stats.write_failures == 2
+        assert cache.stats.as_dict()["write_failures"] == 2
+        counters = registry.snapshot()["counters"]
+        assert counters.get("cache.write_failures") == 2
+        # Chaos cleared: the very same cache instance writes again.
+        monkeypatch.delenv("REPRO_CHAOS")
+        with use_registry(MetricsRegistry()):
+            assert cache.put(key, CacheEntry(None, (), True)) is True
+            assert cache.get(key) is not None
+
 
 class TestParseMany:
     def _tasks(self, n=4, on_error="skip-block"):

@@ -1,0 +1,117 @@
+"""ServeState: atomic publish, staleness, failure counting, circuit breaker."""
+
+from repro.serve.state import HEALTH_DEGRADED, HEALTH_OK, ServeState
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_state(**kwargs):
+    clock = FakeClock()
+    state = ServeState(clock=clock, **kwargs)
+    return state, clock
+
+
+class TestPublish:
+    def test_initially_not_ready(self):
+        state, _clock = make_state()
+        assert not state.ready
+        assert state.published is None
+        assert state.generation == 0
+        assert state.health == HEALTH_OK
+
+    def test_publish_makes_ready_and_counts_generations(self):
+        state, _clock = make_state()
+        assert state.publish({"x": 1}, "d1") == 1
+        assert state.ready
+        assert state.published == {"x": 1}
+        assert state.published_digest == "d1"
+        assert state.publish({"x": 2}, "d2") == 2
+        assert state.generation == 2
+
+    def test_publish_clears_failure_state(self):
+        state, _clock = make_state()
+        state.record_failure("d1", "boom")
+        assert state.health == HEALTH_DEGRADED
+        state.publish({}, "d1")
+        assert state.health == HEALTH_OK
+        assert state.consecutive_failures == 0
+        assert state.status_payload()["last_error"] is None
+
+
+class TestBreaker:
+    def test_backoff_doubles_and_caps(self):
+        state, _clock = make_state(backoff=1.0, max_backoff=5.0)
+        assert state.record_failure("d", "e1") == 1.0
+        assert state.record_failure("d", "e2") == 2.0
+        assert state.record_failure("d", "e3") == 4.0
+        assert state.record_failure("d", "e4") == 5.0  # capped
+        assert state.consecutive_failures == 4
+
+    def test_same_digest_blocked_until_backoff_expires(self):
+        state, clock = make_state(backoff=10.0)
+        state.record_failure("d1", "boom")
+        assert not state.should_attempt("d1")
+        clock.advance(9.0)
+        assert not state.should_attempt("d1")
+        clock.advance(2.0)
+        assert state.should_attempt("d1")  # breaker expired: retry allowed
+
+    def test_new_digest_clears_breaker_immediately(self):
+        state, _clock = make_state(backoff=1000.0)
+        state.record_failure("d1", "boom")
+        assert not state.should_attempt("d1")
+        assert state.should_attempt("d2")  # changed corpus: fresh attempt
+        # ... and the breaker stays cleared for the old digest too.
+        assert state.should_attempt("d1")
+
+    def test_published_digest_never_reattempted(self):
+        state, _clock = make_state()
+        state.publish({}, "d1")
+        assert not state.should_attempt("d1")
+        assert state.should_attempt("d2")
+
+
+class TestStatusPayload:
+    def test_degraded_with_breaker_armed(self):
+        state, clock = make_state(backoff=8.0)
+        state.publish({"ok": True}, "d1")
+        clock.advance(30.0)
+        state.observe_corpus("d2")
+        state.record_failure("d2", "stage pathways failed")
+        status = state.status_payload()
+        assert status["health"] == HEALTH_DEGRADED
+        assert status["ready"] is True  # still serving the old generation
+        assert status["generation"] == 1
+        assert status["consecutive_failures"] == 1
+        assert status["breaker"]["armed"] is True
+        assert status["breaker"]["seconds_remaining"] == 8.0
+        assert status["last_error"] == "stage pathways failed"
+        assert status["staleness"]["serving_current_corpus"] is False
+        assert status["staleness"]["seconds_since_publish"] == 30.0
+
+    def test_healthy_serving_current(self):
+        state, clock = make_state()
+        state.publish({}, "d1")
+        state.observe_corpus("d1")
+        clock.advance(2.5)
+        status = state.status_payload()
+        assert status["health"] == HEALTH_OK
+        assert status["staleness"]["serving_current_corpus"] is True
+        assert status["staleness"]["seconds_since_publish"] == 2.5
+        assert status["breaker"]["armed"] is False
+
+    def test_unpublished_status(self):
+        state, _clock = make_state()
+        status = state.status_payload()
+        assert status["ready"] is False
+        assert status["staleness"]["seconds_since_publish"] is None
+        assert status["staleness"]["serving_current_corpus"] is False
