@@ -1,0 +1,59 @@
+"""Shareable-corpus pipeline throughput.
+
+The share pipeline anonymizes every file, renames it pseudonymously,
+synthesizes admissible decoy routers, and certifies that the shared
+corpus analyzes identically to the original.  The bench measures the
+end-to-end share (with decoys) and reports the certification verdict.
+"""
+
+import os
+import shutil
+
+from repro.share import ShareOptions, certify_share, share_corpus
+from repro.report import format_table
+
+from benchmarks.conftest import record
+
+
+def test_share_pipeline_throughput(benchmark, by_name, tmp_path):
+    cn = by_name["net5"]
+    configs = cn.configs
+    total_bytes = sum(len(text) for text in configs.values())
+
+    root = str(tmp_path / "corpus")
+    archive = os.path.join(root, "net5")
+    os.makedirs(archive)
+    for name, text in configs.items():
+        with open(os.path.join(archive, name + ".cfg"), "w") as handle:
+            handle.write(text)
+
+    out = str(tmp_path / "shared")
+
+    def share_once():
+        if os.path.isdir(out):
+            shutil.rmtree(out)
+        return share_corpus(
+            root, out, ShareOptions(key=b"bench", decoys=4)
+        )
+
+    result = benchmark(share_once)
+    certification = certify_share(root, out, result.mapping)
+    summary = result.summary()
+
+    rows = [
+        ("files shared", len(configs), summary["files"]),
+        ("bytes processed", total_bytes, total_bytes),
+        ("decoy routers", ">=4", summary["decoy_routers"]),
+        ("certified isomorphic", "yes", "yes" if certification.ok else "no"),
+    ]
+    record(
+        "share_throughput",
+        format_table(
+            ["quantity", "expected", "measured"], rows,
+            title="share — anonymize + decoys + certification",
+        ),
+    )
+
+    assert summary["files"] == len(configs)
+    assert summary["decoy_routers"] >= 4
+    assert certification.ok, certification.divergent_sections()

@@ -6,15 +6,23 @@ Per-token processing of configuration text:
    structure of the file survives),
 2. dotted quads that are contiguous netmasks or wildcard masks pass through
    unchanged (anonymizing a mask would destroy subnet structure),
-3. other dotted quads are anonymized prefix-preservingly,
-4. AS numbers in ``router bgp``/``remote-as``/``redistribute bgp`` position
-   are mapped to pseudo-ASNs (private ASNs pass through, as in the paper),
+3. other dotted quads are anonymized prefix-preservingly; ``addr/len``
+   tokens (JunOS-style) anonymize the address part and keep the length,
+4. AS numbers in ``router bgp``/``remote-as``/``redistribute bgp`` —
+   and the JunOS equivalents ``peer-as``/``autonomous-system``/``local-as``
+   — position are mapped to collision-free pseudo-ASNs (private ASNs pass
+   through, as in the paper),
 5. plain integers pass through (metrics, ACL numbers, areas...),
-6. alphabetic tokens found in the IOS keyword list pass through; interface
-   tokens whose alphabetic stem is a known hardware type pass through;
-   everything else (names, descriptions, hostnames) is replaced by a
-   deterministic SHA-1-derived random-looking string, like the paper's
-   ``8aTzlvBrbaW``.
+6. alphabetic tokens found in the vendor keyword lists pass through;
+   interface tokens whose alphabetic stem is a known hardware type pass
+   through; everything else (names, descriptions, hostnames) is replaced
+   by a deterministic SHA-1-derived random-looking string, like the
+   paper's ``8aTzlvBrbaW``.
+
+Structural suffixes (trailing ``;``/``,`` in brace-structured dialects)
+are stripped before classification and re-attached after, so
+``10.0.0.1/24;`` anonymizes its address instead of being name-hashed
+whole.
 
 Everything is deterministic given the key, so the anonymized files of one
 network remain mutually consistent and fully analyzable.
@@ -25,28 +33,37 @@ from __future__ import annotations
 import hashlib
 import re
 import string
-from typing import Dict, Optional
+from typing import Dict, Optional, Set, Tuple
 
 from repro.anonymize.ipanon import PrefixPreservingAnonymizer
-from repro.anonymize.keywords import INTERFACE_TYPE_WORDS, IOS_KEYWORDS
+from repro.anonymize.keywords import ALL_KEYWORDS, INTERFACE_TYPE_WORDS
 from repro.net.ipv4 import (
     AddressError,
-    format_ipv4,
     mask_to_prefix_len,
     parse_ipv4,
     wildcard_to_prefix_len,
 )
 
 _DOTTED_QUAD_RE = re.compile(r"^\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}$")
+_PREFIX_TOKEN_RE = re.compile(r"^(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})/(\d{1,2})$")
 _ALPHA_STEM_RE = re.compile(r"^([A-Za-z-]+)([0-9/.:]*)$")
 
 _BASE62 = string.digits + string.ascii_uppercase + string.ascii_lowercase
 
+#: Trailing punctuation that is structure, not name: stripped before token
+#: classification and re-attached after.
+_STRUCTURAL_SUFFIX_CHARS = ";,"
+
 #: Private AS numbers (RFC 1930) are not anonymized: they carry no identity.
 PRIVATE_AS_RANGE = range(64512, 65536)
 
-#: Token positions after which an AS number appears.
-_AS_CONTEXT_WORDS = frozenset({"bgp", "remote-as"})
+#: The pseudo-ASN pool: public 16-bit ASNs below the private range.
+_PSEUDO_AS_POOL = 64511
+
+#: Token positions after which an AS number appears (IOS and JunOS forms).
+_AS_CONTEXT_WORDS = frozenset(
+    {"bgp", "remote-as", "peer-as", "autonomous-system", "local-as"}
+)
 
 
 def _base62(value: int, length: int) -> str:
@@ -55,6 +72,12 @@ def _base62(value: int, length: int) -> str:
         value, remainder = divmod(value, 62)
         digits.append(_BASE62[remainder])
     return "".join(digits)
+
+
+def split_structural_suffix(token: str) -> Tuple[str, str]:
+    """``(core, suffix)`` with trailing structural punctuation split off."""
+    core = token.rstrip(_STRUCTURAL_SUFFIX_CHARS)
+    return core, token[len(core):]
 
 
 class Anonymizer:
@@ -69,6 +92,17 @@ class Anonymizer:
         self._ip = PrefixPreservingAnonymizer(key=key)
         self._name_cache: Dict[str, str] = {}
         self._as_cache: Dict[int, int] = {}
+        self._as_used: Set[int] = set()
+
+    @property
+    def key(self) -> bytes:
+        """The anonymization key (what the trusted party must retain)."""
+        return self._key
+
+    @property
+    def ip(self) -> PrefixPreservingAnonymizer:
+        """The underlying prefix-preserving address anonymizer."""
+        return self._ip
 
     # -- individual token handlers -----------------------------------------
 
@@ -84,14 +118,25 @@ class Anonymizer:
         return pseudo
 
     def map_asn(self, asn: int) -> int:
-        """Map a public ASN to a stable pseudo-ASN; keep private ASNs."""
+        """Map a public ASN to a stable pseudo-ASN; keep private ASNs.
+
+        Distinct public ASNs must never merge: the digest-derived
+        candidate probes linearly to the next free pseudo-ASN on
+        collision (deterministic given the order ASNs are first seen,
+        which file-sorted processing makes reproducible).  The pool is
+        1..64511, so a pseudo-ASN can also never collide with a private
+        ASN kept in the clear.
+        """
         if asn in PRIVATE_AS_RANGE:
             return asn
         cached = self._as_cache.get(asn)
         if cached is not None:
             return cached
         digest = hashlib.sha1(self._key + f"as:{asn}".encode("ascii")).digest()
-        pseudo = int.from_bytes(digest[:4], "big") % 64511 + 1
+        pseudo = int.from_bytes(digest[:4], "big") % _PSEUDO_AS_POOL + 1
+        while pseudo in self._as_used:
+            pseudo = pseudo % _PSEUDO_AS_POOL + 1  # wraps 64511 -> 1
+        self._as_used.add(pseudo)
         self._as_cache[asn] = pseudo
         return pseudo
 
@@ -118,22 +163,45 @@ class Anonymizer:
             # generally applicable" — passing braces through keeps
             # brace-structured configs parseable too.
             return token
+        core, suffix = split_structural_suffix(token)
+        if not core:
+            return token
+        return self._anonymize_core(core, previous) + suffix
+
+    def _anonymize_core(self, token: str, previous: Optional[str]) -> str:
+        """Classify and rewrite one token with structure already stripped."""
         if _DOTTED_QUAD_RE.match(token):
             return self.anonymize_address_token(token)
+        prefix_match = _PREFIX_TOKEN_RE.match(token)
+        if prefix_match and int(prefix_match.group(2)) <= 32:
+            # addr/len: the address part is prefix-preservingly
+            # anonymized, the length is structure and stays.  Any host
+            # bits are masked off identically on both sides when the
+            # parser builds the prefix, so subnet identities survive.
+            try:
+                parse_ipv4(prefix_match.group(1))
+            except AddressError:
+                return self.hash_name(token)
+            return (
+                f"{self._ip.anonymize(prefix_match.group(1))}"
+                f"/{prefix_match.group(2)}"
+            )
         if token.isdigit():
             if previous in _AS_CONTEXT_WORDS:
                 return str(self.map_asn(int(token)))
             return token
-        if token in IOS_KEYWORDS:
+        if token in ALL_KEYWORDS:
             return token
         match = _ALPHA_STEM_RE.match(token)
         if match and match.group(1) in INTERFACE_TYPE_WORDS:
             return token  # interface name: type word + unit numbers
-        if match and match.group(1) in IOS_KEYWORDS:
+        if match and match.group(1) in ALL_KEYWORDS:
             return token
         return self.hash_name(token)
 
-    def anonymize_line(self, line: str) -> Optional[str]:
+    def anonymize_line(self, line: str) -> str:
+        """Anonymize one line.  Always returns a line — comment lines are
+        replaced by a bare ``!`` separator, never dropped."""
         stripped = line.strip()
         if not stripped:
             return line
@@ -146,17 +214,15 @@ class Anonymizer:
         previous: Optional[str] = None
         for token in tokens:
             result.append(self.anonymize_token(token, previous))
-            previous = token
+            previous, _ = split_structural_suffix(token)
         return indent + " ".join(result)
 
     def anonymize_config(self, text: str) -> str:
         """Anonymize a whole configuration file."""
-        out_lines = []
-        for line in text.splitlines():
-            anonymized = self.anonymize_line(line)
-            if anonymized is not None:
-                out_lines.append(anonymized)
-        return "\n".join(out_lines) + "\n"
+        return (
+            "\n".join(self.anonymize_line(line) for line in text.splitlines())
+            + "\n"
+        )
 
     def export_mapping(self) -> Dict[str, Dict[str, str]]:
         """The original → anonymized mappings accumulated so far.
@@ -170,8 +236,5 @@ class Anonymizer:
         return {
             "names": dict(self._name_cache),
             "asns": {str(asn): str(pseudo) for asn, pseudo in self._as_cache.items()},
-            "addresses": {
-                format_ipv4(orig): format_ipv4(anon)
-                for orig, anon in self._ip._cache.items()
-            },
+            "addresses": self._ip.mapping(),
         }

@@ -10,6 +10,17 @@ The implementation is the standard keyed bit-by-bit construction: the
 anonymized bit at position *i* is the original bit XOR a pseudorandom
 function of the preceding original bits.  HMAC-SHA1 with a caller-supplied
 key provides the PRF, making the mapping deterministic per key.
+
+One deliberate deviation: the leading run of one-bits (capped at the
+first two bits) passes through unchanged, so the anonymized address keeps
+its classful *class*.  Bare ``network`` statements fall back to the
+classful prefix length (:func:`repro.net.prefix.classful_prefix`), which
+depends on exactly those two bits — without this carve-out a class-B
+address could anonymize into class A and silently change which interfaces
+a routing process covers.  The construction stays prefix-preserving and
+bijective (each output bit still depends only on earlier original bits);
+what leaks is at most two bits of address class, the same order of
+structural disclosure as keeping netmasks in the clear (§4.1).
 """
 
 from __future__ import annotations
@@ -40,6 +51,12 @@ class PrefixPreservingAnonymizer:
         original_bits = format(address, "032b")
         result_bits = []
         for i in range(32):
+            if i < 2 and "0" not in original_bits[:i]:
+                # Class-determining leading one-run: kept verbatim (see
+                # the module docstring).  The condition depends only on
+                # earlier original bits, so prefix preservation holds.
+                result_bits.append(original_bits[i])
+                continue
             flip = self._prf_bit(original_bits[:i])
             result_bits.append(str(int(original_bits[i]) ^ flip))
         value = int("".join(result_bits), 2)
@@ -53,3 +70,14 @@ class PrefixPreservingAnonymizer:
         else:
             value = parse_ipv4(address)
         return format_ipv4(self.anonymize_int(value))
+
+    def mapping(self) -> Dict[str, str]:
+        """Original → anonymized dotted quads accumulated so far.
+
+        The public view of the cache, for trusted-party mapping exports —
+        callers must not reach into ``_cache`` directly.
+        """
+        return {
+            format_ipv4(original): format_ipv4(anonymized)
+            for original, anonymized in sorted(self._cache.items())
+        }

@@ -206,8 +206,15 @@ def cmd_pathway(args: argparse.Namespace) -> int:
 
 
 def cmd_anonymize(args: argparse.Namespace) -> int:
+    from repro.share import default_mapping_path, ensure_mapping_outside  # noqa: PLC0415
+
     if not os.path.isdir(args.configdir):
         raise SystemExit(f"error: {args.configdir} is not a directory")
+    mapping_path = args.mapping or default_mapping_path(args.outdir)
+    try:
+        ensure_mapping_outside(args.outdir, mapping_path)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     os.makedirs(args.outdir, exist_ok=True)
     key = args.key.encode("utf-8") if args.key else os.urandom(16)
     anonymizer = Anonymizer(key=key)
@@ -216,13 +223,98 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
         for entry in os.listdir(args.configdir)
         if os.path.isfile(os.path.join(args.configdir, entry))
     )
-    for index, entry in enumerate(entries, start=1):
+    files = {}
+    for entry in entries:
         with open(os.path.join(args.configdir, entry)) as handle:
             text = handle.read()
-        with open(os.path.join(args.outdir, f"config{index}"), "w") as handle:
+        # Output files carry the pseudo-name of their stem: a file named
+        # after its router would otherwise leak the hostname the content
+        # anonymization just scrubbed.
+        stem, ext = os.path.splitext(entry)
+        out_name = anonymizer.hash_name(stem) + ext
+        files[entry] = out_name
+        with open(os.path.join(args.outdir, out_name), "w") as handle:
             handle.write(anonymizer.anonymize_config(text))
+    exported = anonymizer.export_mapping()
+    exported["files"] = files
+    exported["key"] = key.hex()
+    with open(mapping_path, "w") as handle:
+        json.dump(exported, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     print(f"anonymized {len(entries)} files into {args.outdir}")
+    print(f"trusted-party mapping: {mapping_path} (do not share)")
     return 0
+
+
+def cmd_share(args: argparse.Namespace) -> int:
+    from repro.diag import EXIT_DEGRADED  # noqa: PLC0415
+    from repro.share import (  # noqa: PLC0415
+        ShareError,
+        ShareOptions,
+        certify_share,
+        default_mapping_path,
+        ensure_mapping_outside,
+        share_corpus,
+    )
+
+    if not os.path.isdir(args.configdir):
+        raise SystemExit(f"error: {args.configdir} is not a directory")
+    mapping_path = args.mapping or default_mapping_path(args.outdir)
+    try:
+        ensure_mapping_outside(args.outdir, mapping_path)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    key = args.key.encode("utf-8") if args.key else os.urandom(16)
+    options = ShareOptions(
+        key=key,
+        decoys=args.decoys,
+        decoy_template=args.decoy_template,
+        max_salt_probes=args.salt_probes,
+    )
+    try:
+        result = share_corpus(args.configdir, args.outdir, options)
+    except ShareError as exc:
+        raise SystemExit(f"error: {exc}")
+    result.mapping.write(mapping_path)
+    summary = result.summary()
+    code = 0
+    certification = None
+    if args.certify:
+        mode = getattr(args, "mode", None) or "lenient"
+        certification = certify_share(
+            args.configdir, args.outdir, result.mapping, mode=mode
+        )
+        summary["certified"] = certification.ok
+        if not certification.ok:
+            code = EXIT_DEGRADED
+        if args.diff_out:
+            with open(args.diff_out, "w") as handle:
+                json.dump(certification.to_dict(), handle, indent=2)
+                handle.write("\n")
+    args._share_summary = summary
+    if args.json:
+        payload = {"outdir": args.outdir, "summary": summary}
+        if certification is not None:
+            payload["certification"] = certification.to_dict()
+        print(json.dumps(payload, indent=2))
+        return code
+    print(
+        f"shared {summary['files']} files across {summary['archives']} "
+        f"archive(s) into {args.outdir}"
+    )
+    if summary["decoy_routers"]:
+        print(
+            f"decoys: {summary['decoy_routers']} routers "
+            f"({summary['decoy_template']} template)"
+        )
+    print(f"trusted-party mapping: {mapping_path} (do not share)")
+    if certification is not None:
+        if certification.ok:
+            print("certified: analysis results isomorphic under the mapping")
+        else:
+            divergent = ", ".join(certification.divergent_sections())
+            print(f"CERTIFICATION FAILED: divergent sections: {divergent}")
+    return code
 
 
 def cmd_survivability(args: argparse.Namespace) -> int:
@@ -1072,7 +1164,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("configdir")
     p.add_argument("outdir")
     p.add_argument("--key", default=None, help="deterministic anonymization key")
+    p.add_argument(
+        "--mapping",
+        default=None,
+        help="trusted-party mapping file (default: <outdir>.mapping.json; "
+        "must lie outside outdir)",
+    )
     p.set_defaults(func=cmd_anonymize)
+
+    p = sub.add_parser(
+        "share",
+        help="build a certified shareable corpus (anonymize + decoys)",
+        parents=archive,
+    )
+    p.add_argument("configdir")
+    p.add_argument("outdir")
+    p.add_argument("--key", default=None, help="deterministic anonymization key")
+    p.add_argument(
+        "--mapping",
+        default=None,
+        help="trusted-party mapping file (default: <outdir>.mapping.json; "
+        "must lie outside outdir)",
+    )
+    p.add_argument(
+        "--decoys",
+        type=int,
+        default=0,
+        help="approximate decoy routers to plant per archive (0 = none)",
+    )
+    p.add_argument(
+        "--decoy-template",
+        default="enterprise",
+        choices=("enterprise", "mixed", "pod"),
+        help="synth template the decoy component is built from",
+    )
+    p.add_argument(
+        "--salt-probes",
+        type=int,
+        default=16,
+        help="admissibility probe budget per archive",
+    )
+    p.add_argument(
+        "--certify",
+        action="store_true",
+        help="prove analysis invariance original vs shared (exit 3 on divergence)",
+    )
+    p.add_argument(
+        "--diff-out",
+        default=None,
+        help="write the decoy-stripped certification diff as JSON",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_share)
 
     p = sub.add_parser("survivability", help="single-failure what-ifs", parents=archive)
     p.add_argument("configdir")
@@ -1402,6 +1545,9 @@ def _emit_run_report(
     sweep_summary = getattr(args, "_sweep_summary", None)
     if sweep_summary is not None:
         environment["sweep"] = sweep_summary
+    share_summary = getattr(args, "_share_summary", None)
+    if share_summary is not None:
+        environment["share"] = share_summary
     exec_config = getattr(args, "_exec_config", None)
     if exec_config is not None:
         suggestion = getattr(args, "_exec_suggestion", None)

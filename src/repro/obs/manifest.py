@@ -202,6 +202,10 @@ def normalize_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
         ],
         "totals": manifest.get("totals"),
         "counters": metrics.get("counters"),
+        # The share block (archive/file/decoy counts, chosen salts,
+        # certification verdict) is a run *result*, not host state: two
+        # share runs over the same bytes with the same key must agree.
+        "share": (manifest.get("environment") or {}).get("share"),
     }
 
 

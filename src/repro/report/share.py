@@ -1,0 +1,242 @@
+"""Canonicalization of share-certification payloads.
+
+The certify gate (:mod:`repro.share.certify`) runs the same analysis on
+the original and the shared corpus and must decide whether the results
+are *isomorphic under the exported mapping* — identical once the
+original side is pushed through the name/ASN/address renaming, and once
+both sides forget their arbitrary instance numbering.
+
+:func:`normalize_shared_payload` is that equivalence: called with the
+trusted-party renaming context it maps an original-side payload into the
+shared names; called without, it only canonicalizes.  Two payloads are
+isomorphic exactly when their normalized forms compare equal.
+
+Instance ids need the canonical pass because ``compute_instances``
+numbers instances by sorted process keys — renaming routers permutes
+that order.  Both sides therefore re-index their instances by the sorted
+JSON of the (renamed) instance descriptors; an instance reference that
+matches no descriptor is left untouched, so a genuinely divergent
+payload keeps diverging instead of being normalized into agreement.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.anonymize import PrefixPreservingAnonymizer
+from repro.net import Prefix
+
+
+class _Renamer:
+    """Original → shared renaming derived from a trusted-party mapping.
+
+    *context* needs ``names`` (original name → pseudo-name), ``asns``
+    (original public ASN → pseudo-ASN, string-keyed), and ``key`` (the
+    anonymization key, hex string or bytes).  Addresses are renamed by
+    re-running the keyed prefix-preserving anonymizer — the first *L*
+    output bits depend only on the first *L* input bits, so anonymizing
+    a prefix's network address and re-masking reproduces exactly what
+    the shared files contain, whatever host bits the original carried.
+    """
+
+    def __init__(self, context: Mapping[str, Any]):
+        self._names: Mapping[str, str] = context.get("names") or {}
+        self._asns: Mapping[str, str] = context.get("asns") or {}
+        key = context.get("key") or b""
+        if isinstance(key, str):
+            key = bytes.fromhex(key)
+        self._ip = PrefixPreservingAnonymizer(key=key)
+
+    def name(self, value: str) -> str:
+        mapped = self._names.get(value)
+        if mapped is not None:
+            return mapped
+        # Lenient ingestion renames duplicate hostnames "name~N"; the
+        # mapping knows the base name only.
+        base, tilde, suffix = value.rpartition("~")
+        if tilde and suffix.isdigit() and base in self._names:
+            return self._names[base] + "~" + suffix
+        return value
+
+    def asn(self, value: Any) -> Any:
+        mapped = self._asns.get(str(value))
+        return int(mapped) if mapped is not None else value
+
+    def prefix(self, value: str) -> str:
+        try:
+            original = Prefix(value)
+        except Exception:
+            return value
+        anonymized = self._ip.anonymize_int(original.network.value)
+        return str(Prefix(anonymized, original.length))
+
+
+class _Identity:
+    def name(self, value: str) -> str:
+        return value
+
+    def asn(self, value: Any) -> Any:
+        return value
+
+    def prefix(self, value: str) -> str:
+        return value
+
+
+def _descriptor_key(descriptor: Dict[str, Any]) -> str:
+    return json.dumps(descriptor, sort_keys=True)
+
+
+def _instance_sort_key(descriptor: Dict[str, Any]) -> str:
+    """Instance order must not depend on the side-local numbering: the
+    ``id`` is exactly what the re-indexing is about to replace."""
+    return json.dumps(
+        {k: v for k, v in descriptor.items() if k != "id"}, sort_keys=True
+    )
+
+
+def _rename_instances(instances: List[Dict[str, Any]], ren) -> List[Dict[str, Any]]:
+    renamed = []
+    for entry in instances:
+        processes = []
+        for router, protocol, process_id in entry.get("processes", []):
+            if protocol == "bgp":
+                process_id = ren.asn(process_id)
+            processes.append([ren.name(router), protocol, process_id])
+        renamed.append(
+            {
+                "id": entry.get("id"),
+                "protocol": entry.get("protocol"),
+                "processes": sorted(processes, key=repr),
+            }
+        )
+    return renamed
+
+
+def _rename_pathways(pathways: Dict[str, Any], ren) -> Dict[str, Any]:
+    renamed = {}
+    for router, entry in pathways.items():
+        renamed[ren.name(router)] = {
+            "nodes": list(entry.get("nodes", [])),
+            "edges": [list(edge) for edge in entry.get("edges", [])],
+            "layers": dict(entry.get("layers", {})),
+            "policies": [
+                [src, dst, ren.name(route_map) if route_map else route_map]
+                for src, dst, route_map in entry.get("policies", [])
+            ],
+            "external_depth": entry.get("external_depth"),
+            "truncated": entry.get("truncated", False),
+        }
+    return renamed
+
+
+def _rename_address_tree(blocks: List[Dict[str, Any]], ren) -> List[Dict[str, Any]]:
+    return [
+        {
+            "prefix": ren.prefix(block["prefix"]),
+            "subnets": sorted(ren.prefix(subnet) for subnet in block.get("subnets", [])),
+        }
+        for block in blocks
+    ]
+
+
+def _rename_survivability(surv: Dict[str, Any], ren) -> Dict[str, Any]:
+    return {
+        "articulation_routers": sorted(
+            ren.name(router) for router in surv.get("articulation_routers", [])
+        ),
+        "bridge_links": sorted(
+            ren.prefix(link) for link in surv.get("bridge_links", [])
+        ),
+        "couplings": [
+            {
+                "a": coupling["a"],
+                "b": coupling["b"],
+                "routers": sorted(ren.name(r) for r in coupling.get("routers", [])),
+                "mechanisms": sorted(coupling.get("mechanisms", [])),
+            }
+            for coupling in surv.get("couplings", [])
+        ],
+        "static_route_conflicts": {
+            ren.prefix(prefix): sorted(ren.name(r) for r in routers)
+            for prefix, routers in surv.get("static_route_conflicts", {}).items()
+        },
+        "truncated": surv.get("truncated", False),
+    }
+
+
+def _instance_index(instances: List[Dict[str, Any]]) -> Dict[str, str]:
+    ordered = sorted(instances, key=_instance_sort_key)
+    return {
+        entry["id"]: f"i#{position}"
+        for position, entry in enumerate(ordered)
+        if isinstance(entry.get("id"), str)
+    }
+
+
+def _reindex(value: Any, index: Mapping[str, str]) -> Any:
+    """Replace ``i:<n>`` instance references throughout a payload.
+
+    References absent from *index* stay as-is on purpose: a dangling
+    reference is divergence, and normalization must preserve it.
+    """
+    if isinstance(value, str):
+        return index.get(value, value)
+    if isinstance(value, list):
+        return [_reindex(item, index) for item in value]
+    if isinstance(value, dict):
+        return {_reindex(k, index): _reindex(v, index) for k, v in value.items()}
+    return value
+
+
+def _canonical_sort(payload: Dict[str, Any]) -> Dict[str, Any]:
+    result = dict(payload)
+    if "instances" in result:
+        result["instances"] = sorted(result["instances"], key=_descriptor_key)
+    for entry in (result.get("pathways") or {}).values():
+        entry["nodes"] = sorted(entry.get("nodes", []), key=repr)
+        entry["edges"] = sorted(entry.get("edges", []), key=repr)
+        entry["layers"] = dict(sorted(entry.get("layers", {}).items()))
+        entry["policies"] = sorted(entry.get("policies", []), key=repr)
+    if "address_tree" in result:
+        result["address_tree"] = sorted(result["address_tree"], key=_descriptor_key)
+    surv = result.get("survivability")
+    if surv:
+        # A coupling is an unordered instance pair; the a/b assignment
+        # follows the side-local numbering the re-indexing just erased.
+        for coupling in surv.get("couplings", []):
+            coupling["a"], coupling["b"] = sorted([coupling["a"], coupling["b"]])
+        surv["couplings"] = sorted(surv.get("couplings", []), key=_descriptor_key)
+        surv["static_route_conflicts"] = dict(
+            sorted(surv.get("static_route_conflicts", {}).items())
+        )
+    return result
+
+
+def normalize_shared_payload(
+    payload: Dict[str, Any], mapping: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Normalize one archive's analysis summary for isomorphism comparison.
+
+    With *mapping* (``{"names", "asns", "key"}``, the trusted-party
+    renaming context) the payload is first pushed through the original →
+    shared renaming; without, it is taken as already being in shared
+    names.  Both paths then canonicalize: instances re-indexed in sorted
+    descriptor order, every list sorted.  Two analysis summaries are
+    isomorphic under the mapping exactly when their normalized forms are
+    equal.
+    """
+    ren = _Renamer(mapping) if mapping is not None else _Identity()
+    result: Dict[str, Any] = {"stages": dict(sorted(payload.get("stages", {}).items()))}
+    result["instances"] = _rename_instances(payload.get("instances", []), ren)
+    result["pathways"] = _rename_pathways(payload.get("pathways", {}), ren)
+    result["address_tree"] = _rename_address_tree(payload.get("address_tree", []), ren)
+    result["survivability"] = _rename_survivability(
+        payload.get("survivability", {}), ren
+    )
+    index = _instance_index(result["instances"])
+    result = _reindex(result, index)
+    return _canonical_sort(result)
+
+
+__all__ = ["normalize_shared_payload"]

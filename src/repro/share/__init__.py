@@ -1,0 +1,66 @@
+"""Shareable-corpus pipeline: anonymize, decoy-expand, certify (§4.1).
+
+The paper could study 31 production networks only because configurations
+could be shared safely: anonymized single-blind, with a few trusted
+group members holding the mapping back to reality.  This package is that
+workflow as a certified pipeline:
+
+* :mod:`repro.share.pipeline` — anonymize a corpus (content *and* file
+  names) with one per-run key and optionally expand each archive with
+  NetCloak-style decoy routers, admissibility-checked by a salt probe;
+* :mod:`repro.share.mapping` — the trusted-party file (key, renames,
+  decoy inventory), kept strictly outside the shared tree;
+* :mod:`repro.share.decoys` — decoy synthesis from the
+  :mod:`repro.synth` templates, role-stamped via :mod:`repro.compress`;
+* :mod:`repro.share.certify` — the invariance gate: full-executor
+  analysis of both corpora, decoy-stripped, compared isomorphic under
+  the mapping (``repro share --certify``).
+"""
+
+from repro.share.certify import (
+    CERTIFIED_SECTIONS,
+    ArchiveCertificate,
+    ShareCertification,
+    analysis_summary,
+    certify_archive,
+    certify_share,
+)
+from repro.share.decoys import DECOY_TEMPLATES, DecoySet, synthesize_decoys
+from repro.share.mapping import (
+    SHARE_MAPPING_SCHEMA,
+    ShareMapping,
+    default_mapping_path,
+    ensure_mapping_outside,
+)
+from repro.share.pipeline import (
+    ShareError,
+    ShareOptions,
+    SharedArchive,
+    ShareResult,
+    check_decoy_admissible,
+    discover_archives,
+    share_corpus,
+)
+
+__all__ = [
+    "CERTIFIED_SECTIONS",
+    "DECOY_TEMPLATES",
+    "SHARE_MAPPING_SCHEMA",
+    "ArchiveCertificate",
+    "DecoySet",
+    "ShareCertification",
+    "ShareError",
+    "ShareMapping",
+    "ShareOptions",
+    "ShareResult",
+    "SharedArchive",
+    "analysis_summary",
+    "certify_archive",
+    "certify_share",
+    "check_decoy_admissible",
+    "default_mapping_path",
+    "discover_archives",
+    "ensure_mapping_outside",
+    "share_corpus",
+    "synthesize_decoys",
+]

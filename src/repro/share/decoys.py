@@ -1,0 +1,135 @@
+"""NetCloak-style decoy routers for shared archives.
+
+A shared archive's router count is itself information (§3's Table 1 was
+built from exactly that).  Decoy expansion plants a synthesized network
+component — built by the same :mod:`repro.synth` templates the test
+corpus uses, so decoys are statistically unremarkable — into the shared
+archive.  Three properties make a decoy set admissible:
+
+* **Invisible to analysis.**  The decoy component shares no subnet, no
+  router name, and no routing instance with the real network, so every
+  analysis stage (instances, pathways, address trees, survivability)
+  computes the same result on the real routers with or without decoys.
+  :func:`repro.share.pipeline` *proves* this per candidate via the salt
+  probe; the certify gate re-proves it end to end.
+* **Strippable.**  The trusted-party mapping records each decoy file and
+  router, so the recipient of the mapping can reconstruct the exact real
+  archive.
+* **Role-camouflaged.**  Each decoy is stamped (in the mapping, for the
+  trusted party's audit) with its role signature and the compression
+  equivalence class it joins in the combined network — decoys that all
+  land in a fresh singleton class would advertise themselves.
+
+Decoy content is anonymized with a *salted* key (``key:decoy:<salt>``):
+bumping the salt re-rolls names and addresses without touching the real
+side, which is what the admissibility probe iterates on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.anonymize import Anonymizer
+
+#: Template name → (builder, minimum router count the builder accepts).
+_TEMPLATE_MINIMUMS = {
+    "enterprise": 2,
+    "pod": 14,
+    "mixed": 3,
+}
+
+DECOY_TEMPLATES = tuple(sorted(_TEMPLATE_MINIMUMS))
+
+
+@dataclass
+class DecoySet:
+    """One synthesized, salted, anonymized decoy component."""
+
+    #: The salt that produced this candidate (what the probe iterates).
+    salt: int
+    #: Template the component was built from.
+    template: str
+    #: Shared-side file name → anonymized config text.
+    files: Dict[str, str] = field(default_factory=dict)
+    #: Shared-side (anonymized) router names.
+    routers: Tuple[str, ...] = ()
+    #: Router → role/equivalence stamp, filled by the pipeline once the
+    #: combined network's compression plan is known.
+    role_stamps: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "salt": self.salt,
+            "template": self.template,
+            "count": len(self.routers),
+            "files": sorted(self.files),
+            "routers": sorted(self.routers),
+            "role_stamps": dict(sorted(self.role_stamps.items())),
+        }
+
+
+def _builder(template: str) -> Callable:
+    # Deferred imports: synth templates pull in serializers the plain
+    # anonymize path never needs.
+    if template == "enterprise":
+        from repro.synth.templates.enterprise import build_enterprise  # noqa: PLC0415
+
+        return lambda name, index, n: build_enterprise(name, index, n_routers=n)
+    if template == "pod":
+        from repro.synth.templates.pods import build_pods  # noqa: PLC0415
+
+        return lambda name, index, n: build_pods(name, index, n_routers=n)
+    if template == "mixed":
+        from repro.synth.templates.mixed import build_mixed  # noqa: PLC0415
+
+        return lambda name, index, n: build_mixed(name, index, n_routers=n)
+    raise ValueError(
+        f"unknown decoy template {template!r} (choose from {', '.join(DECOY_TEMPLATES)})"
+    )
+
+
+def derive_decoy_index(key: bytes, archive: str, salt: int) -> int:
+    """A deterministic per-archive template index (address plan + AS seed)."""
+    digest = hashlib.sha256(
+        key + b":decoy-seed:" + archive.encode("utf-8", "replace") + str(salt).encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def synthesize_decoys(
+    archive: str,
+    key: bytes,
+    salt: int,
+    count: int,
+    template: str = "enterprise",
+) -> DecoySet:
+    """Build and anonymize one decoy component candidate.
+
+    *count* is approximate: templates have structural minimums (a pod
+    fabric needs cores, borders, and one full pod), so the actual router
+    count is read back from the result.  The component is anonymized with
+    the salted key, so its hostnames, file names, and addresses are
+    indistinguishable from the real shared files — and re-roll with the
+    salt, which is exactly the knob the admissibility probe turns.
+    """
+    build = _builder(template)
+    minimum = _TEMPLATE_MINIMUMS[template]
+    index = derive_decoy_index(key, archive, salt)
+    # Synth templates key the address plan and local AS off the index;
+    # a 3-digit slice keeps the plan pools in their supported range.
+    configs, _spec = build("decoy", index % 1000, max(count, minimum))
+    anonymizer = Anonymizer(key=key + b":decoy:" + str(salt).encode("ascii"))
+    files: Dict[str, str] = {}
+    routers = []
+    for router_name in sorted(configs):
+        pseudo = anonymizer.hash_name(router_name)
+        files[pseudo + ".cfg"] = anonymizer.anonymize_config(configs[router_name])
+        routers.append(pseudo)
+    return DecoySet(
+        salt=salt, template=template, files=files, routers=tuple(routers)
+    )
+
+
+__all__ = ["DECOY_TEMPLATES", "DecoySet", "derive_decoy_index", "synthesize_decoys"]

@@ -180,3 +180,169 @@ class TestMappingExport:
         anon = Anonymizer(key=b"map3")
         out = anon.anonymize_config("hostname secret-core\n")
         assert "secret-core" not in out
+
+    def test_address_mapping_is_a_public_accessor(self):
+        # Regression: export_mapping used to reach into the IP
+        # anonymizer's private ``_cache``.
+        ip = PrefixPreservingAnonymizer(key=b"acc")
+        ip.anonymize("10.1.2.3")
+        mapping = ip.mapping()
+        assert mapping == {"10.1.2.3": ip.anonymize("10.1.2.3")}
+        anon = Anonymizer(key=b"acc")
+        anon.anonymize_line(" ip address 10.1.2.3 255.255.255.0")
+        assert anon.export_mapping()["addresses"] == anon.ip.mapping()
+
+
+class TestJunosTokens:
+    """Regression: brace-dialect tokens used to be name-hashed whole."""
+
+    @pytest.fixture()
+    def anon(self):
+        return Anonymizer(key=b"junos")
+
+    def test_prefix_token_keeps_length(self, anon):
+        out = anon.anonymize_token("10.0.0.1/24", None)
+        addr, _, length = out.partition("/")
+        assert length == "24"
+        assert addr == anon.ip.anonymize("10.0.0.1")
+
+    def test_prefix_token_with_semicolon(self, anon):
+        out = anon.anonymize_token("10.0.0.1/24;", None)
+        assert out.endswith("/24;")
+        assert out.startswith(anon.ip.anonymize("10.0.0.1"))
+        assert "10.0.0.1" not in out
+
+    def test_address_with_semicolon(self, anon):
+        out = anon.anonymize_line("address 10.0.0.1;")
+        assert out == f"address {anon.ip.anonymize('10.0.0.1')};"
+
+    def test_junos_keywords_kept(self, anon):
+        line = "family inet {"
+        assert anon.anonymize_line(line) == line
+        assert anon.anonymize_line("peer-as 7018;") != "peer-as 7018;"
+        assert anon.anonymize_line("term t1 {").startswith("term ")
+
+    def test_peer_as_mapped_consistently_with_ios(self, anon):
+        junos = anon.anonymize_line("peer-as 7018;")
+        ios = anon.anonymize_line(" neighbor 1.2.3.4 remote-as 7018")
+        assert junos.rstrip(";").split()[-1] == ios.split()[-1]
+
+    def test_default_route_prefix_token(self, anon):
+        out = anon.anonymize_token("0.0.0.0/0", None)
+        assert out.endswith("/0")
+
+    def test_overlong_length_is_not_a_prefix(self, anon):
+        # 10.0.0.1/99 is not a valid prefix token; it must hash, not crash.
+        out = anon.anonymize_token("10.0.0.1/99", None)
+        assert len(out) == 11
+
+    def test_anonymized_junos_config_still_parses(self):
+        from repro.model.dialect import parse_any_config
+
+        source = (
+            "system {\n    host-name secret-core;\n}\n"
+            "interfaces {\n    so-0/0/0 {\n        unit 0 {\n"
+            "            family inet {\n                address 10.0.0.1/30;\n"
+            "            }\n        }\n    }\n}\n"
+            "routing-options {\n    autonomous-system 7018;\n}\n"
+        )
+        anon = Anonymizer(key=b"junos2")
+        out = anon.anonymize_config(source)
+        assert "secret-core" not in out
+        assert "10.0.0.1" not in out
+        cfg = parse_any_config(out)
+        iface = next(iter(cfg.interfaces.values()))
+        assert iface.prefix.length == 30
+
+
+class TestAsnCollisions:
+    """Regression: digest-mod pseudo-ASNs could silently merge two ASes."""
+
+    @staticmethod
+    def _digest_candidate(key: bytes, asn: int) -> int:
+        import hashlib
+
+        digest = hashlib.sha1(key + f"as:{asn}".encode("ascii")).digest()
+        return int.from_bytes(digest[:4], "big") % 64511 + 1
+
+    def _colliding_pair(self, key: bytes):
+        seen = {}
+        for asn in range(1, 64512):
+            candidate = self._digest_candidate(key, asn)
+            if candidate in seen:
+                return seen[candidate], asn
+            seen[candidate] = asn
+        raise AssertionError("no collision in the full 16-bit public range")
+
+    def test_colliding_asns_stay_distinct(self):
+        key = b"collide"
+        first, second = self._colliding_pair(key)
+        anon = Anonymizer(key=key)
+        assert anon.map_asn(first) != anon.map_asn(second)
+
+    def test_probed_asn_is_stable(self):
+        key = b"collide"
+        first, second = self._colliding_pair(key)
+        anon = Anonymizer(key=key)
+        a1, b1 = anon.map_asn(first), anon.map_asn(second)
+        assert (anon.map_asn(first), anon.map_asn(second)) == (a1, b1)
+
+    def test_pseudo_asn_never_private(self):
+        anon = Anonymizer(key=b"pool")
+        for asn in (1, 7018, 64511, 65536, 4200000000):
+            assert 1 <= anon.map_asn(asn) <= 64511
+
+    @given(st.sets(st.integers(min_value=1, max_value=64511), max_size=40))
+    def test_distinct_public_asns_never_merge(self, asns):
+        anon = Anonymizer(key=b"merge")
+        mapped = {anon.map_asn(asn) for asn in asns}
+        assert len(mapped) == len(asns)
+
+
+class TestLineContract:
+    """Regression: anonymize_line was typed Optional but never returned
+    None, leaving dead filtering in anonymize_config."""
+
+    def test_comment_lines_return_separator_not_none(self):
+        anon = Anonymizer(key=b"c")
+        out = anon.anonymize_line("! top secret")
+        assert isinstance(out, str)
+        assert out == "!"
+
+    def test_return_annotation_is_not_optional(self):
+        import typing
+
+        hints = typing.get_type_hints(Anonymizer.anonymize_line)
+        assert hints["return"] is str
+
+    def test_every_line_survives(self):
+        anon = Anonymizer(key=b"c2")
+        source = "! a\n\n!\nhostname x\n"
+        assert len(anon.anonymize_config(source).splitlines()) == 4
+
+
+class TestClassPreservation:
+    """The classful class of an address survives anonymization, so bare
+    ``network`` statements recover the same prefix length on both sides."""
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_class_preserved(self, value):
+        from repro.net.prefix import classful_prefix
+
+        a = PrefixPreservingAnonymizer(key=b"class")
+        assert (
+            classful_prefix(a.anonymize_int(value)).length
+            == classful_prefix(value).length
+        )
+
+    def test_bare_network_statement_coverage_survives(self):
+        anon = Anonymizer(key=b"class2")
+        source = (
+            "interface Ethernet0\n ip address 172.16.1.1 255.255.255.0\n"
+            "!\nrouter rip\n network 172.16.0.0\n"
+        )
+        out = anon.anonymize_config(source)
+        cfg = parse_config(out)
+        prefix = cfg.routing_processes()[0].networks[0].prefix()
+        assert prefix.length == 16  # class B either side
+        assert prefix.contains_address(cfg.interfaces["Ethernet0"].address)

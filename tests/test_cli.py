@@ -59,10 +59,29 @@ class TestAnonymize:
         out = capsys.readouterr().out
         assert "routing instances: 5" in out
 
-    def test_file_names_are_anonymous(self, config_dir, tmp_path):
+    def test_file_names_are_pseudonymous(self, config_dir, tmp_path):
+        # Regression: output files used to keep their original stems,
+        # leaking the hostnames the content anonymization just scrubbed.
+        import json
+
         out_dir = os.fspath(tmp_path / "anon2")
         main(["anonymize", config_dir, out_dir, "--key", "k"])
-        assert sorted(os.listdir(out_dir)) == [f"config{i}" for i in range(1, 7)]
+        originals = sorted(os.listdir(config_dir))
+        produced = sorted(os.listdir(out_dir))
+        assert len(produced) == len(originals)
+        assert not set(produced) & set(originals)
+        with open(out_dir + ".mapping.json") as handle:
+            mapping = json.load(handle)
+        assert sorted(mapping["files"]) == originals
+        assert sorted(mapping["files"].values()) == produced
+
+    def test_mapping_path_inside_outdir_rejected(self, config_dir, tmp_path):
+        out_dir = os.fspath(tmp_path / "anon3")
+        with pytest.raises(SystemExit, match="never travel"):
+            main(
+                ["anonymize", config_dir, out_dir, "--key", "k",
+                 "--mapping", os.path.join(out_dir, "mapping.json")]
+            )
 
 
 class TestSurvivability:

@@ -1,0 +1,133 @@
+"""Differential suite: an anonymized corpus must analyze exactly like the
+original — even when the original is damaged first.
+
+Faults are injected into the *original* corpus, then the faulted corpus is
+shared; both trees must produce isomorphic diagnostics and analysis
+results under the exported mapping.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import Anonymizer
+from repro.anonymize.anonymizer import split_structural_suffix
+from repro.anonymize.keywords import ALL_KEYWORDS
+from repro.model.network import Network
+from repro.share import ShareOptions, certify_share, share_corpus
+from repro.synth.faults import inject_fault
+from repro.synth.templates.enterprise import build_enterprise
+from repro.synth.templates.mixed import build_mixed
+
+#: File-damage kinds exercised differentially.  ``duplicate-hostname`` is
+#: excluded: skip-block renames duplicates ``~N`` in discovery order, which
+#: is not a property the share mapping can (or should) preserve.
+FAULT_KINDS = ["drop-lines", "inject-unknown", "truncate-file", "corrupt-ip"]
+
+CORPORA = {
+    "ios": lambda: build_enterprise("difios", 1, 6, n_borders=2)[0],
+    "junos": lambda: build_mixed("difjx", 2, n_routers=8)[0],
+}
+
+
+def _write_faulted(tmp_path, vendor, kind, seed=7):
+    configs = CORPORA[vendor]()
+    faulted, fault = inject_fault(configs, kind, seed)
+    root = str(tmp_path / "corpus")
+    archive = os.path.join(root, "net")
+    os.makedirs(archive)
+    for name, text in faulted.items():
+        with open(os.path.join(archive, name + ".cfg"), "w") as handle:
+            handle.write(text)
+    return root, archive, fault
+
+
+class TestLenientDifferential:
+    @pytest.mark.parametrize("vendor", sorted(CORPORA))
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_faulted_corpus_certifies(self, tmp_path, vendor, kind):
+        root, _archive, _fault = _write_faulted(tmp_path, vendor, kind)
+        out = str(tmp_path / "shared")
+        result = share_corpus(root, out, ShareOptions(key=b"diff"))
+        certification = certify_share(root, out, result.mapping)
+        assert certification.ok, certification.divergent_sections()
+
+    @pytest.mark.parametrize("vendor", sorted(CORPORA))
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_diagnostic_severities_match(self, tmp_path, vendor, kind):
+        # Identical damage must surface with identical severity on both
+        # sides; only the identifiers inside the messages may differ.
+        root, archive, _fault = _write_faulted(tmp_path, vendor, kind)
+        out = str(tmp_path / "shared")
+        result = share_corpus(root, out, ShareOptions(key=b"diff"))
+        shared_dir = os.path.join(out, result.archives[0].shared)
+        original = Network.from_directory(archive, on_error="skip-block")
+        shared = Network.from_directory(shared_dir, on_error="skip-block")
+        assert original.diagnostics.counts() == shared.diagnostics.counts()
+        assert original.diagnostics.exit_code() == shared.diagnostics.exit_code()
+        assert len(original) == len(shared)
+
+
+class TestStrictDifferential:
+    @pytest.mark.parametrize("vendor", sorted(CORPORA))
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_strict_outcome_is_equivalent(self, tmp_path, vendor, kind):
+        root, archive, fault = _write_faulted(tmp_path, vendor, kind)
+        out = str(tmp_path / "shared")
+        result = share_corpus(root, out, ShareOptions(key=b"diff"))
+        shared_dir = os.path.join(out, result.archives[0].shared)
+
+        def raises(path):
+            try:
+                Network.from_directory(path, on_error="strict")
+            except ValueError:
+                return True
+            return False
+
+        original_raised, shared_raised = raises(archive), raises(shared_dir)
+        assert original_raised == shared_raised
+        assert original_raised == fault.strict_raises
+
+
+_name_tokens = st.from_regex(r"[A-Za-z][A-Za-z0-9-]{0,14}", fullmatch=True)
+_octet = st.integers(min_value=0, max_value=255)
+
+
+class TestTokenRoundTripProperties:
+    @given(_name_tokens)
+    @settings(max_examples=60, deadline=None)
+    def test_token_mapping_is_deterministic(self, token):
+        a, b = Anonymizer(key=b"p"), Anonymizer(key=b"p")
+        first = a.anonymize_token(token, None)
+        assert a.anonymize_token(token, None) == first
+        assert b.anonymize_token(token, None) == first
+        assert Anonymizer(key=b"q").anonymize_token(token, None) != first or (
+            token.lower() in ALL_KEYWORDS
+        )
+
+    def test_keywords_pass_through_unchanged(self):
+        anonymizer = Anonymizer(key=b"p")
+        for keyword in sorted(ALL_KEYWORDS):
+            assert anonymizer.anonymize_token(keyword, None) == keyword
+
+    @given(_name_tokens, st.sampled_from([";", ",", ";;"]))
+    @settings(max_examples=60, deadline=None)
+    def test_structural_suffix_is_preserved(self, token, suffix):
+        anonymizer = Anonymizer(key=b"p")
+        result = anonymizer.anonymize_token(token + suffix, None)
+        assert result.endswith(suffix)
+        core, tail = split_structural_suffix(token + suffix)
+        assert core == token and tail == suffix
+
+    @given(_octet, _octet, _octet, _octet, st.integers(min_value=0, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_addr_len_form_is_preserved(self, a, b, c, d, length):
+        anonymizer = Anonymizer(key=b"p")
+        token = f"{a}.{b}.{c}.{d}/{length}"
+        result = anonymizer.anonymize_token(token, None)
+        addr, _, result_length = result.partition("/")
+        assert result_length == str(length)
+        assert addr.count(".") == 3
+        assert all(part.isdigit() and int(part) <= 255 for part in addr.split("."))
